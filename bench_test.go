@@ -1,0 +1,449 @@
+// Package repro's root benchmarks: one bench group per experiment in
+// DESIGN.md §4 (run `go test -bench=. -benchmem`), plus micro-benchmarks of
+// the engine's hot paths. cmd/eiibench prints the corresponding
+// paper-vs-measured tables; these benches measure the same code paths under
+// the Go benchmark harness.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datum"
+	"repro/internal/docstore"
+	"repro/internal/eai"
+	"repro/internal/experiments"
+	"repro/internal/linkage"
+	"repro/internal/matview"
+	"repro/internal/opt"
+	"repro/internal/search"
+	"repro/internal/semantics"
+	"repro/internal/sqlparse"
+	"repro/internal/warehouse"
+	"repro/internal/workload"
+)
+
+var naiveOpts = core.QueryOptions{Optimizer: opt.Options{
+	NoFilterPushdown: true, NoProjectionPrune: true, NoJoinReorder: true, NoRemotePushdown: true,
+}}
+
+func mustCRM(b *testing.B, customers int) *workload.CRMFederation {
+	b.Helper()
+	cfg := workload.DefaultCRM()
+	cfg.Customers = customers
+	fed, err := workload.BuildCRM(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fed
+}
+
+func mustEmployees(b *testing.B, n int) *workload.EmployeeFederation {
+	b.Helper()
+	cfg := workload.DefaultEmployees()
+	cfg.Employees = n
+	fed, err := workload.BuildEmployees(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fed
+}
+
+// --- E1: pushdown vs pull-everything ---
+
+const e1Query = `SELECT c.name, i.amount FROM crm.customers c
+	JOIN billing.invoices i ON c.id = i.cust_id
+	WHERE c.region = 'west' AND i.status = 'overdue' AND i.amount > 800`
+
+func BenchmarkE1PushdownOptimized(b *testing.B) {
+	fed := mustCRM(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.Query(e1Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(fed.Engine.NetworkTotals().BytesShipped)/float64(b.N), "bytes/query")
+}
+
+func BenchmarkE1PushdownNaive(b *testing.B) {
+	fed := mustCRM(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.QueryOpts(e1Query, naiveOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(fed.Engine.NetworkTotals().BytesShipped)/float64(b.N), "bytes/query")
+}
+
+// --- E2: EII vs warehouse ---
+
+const e2Query = "SELECT region, COUNT(*) AS n, SUM(amount) AS total FROM customer360 GROUP BY region"
+
+func BenchmarkE2EIILiveQuery(b *testing.B) {
+	fed := mustCRM(b, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.Query(e2Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2WarehouseRefresh(b *testing.B) {
+	fed := mustCRM(b, 300)
+	w, err := warehouse.New("dw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AddFeed(fed.CRM, "customers"); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AddFeed(fed.Billing, "invoices"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2WarehouseLocalQuery(b *testing.B) {
+	fed := mustCRM(b, 300)
+	w, err := warehouse.New("dw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = w.AddFeed(fed.CRM, "customers")
+	_ = w.AddFeed(fed.Billing, "invoices")
+	if _, err := w.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	q := "SELECT region, COUNT(*) AS n, SUM(amount) AS total FROM customers c JOIN invoices i ON c.id = i.cust_id GROUP BY region"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: integration cost model ---
+
+func BenchmarkE3SchemaCostSweep(b *testing.B) {
+	m := semantics.DefaultCostModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 1; n <= 64; n++ {
+			_ = m.SchemaCentricMarginal(n, 8)
+			_ = m.SchemaLessMarginal(n, 3)
+		}
+	}
+}
+
+// --- E4: materialized vs virtual views ---
+
+func BenchmarkE4MatViewLiveRead(b *testing.B) {
+	fed := mustCRM(b, 200)
+	mgr := matview.NewManager(fed.Engine)
+	if _, err := mgr.Materialize("dash", e2Query); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Read("dash", matview.Live); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4MatViewCachedRead(b *testing.B) {
+	fed := mustCRM(b, 200)
+	mgr := matview.NewManager(fed.Engine)
+	if _, err := mgr.Materialize("dash", e2Query); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Read("dash", matview.Cached); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4MatViewRefresh(b *testing.B) {
+	fed := mustCRM(b, 200)
+	mgr := matview.NewManager(fed.Engine)
+	if _, err := mgr.Materialize("dash", e2Query); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mgr.Refresh("dash"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: record linkage ---
+
+func linkageRecords(n int, severity float64) (left, right []linkage.Record) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		clean := workload.CustomerName(i)
+		left = append(left, linkage.Record{Key: datum.NewInt(int64(i)), Text: clean})
+		right = append(right, linkage.Record{
+			Key:  datum.NewInt(int64(10000 + i)),
+			Text: workload.DirtyName(clean, severity, rng),
+		})
+	}
+	return left, right
+}
+
+func BenchmarkE5LinkageBuild(b *testing.B) {
+	left, right := linkageRecords(300, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linkage.Build(left, right, linkage.DefaultConfig())
+	}
+}
+
+func BenchmarkE5LinkageLookup(b *testing.B) {
+	left, right := linkageRecords(300, 0.5)
+	ix := linkage.Build(left, right, linkage.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.RightsFor(datum.NewInt(int64(i % 300)))
+	}
+}
+
+// --- E6: optimizer-adapted vs fixed plan across access paths ---
+
+const e6Query = "SELECT name, building, model FROM employee360 WHERE dept = 'sales'"
+
+func BenchmarkE6OptimizedAccessPath(b *testing.B) {
+	fed := mustEmployees(b, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.Query(e6Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6FixedHandPlan(b *testing.B) {
+	fed := mustEmployees(b, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.QueryOpts(e6Query, naiveOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: fan-out parallelism ---
+
+const e7Query = `SELECT c.region, COUNT(*) AS n FROM crm.customers c
+	JOIN billing.invoices i ON c.id = i.cust_id
+	JOIN support.tickets tk ON tk.cust_id = c.id
+	GROUP BY c.region`
+
+func benchE7(b *testing.B, parallel bool) {
+	fed := mustCRM(b, 200)
+	for _, name := range fed.Engine.Sources() {
+		src, _ := fed.Engine.Source(name)
+		src.Link().RealSleep = true
+		src.Link().MaxSleep = 3e6 // 3ms cap keeps the bench fast
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.QueryOpts(e7Query, core.QueryOptions{Parallel: parallel, NoSemiJoin: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7SequentialFanout(b *testing.B) { benchE7(b, false) }
+func BenchmarkE7ParallelFanout(b *testing.B)   { benchE7(b, true) }
+
+// --- E8: enterprise search ---
+
+func searchIndex(b *testing.B, docs int) *search.Index {
+	b.Helper()
+	store := docstore.New("notes", nil)
+	if err := workload.GenerateDocuments(store, docs, 100, 11); err != nil {
+		b.Fatal(err)
+	}
+	ix := search.NewIndex()
+	ix.IndexStore(store)
+	return ix
+}
+
+func BenchmarkE8SearchQuery(b *testing.B) {
+	ix := searchIndex(b, 5000)
+	q := workload.CustomerName(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(q, 20)
+	}
+}
+
+func BenchmarkE8IndexDocument(b *testing.B) {
+	ix := search.NewIndex()
+	doc := docstore.Document{ID: "d", Body: "customer reported an outage in the west region"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc.ID = fmt.Sprintf("d%d", i)
+		ix.IndexDocument("notes", doc)
+	}
+}
+
+// --- E9: agility measures ---
+
+func BenchmarkE9AgilitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for n := 2; n <= 256; n *= 2 {
+			_ = semantics.AgilityScore(n, semantics.Mediated)
+			_ = semantics.AgilityScore(n, semantics.PointToPoint)
+		}
+	}
+}
+
+// --- E10: saga vs naive update ---
+
+func sagaProcess(counter *int) *eai.Process {
+	return &eai.Process{Name: "bench", Steps: []eai.Step{
+		{Name: "a", Do: func(*eai.Context) error { *counter++; return nil },
+			Compensate: func(*eai.Context) error { *counter--; return nil }},
+		{Name: "b", Do: func(*eai.Context) error { *counter++; return nil },
+			Compensate: func(*eai.Context) error { *counter--; return nil }},
+		{Name: "c", Do: func(*eai.Context) error { *counter++; return nil },
+			Compensate: func(*eai.Context) error { *counter--; return nil }},
+	}}
+}
+
+func BenchmarkE10SagaRun(b *testing.B) {
+	n := 0
+	p := sagaProcess(&n)
+	eng := eai.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(p, nil)
+	}
+}
+
+func BenchmarkE10NaiveRun(b *testing.B) {
+	n := 0
+	p := sagaProcess(&n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eai.RunNaive(p, nil)
+	}
+}
+
+// --- E11: advisor ---
+
+func BenchmarkE11Advisor(b *testing.B) {
+	scenarios := []matview.Scenario{
+		{NeedHistory: true},
+		{NeedsLiveData: true},
+		{ReadsPerUpdate: 12},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, s := range scenarios {
+			_, _ = matview.Advise(s)
+		}
+	}
+}
+
+// --- Engine micro-benchmarks ---
+
+func BenchmarkMicroParse(b *testing.B) {
+	const q = `SELECT c.name, SUM(i.amount) AS total FROM crm.customers c
+		JOIN billing.invoices i ON c.id = i.cust_id
+		WHERE c.region = 'west' GROUP BY c.name HAVING SUM(i.amount) > 100
+		ORDER BY total DESC LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroPlanAndOptimize(b *testing.B) {
+	fed := mustCRM(b, 100)
+	const q = `SELECT c.name, SUM(i.amount) AS total FROM crm.customers c
+		JOIN billing.invoices i ON c.id = i.cust_id
+		WHERE c.region = 'west' GROUP BY c.name ORDER BY total DESC LIMIT 10`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.Plan(q, core.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroHashJoinExec(b *testing.B) {
+	fed := mustCRM(b, 1000)
+	const q = `SELECT COUNT(*) FROM crm.customers c JOIN billing.invoices i ON c.id = i.cust_id`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroAggregate(b *testing.B) {
+	fed := mustCRM(b, 1000)
+	const q = `SELECT region, segment, COUNT(*), SUM(id) FROM crm.customers GROUP BY region, segment`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks: each optimization disabled in isolation ---
+
+func benchAblation(b *testing.B, o opt.Options) {
+	fed := mustCRM(b, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.QueryOpts(e1Query, core.QueryOptions{Optimizer: o}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(fed.Engine.NetworkTotals().BytesShipped)/float64(b.N), "bytes/query")
+}
+
+func BenchmarkAblationFull(b *testing.B) { benchAblation(b, opt.Options{}) }
+func BenchmarkAblationNoFilterPush(b *testing.B) {
+	benchAblation(b, opt.Options{NoFilterPushdown: true})
+}
+func BenchmarkAblationNoProjPrune(b *testing.B) {
+	benchAblation(b, opt.Options{NoProjectionPrune: true})
+}
+func BenchmarkAblationNoJoinReorder(b *testing.B) { benchAblation(b, opt.Options{NoJoinReorder: true}) }
+func BenchmarkAblationNoRemotePush(b *testing.B) {
+	benchAblation(b, opt.Options{NoRemotePushdown: true})
+}
+func BenchmarkAblationNoSemiJoin(b *testing.B) { benchAblation(b, opt.Options{NoSemiJoin: true}) }
+
+// TestExperimentTablesQuick keeps the root harness wired to the same
+// experiment runner cmd/eiibench uses.
+func TestExperimentTablesQuick(t *testing.T) {
+	tables, err := experiments.All(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(tables))
+	}
+}

@@ -1,0 +1,141 @@
+// Command eiiquery loads the demo CRM federation (three heterogeneous
+// sources plus the customer360 mediated view) and runs federated SQL
+// against it — either the statements given as arguments, or an interactive
+// prompt on stdin.
+//
+// Prefix a statement with "explain " to print the optimized plan, the SQL
+// pushed to each source, and the cost estimate instead of rows.
+//
+// Usage:
+//
+//	eiiquery "SELECT region, COUNT(*) FROM customer360 GROUP BY region"
+//	eiiquery            # interactive
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	customers := flag.Int("customers", 500, "customers in the demo federation")
+	flag.Parse()
+
+	cfg := workload.DefaultCRM()
+	cfg.Customers = *customers
+	fed, err := workload.BuildCRM(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eiiquery: building federation: %v\n", err)
+		os.Exit(1)
+	}
+	engine := fed.Engine
+
+	if flag.NArg() > 0 {
+		for _, sql := range flag.Args() {
+			if err := runOne(engine, sql); err != nil {
+				fmt.Fprintf(os.Stderr, "eiiquery: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Println("eiiquery — federated SQL over the demo CRM federation")
+	fmt.Printf("sources: %s; mediated views: %s\n",
+		strings.Join(engine.Sources(), ", "), strings.Join(engine.Catalog().ViewNames(), ", "))
+	fmt.Println(`type SQL (or "explain <sql>", or "\q" to quit)`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("eii> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			break
+		}
+		if err := runOne(engine, line); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+func runOne(engine *core.Engine, sql string) error {
+	if rest, ok := cutPrefixFold(sql, "analyze "); ok {
+		out, err := engine.ExplainAnalyze(rest, core.QueryOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	if rest, ok := cutPrefixFold(sql, "explain "); ok {
+		out, err := engine.Explain(rest, core.QueryOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	engine.ResetMetrics()
+	res, err := engine.Query(sql)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	return nil
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+func printResult(res *core.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for c, d := range row {
+			cells[r][c] = d.Display()
+			if c < len(widths) && len(cells[r][c]) > widths[c] {
+				widths[c] = len(cells[r][c])
+			}
+		}
+	}
+	line := func(parts []string) {
+		for i, p := range parts {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%-*s", widths[i], p)
+		}
+		fmt.Println()
+	}
+	line(res.Columns)
+	sep := make([]string, len(res.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range cells {
+		line(row)
+	}
+	fmt.Printf("(%d rows; %s; network: %s)\n",
+		len(res.Rows), res.Elapsed.Round(time.Microsecond), res.Network)
+}

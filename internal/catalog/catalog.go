@@ -1,0 +1,222 @@
+// Package catalog holds the metadata the mediator plans against: one
+// catalog per registered source (its tables and statistics) plus the global
+// mediated catalog of virtual views (GAV mappings from the mediated schema
+// to source schemas).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+)
+
+// SourceCatalog describes one data source's exported tables.
+type SourceCatalog struct {
+	Name   string
+	tables map[string]*schema.Table
+	stats  map[string]*schema.TableStats
+}
+
+// NewSourceCatalog creates an empty catalog for the named source.
+func NewSourceCatalog(name string) *SourceCatalog {
+	return &SourceCatalog{
+		Name:   name,
+		tables: make(map[string]*schema.Table),
+		stats:  make(map[string]*schema.TableStats),
+	}
+}
+
+// AddTable registers a table. Re-adding a name replaces the entry.
+func (c *SourceCatalog) AddTable(t *schema.Table, stats *schema.TableStats) {
+	key := strings.ToLower(t.Name)
+	c.tables[key] = t
+	if stats == nil {
+		stats = schema.DefaultStats(t, 1000)
+	}
+	c.stats[key] = stats
+}
+
+// Table looks up a table by name, case-insensitively.
+func (c *SourceCatalog) Table(name string) (*schema.Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Stats returns the statistics recorded for the table.
+func (c *SourceCatalog) Stats(name string) (*schema.TableStats, bool) {
+	s, ok := c.stats[strings.ToLower(name)]
+	return s, ok
+}
+
+// SetStats replaces the statistics for a table.
+func (c *SourceCatalog) SetStats(name string, s *schema.TableStats) {
+	c.stats[strings.ToLower(name)] = s
+}
+
+// TableNames returns the sorted table names.
+func (c *SourceCatalog) TableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// View is a named virtual relation over the mediated schema. Views are the
+// unit of mediation (§5 Draper: "we used views as a central metaphor").
+type View struct {
+	Name  string
+	Query *sqlparse.Select
+	// SQL keeps the original definition text for display.
+	SQL string
+}
+
+// Global is the mediator's catalog: all registered sources plus the
+// mediated views. It is safe for concurrent use.
+type Global struct {
+	mu      sync.RWMutex
+	sources map[string]*SourceCatalog
+	views   map[string]*View
+}
+
+// NewGlobal creates an empty global catalog.
+func NewGlobal() *Global {
+	return &Global{
+		sources: make(map[string]*SourceCatalog),
+		views:   make(map[string]*View),
+	}
+}
+
+// AddSource registers a source catalog; the name must be unique.
+func (g *Global) AddSource(sc *SourceCatalog) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := strings.ToLower(sc.Name)
+	if _, dup := g.sources[key]; dup {
+		return fmt.Errorf("catalog: source %s already registered", sc.Name)
+	}
+	g.sources[key] = sc
+	return nil
+}
+
+// RemoveSource drops a source catalog.
+func (g *Global) RemoveSource(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.sources, strings.ToLower(name))
+}
+
+// Source returns the catalog for a source.
+func (g *Global) Source(name string) (*SourceCatalog, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sc, ok := g.sources[strings.ToLower(name)]
+	return sc, ok
+}
+
+// SourceNames returns the sorted registered source names.
+func (g *Global) SourceNames() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	names := make([]string, 0, len(g.sources))
+	for _, sc := range g.sources {
+		names = append(names, sc.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefineView parses and registers a mediated view. The definition may
+// reference source tables and previously defined views.
+func (g *Global) DefineView(name, querySQL string) error {
+	q, err := sqlparse.Parse(querySQL)
+	if err != nil {
+		return fmt.Errorf("catalog: view %s: %w", name, err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := g.views[key]; dup {
+		return fmt.Errorf("catalog: view %s already defined", name)
+	}
+	g.views[key] = &View{Name: name, Query: q, SQL: querySQL}
+	return nil
+}
+
+// DropView removes a view definition.
+func (g *Global) DropView(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.views, strings.ToLower(name))
+}
+
+// View looks up a view by name.
+func (g *Global) View(name string) (*View, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// ViewNames returns the sorted view names.
+func (g *Global) ViewNames() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	names := make([]string, 0, len(g.views))
+	for _, v := range g.views {
+		names = append(names, v.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolution is the result of resolving a table reference.
+type Resolution struct {
+	// Exactly one of View or (Source, Table) is set.
+	View   *View
+	Source string
+	Table  *schema.Table
+}
+
+// Resolve maps a (possibly source-qualified) table name to a view or a
+// source table. Unqualified names resolve to a view first, then to a
+// uniquely named source table; ambiguity is an error.
+func (g *Global) Resolve(source, name string) (Resolution, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if source != "" {
+		sc, ok := g.sources[strings.ToLower(source)]
+		if !ok {
+			return Resolution{}, fmt.Errorf("catalog: unknown source %q", source)
+		}
+		t, ok := sc.Table(name)
+		if !ok {
+			return Resolution{}, fmt.Errorf("catalog: source %s has no table %q", sc.Name, name)
+		}
+		return Resolution{Source: sc.Name, Table: t}, nil
+	}
+	if v, ok := g.views[strings.ToLower(name)]; ok {
+		return Resolution{View: v}, nil
+	}
+	var found Resolution
+	matches := 0
+	for _, sc := range g.sources {
+		if t, ok := sc.Table(name); ok {
+			found = Resolution{Source: sc.Name, Table: t}
+			matches++
+		}
+	}
+	switch matches {
+	case 0:
+		return Resolution{}, fmt.Errorf("catalog: unknown table or view %q", name)
+	case 1:
+		return found, nil
+	default:
+		return Resolution{}, fmt.Errorf("catalog: table %q is ambiguous across sources; qualify it as source.table", name)
+	}
+}

@@ -1,0 +1,122 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/schema"
+)
+
+func tbl(name string) *schema.Table {
+	return schema.MustTable(name, []schema.Column{{Name: "id", Kind: datum.KindInt}}, 0)
+}
+
+func TestSourceCatalogBasics(t *testing.T) {
+	sc := NewSourceCatalog("crm")
+	sc.AddTable(tbl("Customers"), nil)
+	if _, ok := sc.Table("customers"); !ok {
+		t.Error("table lookup must be case-insensitive")
+	}
+	st, ok := sc.Stats("CUSTOMERS")
+	if !ok || st.Rows != 1000 {
+		t.Error("default stats must be fabricated when nil")
+	}
+	sc.SetStats("customers", &schema.TableStats{Rows: 5})
+	if st, _ := sc.Stats("customers"); st.Rows != 5 {
+		t.Error("SetStats must replace")
+	}
+	sc.AddTable(tbl("orders"), nil)
+	names := sc.TableNames()
+	if len(names) != 2 || names[0] != "Customers" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestGlobalSourceLifecycle(t *testing.T) {
+	g := NewGlobal()
+	sc := NewSourceCatalog("crm")
+	if err := g.AddSource(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddSource(NewSourceCatalog("CRM")); err == nil {
+		t.Error("duplicate source (case-insensitive) must error")
+	}
+	if _, ok := g.Source("crm"); !ok {
+		t.Error("source lookup")
+	}
+	g.RemoveSource("crm")
+	if _, ok := g.Source("crm"); ok {
+		t.Error("removed source still visible")
+	}
+}
+
+func TestViews(t *testing.T) {
+	g := NewGlobal()
+	if err := g.DefineView("v", "SELECT id FROM crm.customers"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DefineView("v", "SELECT 1"); err == nil {
+		t.Error("duplicate view must error")
+	}
+	if err := g.DefineView("bad", "NOT SQL"); err == nil {
+		t.Error("unparsable view must error")
+	}
+	v, ok := g.View("V")
+	if !ok || v.Name != "v" || len(v.Query.Items) != 1 {
+		t.Error("view lookup")
+	}
+	if got := g.ViewNames(); len(got) != 1 || got[0] != "v" {
+		t.Errorf("view names = %v", got)
+	}
+	g.DropView("v")
+	if _, ok := g.View("v"); ok {
+		t.Error("dropped view still visible")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	g := NewGlobal()
+	crm := NewSourceCatalog("crm")
+	crm.AddTable(tbl("customers"), nil)
+	crm.AddTable(tbl("orders"), nil)
+	hr := NewSourceCatalog("hr")
+	hr.AddTable(tbl("employees"), nil)
+	hr.AddTable(tbl("orders"), nil) // ambiguous with crm.orders
+	_ = g.AddSource(crm)
+	_ = g.AddSource(hr)
+	_ = g.DefineView("customer360", "SELECT id FROM crm.customers")
+
+	// Qualified resolution.
+	r, err := g.Resolve("crm", "customers")
+	if err != nil || r.Source != "crm" || r.Table.Name != "customers" {
+		t.Errorf("qualified resolve: %+v %v", r, err)
+	}
+	// View wins over tables for unqualified names.
+	r, err = g.Resolve("", "customer360")
+	if err != nil || r.View == nil {
+		t.Errorf("view resolve: %+v %v", r, err)
+	}
+	// Unique unqualified table.
+	r, err = g.Resolve("", "employees")
+	if err != nil || r.Source != "hr" {
+		t.Errorf("unique table resolve: %+v %v", r, err)
+	}
+	// Ambiguous unqualified table.
+	if _, err = g.Resolve("", "orders"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous resolve must error, got %v", err)
+	}
+	// Unknowns.
+	if _, err = g.Resolve("nosrc", "t"); err == nil {
+		t.Error("unknown source must error")
+	}
+	if _, err = g.Resolve("crm", "nope"); err == nil {
+		t.Error("unknown table in source must error")
+	}
+	if _, err = g.Resolve("", "nope"); err == nil {
+		t.Error("unknown unqualified name must error")
+	}
+	if names := g.SourceNames(); len(names) != 2 || names[0] != "crm" {
+		t.Errorf("source names = %v", names)
+	}
+}

@@ -1,0 +1,557 @@
+// Package core implements the EII mediator — the public API of the
+// library. An Engine holds the registered sources and the mediated schema
+// (virtual views); Query plans a SQL statement over the mediated schema,
+// reformulates it into source queries (view unfolding), optimizes it with
+// capability-aware pushdown, and executes it federated, returning rows plus
+// the network accounting that the paper's performance arguments turn on.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/federation"
+	"repro/internal/netsim"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// Engine is the mediator. It is safe for concurrent use.
+type Engine struct {
+	mu      sync.RWMutex
+	catalog *catalog.Global
+	sources map[string]federation.Source
+}
+
+// New creates an empty mediator.
+func New() *Engine {
+	return &Engine{
+		catalog: catalog.NewGlobal(),
+		sources: make(map[string]federation.Source),
+	}
+}
+
+// Register adds a data source to the federation.
+func (e *Engine) Register(src federation.Source) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(src.Name())
+	if _, dup := e.sources[key]; dup {
+		return fmt.Errorf("core: source %s already registered", src.Name())
+	}
+	if err := e.catalog.AddSource(src.Catalog()); err != nil {
+		return err
+	}
+	e.sources[key] = src
+	return nil
+}
+
+// Deregister removes a source; existing views referencing it will fail to
+// plan until re-pointed.
+func (e *Engine) Deregister(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.sources, strings.ToLower(name))
+	e.catalog.RemoveSource(name)
+}
+
+// Source returns a registered source.
+func (e *Engine) Source(name string) (federation.Source, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s, ok := e.sources[strings.ToLower(name)]
+	return s, ok
+}
+
+// Sources lists registered source names, sorted.
+func (e *Engine) Sources() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.sources))
+	for _, s := range e.sources {
+		names = append(names, s.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Catalog exposes the global catalog (views + source schemas).
+func (e *Engine) Catalog() *catalog.Global { return e.catalog }
+
+// DefineView registers a mediated view. Views are the GAV mappings of the
+// mediated schema: queries written against them are unfolded onto sources.
+func (e *Engine) DefineView(name, sql string) error {
+	return e.catalog.DefineView(name, sql)
+}
+
+// DropView removes a view.
+func (e *Engine) DropView(name string) { e.catalog.DropView(name) }
+
+// QueryOptions tunes planning and execution of one query.
+type QueryOptions struct {
+	// Optimizer toggles individual optimizations (ablation/baselines).
+	Optimizer opt.Options
+	// Parallel fetches remote inputs concurrently.
+	Parallel bool
+	// NoSemiJoin disables the executor's semi-join reduction (shipping
+	// probe-side join keys into filter-capable sources).
+	NoSemiJoin bool
+}
+
+// Result is a completed query.
+type Result struct {
+	Columns []string
+	Kinds   []datum.Kind
+	Rows    []datum.Row
+	// Plan is the optimized plan that ran.
+	Plan plan.Node
+	// Network is the transfer accounting accumulated across all source
+	// links during this query (meaningful when queries run serially).
+	Network netsim.Metrics
+	// Estimate is the optimizer's cost prediction for the plan.
+	Estimate opt.PlanCost
+	// Elapsed is wall-clock execution time (excludes planning).
+	Elapsed time.Duration
+}
+
+// Query plans and executes a SQL statement with default options: parallel
+// remote fetch and semi-join reduction enabled.
+func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryOpts(sql, QueryOptions{Parallel: true})
+}
+
+// QueryOpts plans and executes a SQL statement.
+func (e *Engine) QueryOpts(sql string, qo QueryOptions) (*Result, error) {
+	p, err := e.Plan(sql, qo)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(p, qo)
+}
+
+// Plan parses, reformulates and optimizes a statement without running it.
+func (e *Engine) Plan(sql string, qo QueryOptions) (plan.Node, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.rewriteExists(sel, qo, 0); err != nil {
+		return nil, err
+	}
+	logical, err := plan.Build(e.catalog, sel)
+	if err != nil {
+		return nil, err
+	}
+	optOpts := qo.Optimizer
+	if qo.NoSemiJoin {
+		optOpts.NoSemiJoin = true
+	}
+	return opt.Optimize(logical, e.env(), optOpts), nil
+}
+
+// Execute runs an optimized plan.
+func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
+	before := e.linkTotals()
+	start := time.Now()
+	execOpts := exec.Options{Parallel: qo.Parallel, SemiJoin: !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown}
+	it, err := exec.Build(p, e.runtime(), execOpts)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	after := e.linkTotals()
+	var delta netsim.Metrics
+	delta.Add(after)
+	delta.RoundTrips -= before.RoundTrips
+	delta.BytesShipped -= before.BytesShipped
+	delta.WireBytes -= before.WireBytes
+	delta.SimTime -= before.SimTime
+
+	cols := p.Columns()
+	res := &Result{
+		Columns:  make([]string, len(cols)),
+		Kinds:    make([]datum.Kind, len(cols)),
+		Rows:     rows,
+		Plan:     p,
+		Network:  delta,
+		Estimate: opt.Cost(p, e.env()),
+		Elapsed:  time.Since(start),
+	}
+	for i, c := range cols {
+		res.Columns[i] = c.Name
+		res.Kinds[i] = c.Kind
+	}
+	return res, nil
+}
+
+// Explain returns the optimized plan rendering plus, for every Remote
+// subtree, the SQL the wrapper would receive.
+func (e *Engine) Explain(sql string, qo QueryOptions) (string, error) {
+	p, err := e.Plan(sql, qo)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(plan.Explain(p))
+	plan.Walk(p, func(n plan.Node) {
+		r, ok := n.(*plan.Remote)
+		if !ok {
+			return
+		}
+		if pushSQL, err := federation.Deparse(r.Child); err == nil {
+			fmt.Fprintf(&b, "-- pushdown @%s: %s\n", r.Source, pushSQL)
+		}
+	})
+	cost := opt.Cost(p, e.env())
+	fmt.Fprintf(&b, "-- estimate: rows=%d shipped=%dB network=%s cpuRows=%d\n",
+		cost.Rows, cost.Shipped, cost.Network, cost.CPURows)
+	return b.String(), nil
+}
+
+// ExplainAnalyze plans AND executes the statement, returning the plan
+// annotated with the observed per-operator row counts plus the network
+// accounting — the tool §8 asks for when it calls for "query
+// execution-time prediction" work: predicted vs actual, side by side.
+func (e *Engine) ExplainAnalyze(sql string, qo QueryOptions) (string, error) {
+	p, err := e.Plan(sql, qo)
+	if err != nil {
+		return "", err
+	}
+	trace := exec.NewTrace()
+	before := e.linkTotals()
+	execOpts := exec.Options{
+		Parallel: qo.Parallel,
+		SemiJoin: !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
+		Trace:    trace,
+	}
+	it, err := exec.Build(p, e.runtime(), execOpts)
+	if err != nil {
+		return "", err
+	}
+	rows, err := exec.Drain(it)
+	if err != nil {
+		return "", err
+	}
+	after := e.linkTotals()
+	var b strings.Builder
+	b.WriteString(trace.Render(p))
+	est := opt.Cost(p, e.env())
+	fmt.Fprintf(&b, "-- actual: rows=%d shipped=%dB trips=%d simTime=%s\n",
+		len(rows),
+		after.BytesShipped-before.BytesShipped,
+		after.RoundTrips-before.RoundTrips,
+		after.SimTime-before.SimTime)
+	fmt.Fprintf(&b, "-- estimated: rows=%d shipped=%dB network=%s\n",
+		est.Rows, est.Shipped, est.Network)
+	return b.String(), nil
+}
+
+// rewriteExists pre-evaluates uncorrelated EXISTS subqueries into boolean
+// literals; the planner proper does not support subquery expressions.
+func (e *Engine) rewriteExists(sel *sqlparse.Select, qo QueryOptions, depth int) error {
+	if depth > 8 {
+		return fmt.Errorf("core: EXISTS nesting too deep")
+	}
+	// maxInSubqueryValues caps how many literals an IN-subquery expands
+	// into; beyond it the query is rejected rather than silently slow.
+	const maxInSubqueryValues = 100000
+	var rewrite func(sqlparse.Expr) (sqlparse.Expr, error)
+	rewrite = func(x sqlparse.Expr) (sqlparse.Expr, error) {
+		switch ex := x.(type) {
+		case *sqlparse.ExistsExpr:
+			probe := *ex.Query
+			probe.Limit = &sqlparse.Literal{Value: datum.NewInt(1)}
+			sub, err := e.QueryOpts(probe.SQL(), qo)
+			if err != nil {
+				return nil, fmt.Errorf("core: evaluating EXISTS subquery: %w", err)
+			}
+			val := len(sub.Rows) > 0
+			if ex.Not {
+				val = !val
+			}
+			return &sqlparse.Literal{Value: datum.NewBool(val)}, nil
+		case *sqlparse.InSubquery:
+			sub, err := e.QueryOpts(ex.Query.SQL(), qo)
+			if err != nil {
+				return nil, fmt.Errorf("core: evaluating IN subquery: %w", err)
+			}
+			if len(sub.Columns) != 1 {
+				return nil, fmt.Errorf("core: IN subquery must return one column, got %d", len(sub.Columns))
+			}
+			if len(sub.Rows) > maxInSubqueryValues {
+				return nil, fmt.Errorf("core: IN subquery returned %d rows (cap %d)", len(sub.Rows), maxInSubqueryValues)
+			}
+			list := make([]sqlparse.Expr, len(sub.Rows))
+			for i, r := range sub.Rows {
+				list[i] = &sqlparse.Literal{Value: r[0]}
+			}
+			if len(list) == 0 {
+				// Empty subquery: IN () is FALSE, NOT IN () is TRUE.
+				return &sqlparse.Literal{Value: datum.NewBool(ex.Not)}, nil
+			}
+			return &sqlparse.InExpr{Child: ex.Child, List: list, Not: ex.Not}, nil
+		default:
+			return x, nil
+		}
+	}
+	var err error
+	sel.Where, err = rewriteExprTree(sel.Where, rewrite)
+	if err != nil {
+		return err
+	}
+	sel.Having, err = rewriteExprTree(sel.Having, rewrite)
+	if err != nil {
+		return err
+	}
+	for _, tr := range sel.From {
+		if sq, ok := tr.(*sqlparse.SubqueryTable); ok {
+			if err := e.rewriteExists(sq.Query, qo, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	if sel.UnionAll != nil {
+		return e.rewriteExists(sel.UnionAll, qo, depth+1)
+	}
+	return nil
+}
+
+// rewriteExprTree applies fn to every node in the expression bottom-up,
+// rebuilding the tree.
+func rewriteExprTree(e sqlparse.Expr, fn func(sqlparse.Expr) (sqlparse.Expr, error)) (sqlparse.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	var err error
+	switch x := e.(type) {
+	case *sqlparse.BinaryExpr:
+		n := &sqlparse.BinaryExpr{Op: x.Op}
+		if n.Left, err = rewriteExprTree(x.Left, fn); err != nil {
+			return nil, err
+		}
+		if n.Right, err = rewriteExprTree(x.Right, fn); err != nil {
+			return nil, err
+		}
+		return fn(n)
+	case *sqlparse.UnaryExpr:
+		n := &sqlparse.UnaryExpr{Op: x.Op}
+		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
+			return nil, err
+		}
+		return fn(n)
+	case *sqlparse.IsNullExpr:
+		n := &sqlparse.IsNullExpr{Not: x.Not}
+		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
+			return nil, err
+		}
+		return fn(n)
+	case *sqlparse.InExpr:
+		n := &sqlparse.InExpr{Not: x.Not}
+		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
+			return nil, err
+		}
+		n.List = make([]sqlparse.Expr, len(x.List))
+		for i, a := range x.List {
+			if n.List[i], err = rewriteExprTree(a, fn); err != nil {
+				return nil, err
+			}
+		}
+		return fn(n)
+	case *sqlparse.InSubquery:
+		n := &sqlparse.InSubquery{Query: x.Query, Not: x.Not}
+		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
+			return nil, err
+		}
+		return fn(n)
+	case *sqlparse.BetweenExpr:
+		n := &sqlparse.BetweenExpr{Not: x.Not}
+		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
+			return nil, err
+		}
+		if n.Lo, err = rewriteExprTree(x.Lo, fn); err != nil {
+			return nil, err
+		}
+		if n.Hi, err = rewriteExprTree(x.Hi, fn); err != nil {
+			return nil, err
+		}
+		return fn(n)
+	case *sqlparse.FuncExpr:
+		n := &sqlparse.FuncExpr{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+		n.Args = make([]sqlparse.Expr, len(x.Args))
+		for i, a := range x.Args {
+			if n.Args[i], err = rewriteExprTree(a, fn); err != nil {
+				return nil, err
+			}
+		}
+		return fn(n)
+	case *sqlparse.CaseExpr:
+		n := &sqlparse.CaseExpr{Whens: make([]sqlparse.CaseWhen, len(x.Whens))}
+		for i, w := range x.Whens {
+			if n.Whens[i].Cond, err = rewriteExprTree(w.Cond, fn); err != nil {
+				return nil, err
+			}
+			if n.Whens[i].Result, err = rewriteExprTree(w.Result, fn); err != nil {
+				return nil, err
+			}
+		}
+		if n.Else, err = rewriteExprTree(x.Else, fn); err != nil {
+			return nil, err
+		}
+		return fn(n)
+	default:
+		return fn(e)
+	}
+}
+
+// --- exec.Runtime and opt.Env plumbing ---
+
+type engineRuntime struct{ e *Engine }
+
+func (rt engineRuntime) ScanTable(source, table string) (exec.Iterator, error) {
+	// A bare scan outside a Remote ships the whole table.
+	return rt.RunRemote(source, &plan.Scan{Source: source, Table: table})
+}
+
+func (rt engineRuntime) RunRemote(source string, subtree plan.Node) (exec.Iterator, error) {
+	src, ok := rt.e.Source(source)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %q", source)
+	}
+	rows, err := src.Execute(subtree)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewSliceIterator(rows), nil
+}
+
+func (e *Engine) runtime() exec.Runtime { return engineRuntime{e} }
+
+type engineEnv struct{ e *Engine }
+
+func (env engineEnv) Caps(source string) federation.Caps {
+	if src, ok := env.e.Source(source); ok {
+		return src.Capabilities()
+	}
+	return federation.ScanOnly()
+}
+
+func (env engineEnv) Link(source string) *netsim.Link {
+	if src, ok := env.e.Source(source); ok {
+		return src.Link()
+	}
+	return nil
+}
+
+func (env engineEnv) Stats(source, table string) *schema.TableStats {
+	if src, ok := env.e.Source(source); ok {
+		if st, ok := src.Catalog().Stats(table); ok {
+			return st
+		}
+	}
+	return nil
+}
+
+func (e *Engine) env() opt.Env { return engineEnv{e} }
+
+// linkTotals sums metrics across all source links.
+func (e *Engine) linkTotals() netsim.Metrics {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var total netsim.Metrics
+	for _, s := range e.sources {
+		total.Add(s.Link().Metrics())
+	}
+	return total
+}
+
+// Subscribe registers a change callback on a source table — the mediator
+// face of §7's generated Notify methods. It errors when the source does not
+// support notifications.
+func (e *Engine) Subscribe(source, table string, fn func(storage.Change)) (cancel func(), err error) {
+	src, ok := e.Source(source)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %q", source)
+	}
+	n, ok := src.(federation.Notifying)
+	if !ok {
+		return nil, fmt.Errorf("core: source %s does not support change notification", source)
+	}
+	return n.SubscribeTable(table, fn)
+}
+
+// DependencySubscribe plans the given SQL and subscribes fn to every base
+// table the plan reads; fn fires whenever any of them changes. The returned
+// cancel detaches all subscriptions. This turns a view definition into its
+// own change feed — §7: "It should be possible to generate Notify methods
+// automatically."
+func (e *Engine) DependencySubscribe(sql string, fn func(storage.Change)) (cancel func(), err error) {
+	p, err := e.Plan(sql, QueryOptions{})
+	if err != nil {
+		return nil, err
+	}
+	type dep struct{ source, table string }
+	seen := map[dep]bool{}
+	var cancels []func()
+	var subErr error
+	plan.Walk(p, func(n plan.Node) {
+		if subErr != nil {
+			return
+		}
+		s, ok := n.(*plan.Scan)
+		if !ok || s.Source == "" {
+			return
+		}
+		d := dep{s.Source, s.Table}
+		if seen[d] {
+			return
+		}
+		seen[d] = true
+		c, err := e.Subscribe(s.Source, s.Table, fn)
+		if err != nil {
+			// Sources without notification support are skipped;
+			// the caller still gets feeds from the ones that have
+			// it.
+			if strings.Contains(err.Error(), "does not support") {
+				return
+			}
+			subErr = err
+			return
+		}
+		cancels = append(cancels, c)
+	})
+	if subErr != nil {
+		for _, c := range cancels {
+			c()
+		}
+		return nil, subErr
+	}
+	return func() {
+		for _, c := range cancels {
+			c()
+		}
+	}, nil
+}
+
+// ResetMetrics zeroes the accounting on every source link.
+func (e *Engine) ResetMetrics() {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, s := range e.sources {
+		s.Link().Reset()
+	}
+}
+
+// NetworkTotals returns the summed link metrics.
+func (e *Engine) NetworkTotals() netsim.Metrics { return e.linkTotals() }

@@ -1,0 +1,417 @@
+// Package datum implements the typed value system shared by every layer of
+// the engine: storage, expression evaluation, the network simulator and the
+// federated wrappers all traffic in Datum values.
+//
+// A Datum is a small immutable value of one of the SQL types supported by
+// the engine. NULL is represented as a Datum with Kind KindNull; every
+// comparison involving NULL follows SQL three-valued logic at the expression
+// layer, while the total ordering used by sorts and ordered indexes places
+// NULL first.
+package datum
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the runtime types a Datum can hold.
+type Kind uint8
+
+// The supported SQL types.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTime
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindTime:
+		return "TIME"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Datum is a single SQL value. The zero value is NULL.
+type Datum struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	t    time.Time
+}
+
+// Null is the NULL value.
+var Null = Datum{kind: KindNull}
+
+// NewBool returns a BOOL datum.
+func NewBool(v bool) Datum { return Datum{kind: KindBool, b: v} }
+
+// NewInt returns an INT datum.
+func NewInt(v int64) Datum { return Datum{kind: KindInt, i: v} }
+
+// NewFloat returns a FLOAT datum.
+func NewFloat(v float64) Datum { return Datum{kind: KindFloat, f: v} }
+
+// NewString returns a STRING datum.
+func NewString(v string) Datum { return Datum{kind: KindString, s: v} }
+
+// NewTime returns a TIME datum with microsecond truncation so round-trips
+// through the wire format are exact.
+func NewTime(v time.Time) Datum {
+	return Datum{kind: KindTime, t: v.UTC().Truncate(time.Microsecond)}
+}
+
+// Kind reports the datum's runtime type.
+func (d Datum) Kind() Kind { return d.kind }
+
+// IsNull reports whether the datum is NULL.
+func (d Datum) IsNull() bool { return d.kind == KindNull }
+
+// Bool returns the boolean payload; it panics if the kind is not BOOL.
+func (d Datum) Bool() bool {
+	d.mustBe(KindBool)
+	return d.b
+}
+
+// Int returns the integer payload; it panics if the kind is not INT.
+func (d Datum) Int() int64 {
+	d.mustBe(KindInt)
+	return d.i
+}
+
+// Float returns the float payload; it panics if the kind is not FLOAT.
+func (d Datum) Float() float64 {
+	d.mustBe(KindFloat)
+	return d.f
+}
+
+// Str returns the string payload; it panics if the kind is not STRING.
+func (d Datum) Str() string {
+	d.mustBe(KindString)
+	return d.s
+}
+
+// Time returns the time payload; it panics if the kind is not TIME.
+func (d Datum) Time() time.Time {
+	d.mustBe(KindTime)
+	return d.t
+}
+
+func (d Datum) mustBe(k Kind) {
+	if d.kind != k {
+		panic(fmt.Sprintf("datum: %s accessed as %s", d.kind, k))
+	}
+}
+
+// AsFloat converts numeric datums to float64. ok is false for non-numeric
+// or NULL datums.
+func (d Datum) AsFloat() (v float64, ok bool) {
+	switch d.kind {
+	case KindInt:
+		return float64(d.i), true
+	case KindFloat:
+		return d.f, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts numeric datums to int64 (floats truncate toward zero).
+func (d Datum) AsInt() (v int64, ok bool) {
+	switch d.kind {
+	case KindInt:
+		return d.i, true
+	case KindFloat:
+		return int64(d.f), true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the datum for display and for the SQL deparser. Strings are
+// single-quoted with embedded quotes doubled, matching SQL literal syntax.
+func (d Datum) String() string {
+	switch d.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if d.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(d.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(d.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(d.s, "'", "''") + "'"
+	case KindTime:
+		return "'" + d.t.Format(time.RFC3339Nano) + "'"
+	default:
+		return fmt.Sprintf("Datum(%d)", uint8(d.kind))
+	}
+}
+
+// Display renders the datum for tabular output (strings unquoted).
+func (d Datum) Display() string {
+	if d.kind == KindString {
+		return d.s
+	}
+	return d.String()
+}
+
+// numericKinds reports whether both kinds are numeric (INT or FLOAT).
+func numericKinds(a, b Kind) bool {
+	return (a == KindInt || a == KindFloat) && (b == KindInt || b == KindFloat)
+}
+
+// Comparable reports whether Compare is defined for the two kinds (NULLs
+// compare with anything; numerics compare across INT/FLOAT).
+func Comparable(a, b Kind) bool {
+	if a == KindNull || b == KindNull || a == b {
+		return true
+	}
+	return numericKinds(a, b)
+}
+
+// Compare defines a total order over datums: NULL < everything, then values
+// of the same (or mutually numeric) kind by natural order. Comparing
+// incompatible kinds orders by kind tag so sorts remain total; the analyzer
+// rejects such comparisons before execution.
+func Compare(a, b Datum) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == KindNull && b.kind == KindNull:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.kind != b.kind {
+		if numericKinds(a.kind, b.kind) {
+			af, _ := a.AsFloat()
+			bf, _ := b.AsFloat()
+			return cmpFloat(af, bf)
+		}
+		return cmpInt(int64(a.kind), int64(b.kind))
+	}
+	switch a.kind {
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0
+		case !a.b:
+			return -1
+		default:
+			return 1
+		}
+	case KindInt:
+		return cmpInt(a.i, b.i)
+	case KindFloat:
+		return cmpFloat(a.f, b.f)
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindTime:
+		return a.t.Compare(b.t)
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	// NaN handling: NaN sorts above everything, NaN == NaN for sorting.
+	case math.IsNaN(a) && math.IsNaN(b):
+		return 0
+	case math.IsNaN(a):
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Equal reports SQL equality treating NULL as not equal to anything,
+// including NULL. Use Compare for sorting semantics.
+func Equal(a, b Datum) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Hash returns a 64-bit hash consistent with Compare equality: datums that
+// compare equal (including cross INT/FLOAT) hash identically.
+func (d Datum) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch d.kind {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindBool:
+		buf[0] = 1
+		if d.b {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	case KindInt, KindFloat:
+		// Hash all numerics through their float64 image so 1 and 1.0
+		// land in the same hash bucket, matching Compare.
+		f, _ := d.AsFloat()
+		if f == math.Trunc(f) && !math.IsInf(f, 0) {
+			// Integral value: hash the integer image to keep exact
+			// int64 values (beyond float precision) distinct.
+			buf[0] = 2
+			putUint64(buf[1:], uint64(int64(f)))
+		} else {
+			buf[0] = 3
+			putUint64(buf[1:], math.Float64bits(f))
+		}
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 4
+		h.Write(buf[:1])
+		h.Write([]byte(d.s))
+	case KindTime:
+		buf[0] = 5
+		putUint64(buf[1:], uint64(d.t.UnixNano()))
+		h.Write(buf[:9])
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// WireSize estimates the serialized size of the datum in bytes. The network
+// simulator uses this to account for data shipped between sites.
+func (d Datum) WireSize() int {
+	switch d.kind {
+	case KindNull:
+		return 1
+	case KindBool:
+		return 2
+	case KindInt, KindFloat:
+		return 9
+	case KindString:
+		return 5 + len(d.s)
+	case KindTime:
+		return 9
+	default:
+		return 1
+	}
+}
+
+// Coerce converts d to the target kind where a lossless or conventional SQL
+// conversion exists. NULL coerces to any kind (staying NULL).
+func Coerce(d Datum, target Kind) (Datum, error) {
+	if d.kind == target || d.kind == KindNull {
+		return d, nil
+	}
+	switch target {
+	case KindFloat:
+		if d.kind == KindInt {
+			return NewFloat(float64(d.i)), nil
+		}
+	case KindInt:
+		if d.kind == KindFloat && d.f == math.Trunc(d.f) {
+			return NewInt(int64(d.f)), nil
+		}
+	case KindString:
+		return NewString(d.Display()), nil
+	}
+	return Null, fmt.Errorf("datum: cannot coerce %s to %s", d.kind, target)
+}
+
+// Row is a tuple of datums. Rows are passed by reference through operator
+// pipelines; operators that buffer rows must copy them with CloneRow.
+type Row []Datum
+
+// CloneRow returns a copy of r that does not alias its backing array.
+func CloneRow(r Row) Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// RowWireSize is the serialized size of the row in bytes.
+func RowWireSize(r Row) int {
+	n := 4
+	for _, d := range r {
+		n += d.WireSize()
+	}
+	return n
+}
+
+// HashRow hashes the datums at the given column offsets.
+func HashRow(r Row, cols []int) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, c := range cols {
+		h ^= r[c].Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RowsEqual reports whether two rows have identical datums under Compare
+// (NULLs equal NULLs here; this is grouping equality, not SQL equality).
+func RowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}

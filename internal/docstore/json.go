@@ -1,0 +1,75 @@
+package docstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/datum"
+)
+
+// PutJSON ingests a JSON object as a schema-less document — §2's point that
+// "commonly used business documents ... are the interface to the integrated
+// pool of enterprise information": whatever shape the document has, it goes
+// in as-is, and structure is imposed later at read time.
+//
+// Nested objects flatten to dotted keys ("customer.address.city"); arrays
+// flatten to indexed keys ("tags.0"). Strings named "body", "text" or
+// "content" at the top level also feed the document body for keyword
+// search.
+func (s *Store) PutJSON(id, jsonText string) error {
+	var raw map[string]any
+	dec := json.NewDecoder(strings.NewReader(jsonText))
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return fmt.Errorf("docstore: bad JSON for %s: %w", id, err)
+	}
+	doc := Document{ID: id, Fields: make(map[string]datum.Datum)}
+	var bodyParts []string
+	flattenJSON("", raw, doc.Fields)
+	for _, key := range []string{"body", "text", "content"} {
+		if v, ok := doc.Fields[key]; ok && v.Kind() == datum.KindString {
+			bodyParts = append(bodyParts, v.Str())
+		}
+	}
+	doc.Body = strings.Join(bodyParts, " ")
+	return s.Put(doc)
+}
+
+func flattenJSON(prefix string, v any, out map[string]datum.Datum) {
+	key := func(k string) string {
+		if prefix == "" {
+			return k
+		}
+		return prefix + "." + k
+	}
+	switch x := v.(type) {
+	case map[string]any:
+		for k, inner := range x {
+			flattenJSON(key(k), inner, out)
+		}
+	case []any:
+		for i, inner := range x {
+			flattenJSON(key(strconv.Itoa(i)), inner, out)
+		}
+	case string:
+		out[prefix] = datum.NewString(x)
+	case bool:
+		out[prefix] = datum.NewBool(x)
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			out[prefix] = datum.NewInt(i)
+			return
+		}
+		if f, err := x.Float64(); err == nil {
+			out[prefix] = datum.NewFloat(f)
+			return
+		}
+		out[prefix] = datum.NewString(x.String())
+	case nil:
+		out[prefix] = datum.Null
+	default:
+		out[prefix] = datum.NewString(fmt.Sprint(x))
+	}
+}

@@ -1,0 +1,390 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+)
+
+// Runtime supplies the environment a plan executes in: how to read base
+// tables and how to dispatch Remote subtrees. The mediator's runtime sends
+// Remote subtrees to source wrappers over simulated links; a wrapper's own
+// runtime binds Scans to its local tables and never sees Remote nodes.
+type Runtime interface {
+	// ScanTable opens a cursor over a base table.
+	ScanTable(source, table string) (Iterator, error)
+	// RunRemote executes a pushed-down subtree at the named source and
+	// returns its result rows.
+	RunRemote(source string, subtree plan.Node) (Iterator, error)
+}
+
+// Options tunes plan execution.
+type Options struct {
+	// Parallel fetches Remote inputs of joins and unions concurrently
+	// (the exchange operator). Zero/false executes them lazily in
+	// sequence.
+	Parallel bool
+	// Trace, when non-nil, instruments every operator with row counters
+	// (EXPLAIN ANALYZE).
+	Trace *Trace
+	// SemiJoin enables semi-join reduction: for an equi-join whose
+	// build side is a Remote subtree at a filter-capable source, the
+	// probe side's distinct join keys are shipped to the source as an
+	// IN-list so only matching rows come back — §3's "the more work the
+	// component queries can do, the less work will remain to be done at
+	// the assembly site". Falls back to a full fetch when the key set
+	// exceeds MaxSemiJoinKeys.
+	SemiJoin bool
+	// MaxSemiJoinKeys caps the shipped key list; 0 means 512.
+	MaxSemiJoinKeys int
+}
+
+func (o Options) maxKeys() int {
+	if o.MaxSemiJoinKeys <= 0 {
+		return 512
+	}
+	return o.MaxSemiJoinKeys
+}
+
+// Build compiles a logical plan into an executable iterator.
+func Build(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
+	it, err := buildNode(n, rt, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Trace != nil {
+		it = opts.Trace.wrap(n, it)
+	}
+	return it, nil
+}
+
+func buildNode(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		if x.Source == "" && x.Table == "" {
+			// FROM-less select: one empty row.
+			return NewSliceIterator([]datum.Row{{}}), nil
+		}
+		return rt.ScanTable(x.Source, x.Table)
+
+	case *plan.Remote:
+		if opts.Parallel {
+			return Prefetch(func() (Iterator, error) {
+				return rt.RunRemote(x.Source, x.Child)
+			}), nil
+		}
+		return rt.RunRemote(x.Source, x.Child)
+
+	case *plan.Filter:
+		in, err := Build(x.Input, rt, opts)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := Compile(x.Cond, x.Input.Columns())
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+		return &filterIter{in: in, pred: pred}, nil
+
+	case *plan.Project:
+		in, err := Build(x.Input, rt, opts)
+		if err != nil {
+			return nil, err
+		}
+		fns := make([]EvalFunc, len(x.Exprs))
+		for i, e := range x.Exprs {
+			if fns[i], err = Compile(e, x.Input.Columns()); err != nil {
+				in.Close()
+				return nil, err
+			}
+		}
+		return &projectIter{in: in, exprs: fns}, nil
+
+	case *plan.Join:
+		return buildJoin(x, rt, opts)
+
+	case *plan.Aggregate:
+		in, err := Build(x.Input, rt, opts)
+		if err != nil {
+			return nil, err
+		}
+		inCols := x.Input.Columns()
+		groupFns := make([]EvalFunc, len(x.GroupBy))
+		for i, g := range x.GroupBy {
+			if groupFns[i], err = Compile(g, inCols); err != nil {
+				in.Close()
+				return nil, err
+			}
+		}
+		argFns := make([]EvalFunc, len(x.Aggs))
+		for i, sp := range x.Aggs {
+			if sp.Star {
+				continue
+			}
+			if argFns[i], err = Compile(sp.Arg, inCols); err != nil {
+				in.Close()
+				return nil, err
+			}
+		}
+		return &aggregateIter{in: in, groupFns: groupFns, specs: x.Aggs, argFns: argFns}, nil
+
+	case *plan.Sort:
+		in, err := Build(x.Input, rt, opts)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]EvalFunc, len(x.Keys))
+		desc := make([]bool, len(x.Keys))
+		for i, k := range x.Keys {
+			if keys[i], err = Compile(k.Expr, x.Input.Columns()); err != nil {
+				in.Close()
+				return nil, err
+			}
+			desc[i] = k.Desc
+		}
+		return &sortIter{in: in, keys: keys, desc: desc}, nil
+
+	case *plan.Limit:
+		in, err := Build(x.Input, rt, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{in: in, count: x.Count, offset: x.Offset}, nil
+
+	case *plan.Distinct:
+		in, err := Build(x.Input, rt, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{in: in}, nil
+
+	case *plan.Union:
+		inputs := make([]Iterator, len(x.Inputs))
+		for i, child := range x.Inputs {
+			child := child
+			if opts.Parallel {
+				inputs[i] = Prefetch(func() (Iterator, error) {
+					return Build(child, rt, opts)
+				})
+				continue
+			}
+			in, err := Build(child, rt, opts)
+			if err != nil {
+				for _, prev := range inputs[:i] {
+					prev.Close()
+				}
+				return nil, err
+			}
+			inputs[i] = in
+		}
+		return &unionIter{inputs: inputs}, nil
+
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+}
+
+func buildJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, error) {
+	// Semi-join reduction: materialize the left side, ship its distinct
+	// join keys into the right Remote as an IN-list filter.
+	if opts.SemiJoin && x.Cond != nil {
+		if it, ok, err := trySemiJoin(x, rt, opts); err != nil {
+			return nil, err
+		} else if ok {
+			return it, nil
+		}
+	}
+
+	buildSide := func(n plan.Node) (Iterator, error) {
+		if opts.Parallel {
+			if _, isRemote := n.(*plan.Remote); isRemote {
+				return Prefetch(func() (Iterator, error) { return Build(n, rt, opts) }), nil
+			}
+		}
+		return Build(n, rt, opts)
+	}
+	left, err := buildSide(x.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := buildSide(x.Right)
+	if err != nil {
+		left.Close()
+		return nil, err
+	}
+	return assembleJoin(x, left, right)
+}
+
+// assembleJoin wires a hash or nested-loop join over already-built inputs.
+func assembleJoin(x *plan.Join, left, right Iterator) (Iterator, error) {
+	leftCols := x.Left.Columns()
+	rightCols := x.Right.Columns()
+	joinedCols := x.Columns()
+	leftJoin := x.Type == sqlparse.JoinLeft
+
+	if x.Cond != nil {
+		lk, rk, residual := extractEquiKeys(x.Cond, leftCols, rightCols)
+		if len(lk) > 0 {
+			h := &hashJoinIter{
+				left: left, right: right,
+				leftJoin:   leftJoin,
+				rightArity: len(rightCols),
+			}
+			for _, e := range lk {
+				f, err := Compile(e, leftCols)
+				if err != nil {
+					h.Close()
+					return nil, err
+				}
+				h.leftKeys = append(h.leftKeys, f)
+			}
+			for _, e := range rk {
+				f, err := Compile(e, rightCols)
+				if err != nil {
+					h.Close()
+					return nil, err
+				}
+				h.rightKeys = append(h.rightKeys, f)
+			}
+			if residual != nil {
+				var err error
+				if h.residual, err = Compile(residual, joinedCols); err != nil {
+					h.Close()
+					return nil, err
+				}
+			}
+			return h, nil
+		}
+	}
+	nl := &nestedLoopIter{left: left, right: right, leftJoin: leftJoin, rightArity: len(rightCols)}
+	if x.Cond != nil {
+		var err error
+		if nl.cond, err = Compile(x.Cond, joinedCols); err != nil {
+			nl.Close()
+			return nil, err
+		}
+	}
+	return nl, nil
+}
+
+// trySemiJoin executes a join the optimizer hinted for semi-join
+// reduction: the probe side is materialized, its distinct join keys ship to
+// the reducible side's source as an IN-list, and only matching rows come
+// back. It returns ok=false (and no error) when the hint does not apply
+// after all, in which case the caller runs the regular join.
+func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, bool, error) {
+	if x.SemiJoin == plan.SemiJoinNone {
+		return nil, false, nil
+	}
+	reduceRight := x.SemiJoin == plan.SemiJoinReduceRight
+	probeNode, reduceNode := x.Left, x.Right
+	if !reduceRight {
+		probeNode, reduceNode = x.Right, x.Left
+	}
+	remote, isRemote := reduceNode.(*plan.Remote)
+	if !isRemote || !remote.AllowKeyFilter {
+		return nil, false, nil
+	}
+	lk, rk, _ := extractEquiKeys(x.Cond, x.Left.Columns(), x.Right.Columns())
+	if len(lk) == 0 {
+		return nil, false, nil
+	}
+	probeKeys, reduceKeys := lk, rk
+	if !reduceRight {
+		probeKeys, reduceKeys = rk, lk
+	}
+	// Pick the first key pair whose reducible side is a plain column of
+	// the remote subtree — that is what the shipped IN-list filters on.
+	pairIdx := -1
+	var reduceRef *sqlparse.ColumnRef
+	for i, e := range reduceKeys {
+		ref, isRef := e.(*sqlparse.ColumnRef)
+		if !isRef {
+			continue
+		}
+		if _, err := plan.ResolveColumn(remote.Child.Columns(), ref); err == nil {
+			pairIdx = i
+			reduceRef = ref
+			break
+		}
+	}
+	if pairIdx < 0 {
+		return nil, false, nil
+	}
+
+	// assemble wires the probe rows and the (reduced or full) fetch back
+	// into the join's original left/right orientation.
+	assemble := func(probeRows []datum.Row, reducedIt Iterator) (Iterator, error) {
+		if reduceRight {
+			return assembleJoin(x, NewSliceIterator(probeRows), reducedIt)
+		}
+		return assembleJoin(x, reducedIt, NewSliceIterator(probeRows))
+	}
+
+	// Materialize the probe side and collect its distinct key values.
+	probeIt, err := Build(probeNode, rt, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	probeRows, err := Drain(probeIt)
+	if err != nil {
+		return nil, false, err
+	}
+	keyFn, err := Compile(probeKeys[pairIdx], probeNode.Columns())
+	if err != nil {
+		return nil, false, err
+	}
+	seen := make(map[uint64][]datum.Datum)
+	var keys []sqlparse.Expr
+	for _, r := range probeRows {
+		v, err := keyFn(r)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		h := v.Hash()
+		dup := false
+		for _, prev := range seen[h] {
+			if datum.Compare(prev, v) == 0 {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], v)
+		keys = append(keys, &sqlparse.Literal{Value: v})
+		if len(keys) > opts.maxKeys() {
+			// Too many keys to ship; run the regular join over the
+			// already-materialized probe side.
+			full, err := Build(reduceNode, rt, opts)
+			if err != nil {
+				return nil, false, err
+			}
+			it, err := assemble(probeRows, full)
+			return it, err == nil, err
+		}
+	}
+	var reduced plan.Node
+	if len(keys) == 0 {
+		// No joinable keys on the probe side: nothing can match, so
+		// fetch nothing. (SQL IN () is invalid; use a FALSE filter.)
+		reduced = &plan.Filter{Input: remote.Child,
+			Cond: &sqlparse.Literal{Value: datum.NewBool(false)}}
+	} else {
+		reduced = &plan.Filter{Input: remote.Child,
+			Cond: &sqlparse.InExpr{Child: reduceRef, List: keys}}
+	}
+	reducedIt, err := rt.RunRemote(remote.Source, reduced)
+	if err != nil {
+		return nil, false, err
+	}
+	it, err := assemble(probeRows, reducedIt)
+	return it, err == nil, err
+}

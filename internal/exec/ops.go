@@ -1,0 +1,767 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datum"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+)
+
+// Iterator is the Volcano-style row cursor every operator implements.
+// Next returns (nil, nil) when the stream is exhausted.
+type Iterator interface {
+	Next() (datum.Row, error)
+	Close()
+}
+
+// sliceIter iterates a materialized row slice.
+type sliceIter struct {
+	rows []datum.Row
+	pos  int
+}
+
+// NewSliceIterator wraps materialized rows in an Iterator.
+func NewSliceIterator(rows []datum.Row) Iterator { return &sliceIter{rows: rows} }
+
+func (s *sliceIter) Next() (datum.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sliceIter) Close() {}
+
+// Drain materializes the remaining rows of an iterator and closes it.
+func Drain(it Iterator) ([]datum.Row, error) {
+	defer it.Close()
+	var out []datum.Row
+	for {
+		r, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// --- Filter ---
+
+type filterIter struct {
+	in   Iterator
+	pred EvalFunc
+}
+
+func (f *filterIter) Next() (datum.Row, error) {
+	for {
+		r, err := f.in.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		ok, err := EvalPredicate(f.pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return r, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() { f.in.Close() }
+
+// --- Project ---
+
+type projectIter struct {
+	in    Iterator
+	exprs []EvalFunc
+}
+
+func (p *projectIter) Next() (datum.Row, error) {
+	r, err := p.in.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := make(datum.Row, len(p.exprs))
+	for i, f := range p.exprs {
+		if out[i], err = f(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p *projectIter) Close() { p.in.Close() }
+
+// --- Joins ---
+
+// hashJoinIter implements equi-joins: it builds a hash table over the right
+// input and probes with the left. Residual non-equi predicates are applied
+// after key matching. LEFT joins emit null-padded rows for unmatched left
+// rows.
+type hashJoinIter struct {
+	left       Iterator
+	right      Iterator
+	leftKeys   []EvalFunc
+	rightKeys  []EvalFunc
+	residual   EvalFunc // may be nil
+	leftJoin   bool
+	rightArity int
+
+	built   bool
+	table   map[uint64][]datum.Row
+	current datum.Row     // current left row being probed
+	matches []datum.Row   // remaining right matches for current
+	matched bool          // current left row matched at least once
+	keyBuf  []datum.Datum // current left key
+}
+
+func (h *hashJoinIter) build() error {
+	h.table = make(map[uint64][]datum.Row)
+	for {
+		r, err := h.right.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		key, null, err := evalKey(h.rightKeys, r)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		hh := hashKey(key)
+		h.table[hh] = append(h.table[hh], r)
+	}
+	h.built = true
+	return nil
+}
+
+func evalKey(fns []EvalFunc, r datum.Row) (datum.Row, bool, error) {
+	key := make(datum.Row, len(fns))
+	for i, f := range fns {
+		v, err := f(r)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			return nil, true, nil
+		}
+		key[i] = v
+	}
+	return key, false, nil
+}
+
+func hashKey(key datum.Row) uint64 {
+	h := uint64(1469598103934665603)
+	for _, d := range key {
+		h ^= d.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (h *hashJoinIter) Next() (datum.Row, error) {
+	if !h.built {
+		if err := h.build(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		// Emit pending matches for the current left row.
+		for len(h.matches) > 0 {
+			right := h.matches[0]
+			h.matches = h.matches[1:]
+			if !datum.RowsEqual(h.keyBuf, h.rightKeyOf(right)) {
+				continue // hash collision
+			}
+			joined := append(append(make(datum.Row, 0, len(h.current)+len(right)), h.current...), right...)
+			if h.residual != nil {
+				ok, err := EvalPredicate(h.residual, joined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			h.matched = true
+			return joined, nil
+		}
+		// Left-join padding for an unmatched row.
+		if h.current != nil && h.leftJoin && !h.matched {
+			out := append(append(make(datum.Row, 0, len(h.current)+h.rightArity), h.current...), nullRow(h.rightArity)...)
+			h.current = nil
+			return out, nil
+		}
+		// Advance the left side.
+		l, err := h.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if l == nil {
+			return nil, nil
+		}
+		key, null, err := evalKey(h.leftKeys, l)
+		if err != nil {
+			return nil, err
+		}
+		h.current = l
+		h.matched = false
+		if null {
+			h.matches = nil
+			h.keyBuf = nil
+			continue
+		}
+		h.keyBuf = key
+		h.matches = append([]datum.Row(nil), h.table[hashKey(key)]...)
+	}
+}
+
+func (h *hashJoinIter) rightKeyOf(r datum.Row) datum.Row {
+	key, _, _ := evalKey(h.rightKeys, r)
+	return key
+}
+
+func (h *hashJoinIter) Close() {
+	h.left.Close()
+	h.right.Close()
+}
+
+func nullRow(n int) datum.Row {
+	r := make(datum.Row, n)
+	for i := range r {
+		r[i] = datum.Null
+	}
+	return r
+}
+
+// nestedLoopIter implements joins without equi-keys: it materializes the
+// right input and scans it per left row.
+type nestedLoopIter struct {
+	left       Iterator
+	right      Iterator
+	cond       EvalFunc // may be nil (cross join)
+	leftJoin   bool
+	rightArity int
+
+	rightRows []datum.Row
+	built     bool
+	current   datum.Row
+	pos       int
+	matched   bool
+}
+
+func (n *nestedLoopIter) Next() (datum.Row, error) {
+	if !n.built {
+		rows, err := Drain(n.right)
+		if err != nil {
+			return nil, err
+		}
+		n.rightRows = rows
+		n.built = true
+	}
+	for {
+		if n.current == nil {
+			l, err := n.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if l == nil {
+				return nil, nil
+			}
+			n.current = l
+			n.pos = 0
+			n.matched = false
+		}
+		for n.pos < len(n.rightRows) {
+			right := n.rightRows[n.pos]
+			n.pos++
+			joined := append(append(make(datum.Row, 0, len(n.current)+len(right)), n.current...), right...)
+			if n.cond != nil {
+				ok, err := EvalPredicate(n.cond, joined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			n.matched = true
+			return joined, nil
+		}
+		// Exhausted right side for this left row.
+		if n.leftJoin && !n.matched {
+			out := append(append(make(datum.Row, 0, len(n.current)+n.rightArity), n.current...), nullRow(n.rightArity)...)
+			n.current = nil
+			return out, nil
+		}
+		n.current = nil
+	}
+}
+
+func (n *nestedLoopIter) Close() {
+	n.left.Close()
+	n.right.Close()
+}
+
+// --- Aggregate ---
+
+type aggState struct {
+	groupKey datum.Row
+	count    []int64       // per agg
+	sumF     []float64     // per agg
+	sumIsInt []bool        // SUM stays INT while all inputs are INT
+	sumI     []int64       // integer sum image
+	minmax   []datum.Datum // per agg
+	distinct []map[uint64]struct{}
+}
+
+type aggregateIter struct {
+	in       Iterator
+	groupFns []EvalFunc
+	specs    []plan.AggSpec
+	argFns   []EvalFunc // nil for COUNT(*)
+
+	done   bool
+	out    []datum.Row
+	outPos int
+}
+
+func (a *aggregateIter) run() error {
+	groups := make(map[uint64][]*aggState)
+	var order []*aggState
+	newState := func(key datum.Row) *aggState {
+		st := &aggState{
+			groupKey: key,
+			count:    make([]int64, len(a.specs)),
+			sumF:     make([]float64, len(a.specs)),
+			sumI:     make([]int64, len(a.specs)),
+			sumIsInt: make([]bool, len(a.specs)),
+			minmax:   make([]datum.Datum, len(a.specs)),
+			distinct: make([]map[uint64]struct{}, len(a.specs)),
+		}
+		for i, sp := range a.specs {
+			st.minmax[i] = datum.Null
+			st.sumIsInt[i] = true
+			if sp.Distinct {
+				st.distinct[i] = make(map[uint64]struct{})
+			}
+		}
+		order = append(order, st)
+		return st
+	}
+	for {
+		r, err := a.in.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		key, _, err := evalKeyAllowNull(a.groupFns, r)
+		if err != nil {
+			return err
+		}
+		h := hashKey(key)
+		var st *aggState
+		for _, cand := range groups[h] {
+			if datum.RowsEqual(cand.groupKey, key) {
+				st = cand
+				break
+			}
+		}
+		if st == nil {
+			st = newState(key)
+			groups[h] = append(groups[h], st)
+		}
+		for i, sp := range a.specs {
+			var v datum.Datum
+			if sp.Star {
+				st.count[i]++
+				continue
+			}
+			v, err = a.argFns[i](r)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if sp.Distinct {
+				hh := v.Hash()
+				if _, dup := st.distinct[i][hh]; dup {
+					continue
+				}
+				st.distinct[i][hh] = struct{}{}
+			}
+			st.count[i]++
+			switch sp.Func {
+			case "SUM", "AVG":
+				f, ok := v.AsFloat()
+				if !ok {
+					return fmt.Errorf("exec: %s requires numeric input, got %s", sp.Func, v.Kind())
+				}
+				st.sumF[i] += f
+				if v.Kind() == datum.KindInt {
+					st.sumI[i] += v.Int()
+				} else {
+					st.sumIsInt[i] = false
+				}
+			case "MIN":
+				if st.minmax[i].IsNull() || datum.Compare(v, st.minmax[i]) < 0 {
+					st.minmax[i] = v
+				}
+			case "MAX":
+				if st.minmax[i].IsNull() || datum.Compare(v, st.minmax[i]) > 0 {
+					st.minmax[i] = v
+				}
+			}
+		}
+	}
+	// No groups and no input: one row of default aggregate values.
+	// newState registers itself in order.
+	if len(order) == 0 && len(a.groupFns) == 0 {
+		newState(datum.Row{})
+	}
+	for _, st := range order {
+		row := make(datum.Row, 0, len(st.groupKey)+len(a.specs))
+		row = append(row, st.groupKey...)
+		for i, sp := range a.specs {
+			switch sp.Func {
+			case "COUNT":
+				row = append(row, datum.NewInt(st.count[i]))
+			case "SUM":
+				if st.count[i] == 0 {
+					row = append(row, datum.Null)
+				} else if st.sumIsInt[i] {
+					row = append(row, datum.NewInt(st.sumI[i]))
+				} else {
+					row = append(row, datum.NewFloat(st.sumF[i]))
+				}
+			case "AVG":
+				if st.count[i] == 0 {
+					row = append(row, datum.Null)
+				} else {
+					row = append(row, datum.NewFloat(st.sumF[i]/float64(st.count[i])))
+				}
+			case "MIN", "MAX":
+				row = append(row, st.minmax[i])
+			default:
+				return fmt.Errorf("exec: unknown aggregate %s", sp.Func)
+			}
+		}
+		a.out = append(a.out, row)
+	}
+	return nil
+}
+
+// evalKeyAllowNull evaluates grouping keys; NULLs are legal group values.
+func evalKeyAllowNull(fns []EvalFunc, r datum.Row) (datum.Row, bool, error) {
+	key := make(datum.Row, len(fns))
+	for i, f := range fns {
+		v, err := f(r)
+		if err != nil {
+			return nil, false, err
+		}
+		key[i] = v
+	}
+	return key, false, nil
+}
+
+func (a *aggregateIter) Next() (datum.Row, error) {
+	if !a.done {
+		if err := a.run(); err != nil {
+			return nil, err
+		}
+		a.done = true
+	}
+	if a.outPos >= len(a.out) {
+		return nil, nil
+	}
+	r := a.out[a.outPos]
+	a.outPos++
+	return r, nil
+}
+
+func (a *aggregateIter) Close() { a.in.Close() }
+
+// --- Sort ---
+
+type sortIter struct {
+	in   Iterator
+	keys []EvalFunc
+	desc []bool
+
+	done bool
+	rows []datum.Row
+	pos  int
+}
+
+func (s *sortIter) Next() (datum.Row, error) {
+	if !s.done {
+		rows, err := Drain(s.in)
+		if err != nil {
+			return nil, err
+		}
+		type keyed struct {
+			row datum.Row
+			key datum.Row
+		}
+		ks := make([]keyed, len(rows))
+		for i, r := range rows {
+			key := make(datum.Row, len(s.keys))
+			for j, f := range s.keys {
+				if key[j], err = f(r); err != nil {
+					return nil, err
+				}
+			}
+			ks[i] = keyed{row: r, key: key}
+		}
+		sort.SliceStable(ks, func(i, j int) bool {
+			for k := range s.keys {
+				c := datum.Compare(ks[i].key[k], ks[j].key[k])
+				if c == 0 {
+					continue
+				}
+				if s.desc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		s.rows = make([]datum.Row, len(ks))
+		for i, k := range ks {
+			s.rows[i] = k.row
+		}
+		s.done = true
+	}
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sortIter) Close() { s.in.Close() }
+
+// --- Limit ---
+
+type limitIter struct {
+	in      Iterator
+	count   int64 // -1 = unlimited
+	offset  int64
+	skipped int64
+	emitted int64
+}
+
+func (l *limitIter) Next() (datum.Row, error) {
+	for l.skipped < l.offset {
+		r, err := l.in.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		l.skipped++
+	}
+	if l.count >= 0 && l.emitted >= l.count {
+		return nil, nil
+	}
+	r, err := l.in.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	l.emitted++
+	return r, nil
+}
+
+func (l *limitIter) Close() { l.in.Close() }
+
+// --- Distinct ---
+
+type distinctIter struct {
+	in   Iterator
+	seen map[uint64][]datum.Row
+}
+
+func (d *distinctIter) Next() (datum.Row, error) {
+	if d.seen == nil {
+		d.seen = make(map[uint64][]datum.Row)
+	}
+	for {
+		r, err := d.in.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		h := hashKey(r)
+		dup := false
+		for _, prev := range d.seen[h] {
+			if datum.RowsEqual(prev, r) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], r)
+		return r, nil
+	}
+}
+
+func (d *distinctIter) Close() { d.in.Close() }
+
+// --- Union ---
+
+type unionIter struct {
+	inputs []Iterator
+	pos    int
+}
+
+func (u *unionIter) Next() (datum.Row, error) {
+	for u.pos < len(u.inputs) {
+		r, err := u.inputs[u.pos].Next()
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			return r, nil
+		}
+		u.pos++
+	}
+	return nil, nil
+}
+
+func (u *unionIter) Close() {
+	for _, in := range u.inputs {
+		in.Close()
+	}
+}
+
+// --- Async prefetch (the exchange operator) ---
+
+// prefetchIter runs fetch in a goroutine and buffers the resulting rows,
+// giving inter-source parallelism for federated fan-out queries.
+type prefetchIter struct {
+	ch   chan prefetchBatch
+	rows []datum.Row
+	pos  int
+	err  error
+	done bool
+}
+
+type prefetchBatch struct {
+	rows []datum.Row
+	err  error
+}
+
+// Prefetch starts draining the iterator returned by fetch in a background
+// goroutine immediately and returns an iterator over the result.
+func Prefetch(fetch func() (Iterator, error)) Iterator {
+	p := &prefetchIter{ch: make(chan prefetchBatch, 1)}
+	go func() {
+		it, err := fetch()
+		if err != nil {
+			p.ch <- prefetchBatch{err: err}
+			return
+		}
+		rows, err := Drain(it)
+		p.ch <- prefetchBatch{rows: rows, err: err}
+	}()
+	return p
+}
+
+func (p *prefetchIter) Next() (datum.Row, error) {
+	if !p.done {
+		b := <-p.ch
+		p.rows, p.err = b.rows, b.err
+		p.done = true
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.pos >= len(p.rows) {
+		return nil, nil
+	}
+	r := p.rows[p.pos]
+	p.pos++
+	return r, nil
+}
+
+func (p *prefetchIter) Close() {}
+
+// extractEquiKeys splits a join condition into equi-key pairs (left expr,
+// right expr) and a residual predicate. leftCols/rightCols are the child
+// output schemas; an equality qualifies when one side resolves entirely
+// against the left child and the other against the right child.
+func extractEquiKeys(cond sqlparse.Expr, leftCols, rightCols []plan.ColMeta) (leftKeys, rightKeys []sqlparse.Expr, residual sqlparse.Expr) {
+	conjuncts := SplitConjuncts(cond)
+	var rest []sqlparse.Expr
+	for _, c := range conjuncts {
+		b, ok := c.(*sqlparse.BinaryExpr)
+		if !ok || b.Op != sqlparse.OpEq {
+			rest = append(rest, c)
+			continue
+		}
+		switch {
+		case resolvesAgainst(b.Left, leftCols) && resolvesAgainst(b.Right, rightCols):
+			leftKeys = append(leftKeys, b.Left)
+			rightKeys = append(rightKeys, b.Right)
+		case resolvesAgainst(b.Left, rightCols) && resolvesAgainst(b.Right, leftCols):
+			leftKeys = append(leftKeys, b.Right)
+			rightKeys = append(rightKeys, b.Left)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return leftKeys, rightKeys, CombineConjuncts(rest)
+}
+
+// SplitConjuncts flattens a conjunction into its AND-ed terms.
+func SplitConjuncts(e sqlparse.Expr) []sqlparse.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == sqlparse.OpAnd {
+		return append(SplitConjuncts(b.Left), SplitConjuncts(b.Right)...)
+	}
+	return []sqlparse.Expr{e}
+}
+
+// CombineConjuncts rebuilds an AND tree; nil for an empty list.
+func CombineConjuncts(es []sqlparse.Expr) sqlparse.Expr {
+	var out sqlparse.Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &sqlparse.BinaryExpr{Op: sqlparse.OpAnd, Left: out, Right: e}
+		}
+	}
+	return out
+}
+
+// resolvesAgainst reports whether every column reference in e resolves
+// against cols (and e contains at least one reference or is a literal).
+func resolvesAgainst(e sqlparse.Expr, cols []plan.ColMeta) bool {
+	ok := true
+	sqlparse.WalkExprs(e, func(x sqlparse.Expr) {
+		if ref, is := x.(*sqlparse.ColumnRef); is {
+			if _, err := plan.ResolveColumn(cols, ref); err != nil {
+				ok = false
+			}
+		}
+	})
+	return ok
+}

@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/plan"
+)
+
+// Trace records per-operator execution statistics (rows produced), the
+// machinery behind EXPLAIN ANALYZE. One Trace instruments one execution.
+type Trace struct {
+	mu     sync.Mutex
+	counts map[plan.Node]*int64
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace {
+	return &Trace{counts: make(map[plan.Node]*int64)}
+}
+
+// wrap instruments an iterator so rows flowing out of the node are counted.
+func (tr *Trace) wrap(n plan.Node, it Iterator) Iterator {
+	tr.mu.Lock()
+	c, ok := tr.counts[n]
+	if !ok {
+		c = new(int64)
+		tr.counts[n] = c
+	}
+	tr.mu.Unlock()
+	return &countingIter{in: it, count: c, mu: &tr.mu}
+}
+
+// Rows returns the number of rows the node produced (0 if never executed).
+func (tr *Trace) Rows(n plan.Node) int64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if c, ok := tr.counts[n]; ok {
+		return *c
+	}
+	return 0
+}
+
+// Render annotates a plan tree with the observed row counts.
+func (tr *Trace) Render(root plan.Node) string {
+	var b strings.Builder
+	var walk func(plan.Node, int)
+	walk = func(n plan.Node, depth int) {
+		fmt.Fprintf(&b, "%s%s (rows=%d)\n",
+			strings.Repeat("  ", depth), n.Describe(), tr.Rows(n))
+		for _, k := range n.Children() {
+			walk(k, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+type countingIter struct {
+	in    Iterator
+	count *int64
+	mu    *sync.Mutex
+}
+
+func (c *countingIter) Next() (datum.Row, error) {
+	r, err := c.in.Next()
+	if r != nil && err == nil {
+		c.mu.Lock()
+		*c.count++
+		c.mu.Unlock()
+	}
+	return r, err
+}
+
+func (c *countingIter) Close() { c.in.Close() }

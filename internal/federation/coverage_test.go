@@ -1,0 +1,125 @@
+package federation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+func TestCSVSourceMalformedInput(t *testing.T) {
+	src := NewCSVSource("files", nil)
+	if _, err := src.LoadCSV("bad", "a,b\n\"unterminated"); err == nil {
+		t.Error("malformed CSV must error")
+	}
+	// Ragged rows: the csv reader reports inconsistent field counts.
+	if _, err := src.LoadCSV("ragged", "a,b\n1,2,3"); err == nil {
+		t.Error("ragged CSV must error")
+	}
+}
+
+func TestCSVSourceEmptyColumnIsString(t *testing.T) {
+	src := NewCSVSource("files", nil)
+	tab, err := src.LoadCSV("t", "a,b\n,x\n,y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Schema().Columns[0].Kind != datum.KindString {
+		t.Errorf("all-empty column kind = %v", tab.Schema().Columns[0].Kind)
+	}
+}
+
+func TestCSVExecuteRejectsUnknownTableAndForeignScan(t *testing.T) {
+	src := NewCSVSource("files", nil)
+	if _, err := src.LoadCSV("t", "a\n1"); err != nil {
+		t.Fatal(err)
+	}
+	cols := []plan.ColMeta{{Table: "t", Name: "a", Kind: datum.KindInt}}
+	if _, err := src.Execute(&plan.Scan{Source: "files", Table: "missing", Alias: "m", Cols: cols}); err == nil {
+		t.Error("missing table must error")
+	}
+	if _, err := src.Execute(&plan.Scan{Source: "other", Table: "t", Alias: "t", Cols: cols}); err == nil {
+		t.Error("foreign scan must error")
+	}
+}
+
+func TestRelationalCreateTableDuplicate(t *testing.T) {
+	src := NewRelationalSource("s", FullSQL(), nil)
+	sch := schema.MustTable("t", []schema.Column{{Name: "a", Kind: datum.KindInt}})
+	if _, err := src.CreateTable(sch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.CreateTable(sch); err == nil {
+		t.Error("duplicate table must error")
+	}
+}
+
+func TestRelationalExecuteUnknownTable(t *testing.T) {
+	src := NewRelationalSource("s", FullSQL(), nil)
+	cols := []plan.ColMeta{{Table: "ghost", Name: "a", Kind: datum.KindInt}}
+	if _, err := src.Execute(&plan.Scan{Source: "s", Table: "ghost", Alias: "ghost", Cols: cols}); err == nil {
+		t.Error("unknown table must error")
+	}
+}
+
+func TestKVSourceErrorPaths(t *testing.T) {
+	src := NewKVSource("kv", nil)
+	if _, err := src.Lookup("ghost", datum.Row{datum.NewInt(1)}); err == nil {
+		t.Error("lookup on missing table must error")
+	}
+	if err := src.Insert("ghost", datum.Row{}); err == nil {
+		t.Error("insert into missing table must error")
+	}
+	if _, err := src.Update("ghost", nil, nil); err == nil {
+		t.Error("update on missing table must error")
+	}
+	if _, err := src.Delete("ghost", nil); err == nil {
+		t.Error("delete on missing table must error")
+	}
+	if _, err := src.SubscribeTable("ghost", func(storage.Change) {}); err == nil {
+		t.Error("subscribe on missing table must error")
+	}
+	if _, ok := src.TableVersion("ghost"); ok {
+		t.Error("version of missing table must be not-ok")
+	}
+}
+
+func TestDeparseUnsupportedNodes(t *testing.T) {
+	s := &plan.Scan{Source: "s", Table: "t", Alias: "t"}
+	if _, err := Deparse(&plan.Remote{Source: "s", Child: s}); err == nil {
+		t.Error("remote nodes must not deparse")
+	}
+	u := &plan.Union{Inputs: []plan.Node{s, s}}
+	if _, err := Deparse(u); err == nil {
+		t.Error("union must not deparse")
+	}
+}
+
+func TestDeparseDistinctAndCrossJoin(t *testing.T) {
+	s1 := &plan.Scan{Source: "s", Table: "t", Alias: "a"}
+	s2 := &plan.Scan{Source: "s", Table: "u", Alias: "b"}
+	cross := plan.NewJoin(sqlparse.JoinInner, s1, s2, nil)
+	d := &plan.Distinct{Input: cross}
+	sql, err := Deparse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "DISTINCT") || !strings.Contains(sql, "ON TRUE") {
+		t.Errorf("deparse = %q", sql)
+	}
+	if _, err := sqlparse.Parse(sql); err != nil {
+		t.Errorf("deparsed SQL does not re-parse: %v", err)
+	}
+}
+
+func TestValidateSubtreeNestedRemote(t *testing.T) {
+	s := &plan.Scan{Source: "s", Table: "t", Alias: "t"}
+	nested := &plan.Remote{Source: "s", Child: s}
+	if err := validateSubtree("s", FullSQL(), nested); err == nil {
+		t.Error("nested Remote must be rejected")
+	}
+}

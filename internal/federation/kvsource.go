@@ -1,0 +1,167 @@
+package federation
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/netsim"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// KVSource wraps a key-value backend: it can ship whole tables or answer
+// point lookups by key, but pushes down nothing else — every filter, join
+// and aggregate over its data runs at the mediator. This is the weakest
+// source in the capability spectrum and makes the pushdown experiments
+// show where capability limits bite.
+type KVSource struct {
+	name   string
+	link   *netsim.Link
+	cat    *catalog.SourceCatalog
+	tables map[string]*storage.Table
+}
+
+// NewKVSource creates an empty key-value source.
+func NewKVSource(name string, link *netsim.Link) *KVSource {
+	if link == nil {
+		link = netsim.LocalLink()
+	}
+	return &KVSource{
+		name:   name,
+		link:   link,
+		cat:    catalog.NewSourceCatalog(name),
+		tables: make(map[string]*storage.Table),
+	}
+}
+
+// Name implements Source.
+func (s *KVSource) Name() string { return s.name }
+
+// Catalog implements Source.
+func (s *KVSource) Catalog() *catalog.SourceCatalog { return s.cat }
+
+// Capabilities implements Source.
+func (s *KVSource) Capabilities() Caps { return ScanOnly() }
+
+// Link implements Source.
+func (s *KVSource) Link() *netsim.Link { return s.link }
+
+// CreateTable adds a keyed table; the schema must declare a primary key.
+func (s *KVSource) CreateTable(sch *schema.Table) (*storage.Table, error) {
+	if len(sch.Key) == 0 {
+		return nil, fmt.Errorf("federation: kv source %s requires a primary key on %s", s.name, sch.Name)
+	}
+	key := strings.ToLower(sch.Name)
+	if _, dup := s.tables[key]; dup {
+		return nil, fmt.Errorf("federation: source %s already has table %s", s.name, sch.Name)
+	}
+	t := storage.NewTable(sch)
+	s.tables[key] = t
+	s.cat.AddTable(sch, t.Stats())
+	return t, nil
+}
+
+// Table returns a storage table by name.
+func (s *KVSource) Table(name string) (*storage.Table, bool) {
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// SubscribeTable implements Notifying.
+func (s *KVSource) SubscribeTable(table string, fn func(storage.Change)) (func(), error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("federation: source %s has no table %s", s.name, table)
+	}
+	return t.Subscribe(fn), nil
+}
+
+// TableVersion reports the mutation counter of a table.
+func (s *KVSource) TableVersion(name string) (int64, bool) {
+	t, ok := s.Table(name)
+	if !ok {
+		return 0, false
+	}
+	return t.Version(), true
+}
+
+// RefreshStats republishes table statistics.
+func (s *KVSource) RefreshStats() {
+	for name, t := range s.tables {
+		s.cat.SetStats(name, t.Stats())
+	}
+}
+
+// Execute implements Source: only bare scans are accepted.
+func (s *KVSource) Execute(subtree plan.Node) ([]datum.Row, error) {
+	scan, ok := subtree.(*plan.Scan)
+	if !ok {
+		return nil, fmt.Errorf("federation: kv source %s can only execute table scans, got %s", s.name, subtree.Describe())
+	}
+	if scan.Source != s.name {
+		return nil, fmt.Errorf("federation: subtree for %s scans %s", s.name, scan.Source)
+	}
+	t, ok := s.Table(scan.Table)
+	if !ok {
+		return nil, fmt.Errorf("federation: source %s has no table %s", s.name, scan.Table)
+	}
+	return shipResult(s.link, t.Snapshot()), nil
+}
+
+// Lookup answers a point read by primary key, charging the link only for
+// the matching rows. This is the API the record-linkage and search layers
+// use; the SQL planner goes through Execute.
+func (s *KVSource) Lookup(table string, key datum.Row) ([]datum.Row, error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("federation: source %s has no table %s", s.name, table)
+	}
+	keyCols := make([]string, len(t.Schema().Key))
+	for i, off := range t.Schema().Key {
+		keyCols[i] = t.Schema().Columns[off].Name
+	}
+	rows, ok := t.Lookup(keyCols, key)
+	if !ok {
+		return nil, fmt.Errorf("federation: source %s table %s has no primary index", s.name, table)
+	}
+	return shipResult(s.link, rows), nil
+}
+
+// Insert implements Updatable.
+func (s *KVSource) Insert(table string, row datum.Row) error {
+	t, ok := s.Table(table)
+	if !ok {
+		return fmt.Errorf("federation: source %s has no table %s", s.name, table)
+	}
+	s.link.Transfer(requestOverheadBytes + datum.RowWireSize(row))
+	return t.Insert(row)
+}
+
+// Update implements Updatable.
+func (s *KVSource) Update(table string, pred func(datum.Row) bool, fn func(datum.Row) datum.Row) (int, error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("federation: source %s has no table %s", s.name, table)
+	}
+	s.link.Transfer(requestOverheadBytes)
+	return t.Update(pred, fn)
+}
+
+// Delete implements Updatable.
+func (s *KVSource) Delete(table string, pred func(datum.Row) bool) (int, error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("federation: source %s has no table %s", s.name, table)
+	}
+	s.link.Transfer(requestOverheadBytes)
+	return t.Delete(pred), nil
+}
+
+var (
+	_ Source    = (*KVSource)(nil)
+	_ Updatable = (*KVSource)(nil)
+	_ Notifying = (*KVSource)(nil)
+)

@@ -1,0 +1,288 @@
+// Package federation defines the data-source abstraction the mediator
+// integrates over: the Source interface, the capability model that tells
+// the optimizer how much work each source can absorb (§1: "dealt with the
+// limitations and capabilities of each source"), and wrapper
+// implementations for relational, delimited-file and key-value sources.
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/netsim"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// Caps advertises which plan operators a source can execute locally. The
+// optimizer clamps pushdown to this set; everything else runs at the
+// mediator after shipping rows.
+type Caps struct {
+	PushFilter    bool
+	PushProject   bool
+	PushJoin      bool
+	PushAggregate bool
+	PushSort      bool
+	PushLimit     bool
+}
+
+// FullSQL is the capability set of a mature relational source.
+func FullSQL() Caps {
+	return Caps{PushFilter: true, PushProject: true, PushJoin: true,
+		PushAggregate: true, PushSort: true, PushLimit: true}
+}
+
+// FilterOnly is the capability set of a simple scan+filter wrapper (a
+// delimited-file source).
+func FilterOnly() Caps { return Caps{PushFilter: true, PushProject: true} }
+
+// ScanOnly is the capability set of a source that can only ship whole
+// tables (a key-value store accessed without its key).
+func ScanOnly() Caps { return Caps{} }
+
+// Allows reports whether the capability set permits executing the given
+// plan node remotely.
+func (c Caps) Allows(n plan.Node) bool {
+	switch n.(type) {
+	case *plan.Scan:
+		return true
+	case *plan.Filter:
+		return c.PushFilter
+	case *plan.Project:
+		return c.PushProject
+	case *plan.Join:
+		return c.PushJoin
+	case *plan.Aggregate:
+		return c.PushAggregate
+	case *plan.Distinct:
+		return c.PushAggregate
+	case *plan.Sort:
+		return c.PushSort
+	case *plan.Limit:
+		return c.PushLimit
+	default:
+		return false
+	}
+}
+
+// Source is one wrapped data source.
+type Source interface {
+	// Name is the unique registration name.
+	Name() string
+	// Catalog describes the source's exported tables and statistics.
+	Catalog() *catalog.SourceCatalog
+	// Capabilities reports what the source can execute locally.
+	Capabilities() Caps
+	// Link is the simulated network path to the source.
+	Link() *netsim.Link
+	// Execute runs a pushed-down plan subtree (all of whose scans
+	// reference this source) and returns the result rows. The
+	// implementation charges the link for shipping the result back.
+	Execute(subtree plan.Node) ([]datum.Row, error)
+}
+
+// Updatable is implemented by sources that accept writes (used by the EAI
+// layer and the examples; EII itself is read-only, which is §4's point).
+type Updatable interface {
+	Insert(table string, row datum.Row) error
+	Update(table string, pred func(datum.Row) bool, fn func(datum.Row) datum.Row) (int, error)
+	Delete(table string, pred func(datum.Row) bool) (int, error)
+}
+
+// Notifying is implemented by sources that can push change notifications
+// for their tables — §7's automatically generated Notify methods. The
+// callback runs synchronously on the mutating goroutine.
+type Notifying interface {
+	SubscribeTable(table string, fn func(storage.Change)) (cancel func(), err error)
+}
+
+// requestOverheadBytes is the cost of shipping the component query itself.
+const requestOverheadBytes = 256
+
+// shipResult charges the link for one round trip carrying rows and returns
+// the rows unchanged.
+func shipResult(link *netsim.Link, rows []datum.Row) []datum.Row {
+	bytes := requestOverheadBytes
+	for _, r := range rows {
+		bytes += datum.RowWireSize(r)
+	}
+	link.Transfer(bytes)
+	return rows
+}
+
+// Deparse renders a pushed-down subtree as the SQL text a real wrapper
+// would send to its backend; used for logging and EXPLAIN output.
+func Deparse(n plan.Node) (string, error) {
+	sel, err := deparseNode(n)
+	if err != nil {
+		return "", err
+	}
+	return sel.SQL(), nil
+}
+
+func deparseNode(n plan.Node) (*sqlparse.Select, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return &sqlparse.Select{
+			Items: []sqlparse.SelectItem{{Star: true}},
+			From: []sqlparse.TableRef{&sqlparse.BaseTable{
+				Source: x.Source, Name: x.Table, Alias: x.Alias,
+			}},
+		}, nil
+	case *plan.Filter:
+		sub, err := deparseNode(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		if sub.Where == nil {
+			sub.Where = x.Cond
+		} else {
+			sub.Where = &sqlparse.BinaryExpr{Op: sqlparse.OpAnd, Left: sub.Where, Right: x.Cond}
+		}
+		return sub, nil
+	case *plan.Project:
+		sub, err := deparseNode(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]sqlparse.SelectItem, len(x.Exprs))
+		for i, e := range x.Exprs {
+			items[i] = sqlparse.SelectItem{Expr: e, Alias: x.Cols[i].Name}
+		}
+		sub.Items = items
+		return sub, nil
+	case *plan.Join:
+		l, err := deparseNode(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := deparseNode(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		if len(l.From) == 0 || len(r.From) == 0 {
+			return nil, fmt.Errorf("federation: cannot deparse join over FROM-less input")
+		}
+		cond := x.Cond
+		if cond == nil {
+			cond = &sqlparse.Literal{Value: datum.NewBool(true)}
+		}
+		join := &sqlparse.Join{Type: x.Type, Left: l.From[0], Right: r.From[0], On: cond}
+		out := &sqlparse.Select{
+			Items: []sqlparse.SelectItem{{Star: true}},
+			From:  []sqlparse.TableRef{join},
+		}
+		out.Where = mergeWhere(l.Where, r.Where)
+		return out, nil
+	case *plan.Aggregate:
+		sub, err := deparseNode(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		var items []sqlparse.SelectItem
+		for _, g := range x.GroupBy {
+			items = append(items, sqlparse.SelectItem{Expr: g})
+		}
+		for _, sp := range x.Aggs {
+			f := &sqlparse.FuncExpr{Name: sp.Func, Distinct: sp.Distinct, Star: sp.Star}
+			if sp.Arg != nil {
+				f.Args = []sqlparse.Expr{sp.Arg}
+			}
+			items = append(items, sqlparse.SelectItem{Expr: f})
+		}
+		sub.Items = items
+		sub.GroupBy = x.GroupBy
+		return sub, nil
+	case *plan.Sort:
+		sub, err := deparseNode(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range x.Keys {
+			sub.OrderBy = append(sub.OrderBy, sqlparse.OrderItem{Expr: k.Expr, Desc: k.Desc})
+		}
+		return sub, nil
+	case *plan.Limit:
+		sub, err := deparseNode(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		if x.Count >= 0 {
+			sub.Limit = &sqlparse.Literal{Value: datum.NewInt(x.Count)}
+		}
+		if x.Offset > 0 {
+			sub.Offset = &sqlparse.Literal{Value: datum.NewInt(x.Offset)}
+		}
+		return sub, nil
+	case *plan.Distinct:
+		sub, err := deparseNode(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		sub.Distinct = true
+		return sub, nil
+	default:
+		return nil, fmt.Errorf("federation: cannot deparse %T", n)
+	}
+}
+
+func mergeWhere(a, b sqlparse.Expr) sqlparse.Expr {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return &sqlparse.BinaryExpr{Op: sqlparse.OpAnd, Left: a, Right: b}
+	}
+}
+
+// tableRuntime executes plan subtrees against a map of local tables; it is
+// the exec.Runtime every wrapper uses internally.
+type tableRuntime struct {
+	source string
+	tables func(name string) (exec.Iterator, error)
+}
+
+func (rt *tableRuntime) ScanTable(source, table string) (exec.Iterator, error) {
+	if source != rt.source {
+		return nil, fmt.Errorf("federation: source %s asked to scan foreign table %s.%s", rt.source, source, table)
+	}
+	return rt.tables(table)
+}
+
+func (rt *tableRuntime) RunRemote(string, plan.Node) (exec.Iterator, error) {
+	return nil, fmt.Errorf("federation: nested Remote inside a pushed-down subtree")
+}
+
+// execLocal runs a subtree against the given table provider.
+func execLocal(source string, subtree plan.Node, tables func(string) (exec.Iterator, error)) ([]datum.Row, error) {
+	rt := &tableRuntime{source: source, tables: tables}
+	it, err := exec.Build(subtree, rt, exec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return exec.Drain(it)
+}
+
+// validateSubtree checks that every scan in the subtree references the
+// given source and that every node is within caps.
+func validateSubtree(source string, caps Caps, subtree plan.Node) error {
+	var err error
+	plan.Walk(subtree, func(n plan.Node) {
+		if err != nil {
+			return
+		}
+		if s, ok := n.(*plan.Scan); ok && s.Source != source {
+			err = fmt.Errorf("federation: subtree for %s scans %s.%s", source, s.Source, s.Table)
+			return
+		}
+		if !caps.Allows(n) {
+			err = fmt.Errorf("federation: source %s cannot execute %s", source, n.Describe())
+		}
+	})
+	return err
+}

@@ -1,0 +1,223 @@
+// Package httpapi exposes the mediator over HTTP — the form the paper's
+// EII products actually shipped in (servers answering federated queries
+// for portals and dashboards). JSON in, JSON out, stdlib only.
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "..."}            -> rows + network accounting
+//	POST /explain  {"sql": "..."}            -> optimized plan + pushdown SQL
+//	GET  /catalog                            -> sources, tables, views
+//	GET  /healthz                            -> ok
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datum"
+)
+
+// QueryRequest is the body of /query and /explain.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Naive runs the query without any optimization (baseline mode).
+	Naive bool `json:"naive,omitempty"`
+}
+
+// QueryResponse is the body returned by /query.
+type QueryResponse struct {
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	Network struct {
+		RoundTrips   int64  `json:"roundTrips"`
+		BytesShipped int64  `json:"bytesShipped"`
+		WireBytes    int64  `json:"wireBytes"`
+		SimTime      string `json:"simTime"`
+	} `json:"network"`
+	Elapsed string `json:"elapsed"`
+}
+
+// ExplainResponse is the body returned by /explain.
+type ExplainResponse struct {
+	Plan string `json:"plan"`
+}
+
+// CatalogResponse is the body returned by /catalog.
+type CatalogResponse struct {
+	Sources []SourceInfo `json:"sources"`
+	Views   []ViewInfo   `json:"views"`
+}
+
+// SourceInfo describes one registered source.
+type SourceInfo struct {
+	Name   string      `json:"name"`
+	Tables []TableInfo `json:"tables"`
+}
+
+// TableInfo describes one source table.
+type TableInfo struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Rows    int64    `json:"rows"`
+}
+
+// ViewInfo describes one mediated view.
+type ViewInfo struct {
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the HTTP API over a mediator.
+func NewHandler(engine *core.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := readQueryRequest(w, r)
+		if !ok {
+			return
+		}
+		qo := core.QueryOptions{Parallel: true}
+		if req.Naive {
+			qo = naiveOptions()
+		}
+		res, err := engine.QueryOpts(req.SQL, qo)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toQueryResponse(res))
+	})
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := readQueryRequest(w, r)
+		if !ok {
+			return
+		}
+		out, err := engine.Explain(req.SQL, core.QueryOptions{})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ExplainResponse{Plan: out})
+	})
+	mux.HandleFunc("/catalog", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		writeJSON(w, http.StatusOK, buildCatalog(engine))
+	})
+	return mux
+}
+
+func naiveOptions() core.QueryOptions {
+	qo := core.QueryOptions{NoSemiJoin: true}
+	qo.Optimizer.NoFilterPushdown = true
+	qo.Optimizer.NoProjectionPrune = true
+	qo.Optimizer.NoJoinReorder = true
+	qo.Optimizer.NoRemotePushdown = true
+	return qo
+}
+
+func readQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
+	var req QueryRequest
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return req, false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return req, false
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		return req, false
+	}
+	return req, true
+}
+
+func toQueryResponse(res *core.Result) QueryResponse {
+	out := QueryResponse{Columns: res.Columns, Rows: make([][]any, len(res.Rows))}
+	for i, r := range res.Rows {
+		row := make([]any, len(r))
+		for j, d := range r {
+			row[j] = datumToJSON(d)
+		}
+		out.Rows[i] = row
+	}
+	out.Network.RoundTrips = res.Network.RoundTrips
+	out.Network.BytesShipped = res.Network.BytesShipped
+	out.Network.WireBytes = res.Network.WireBytes
+	out.Network.SimTime = res.Network.SimTime.String()
+	out.Elapsed = res.Elapsed.Round(time.Microsecond).String()
+	return out
+}
+
+func datumToJSON(d datum.Datum) any {
+	switch d.Kind() {
+	case datum.KindNull:
+		return nil
+	case datum.KindBool:
+		return d.Bool()
+	case datum.KindInt:
+		return d.Int()
+	case datum.KindFloat:
+		return d.Float()
+	case datum.KindString:
+		return d.Str()
+	case datum.KindTime:
+		return d.Time().Format(time.RFC3339Nano)
+	default:
+		return d.Display()
+	}
+}
+
+func buildCatalog(engine *core.Engine) CatalogResponse {
+	var out CatalogResponse
+	for _, name := range engine.Sources() {
+		src, ok := engine.Source(name)
+		if !ok {
+			continue
+		}
+		info := SourceInfo{Name: name}
+		cat := src.Catalog()
+		for _, tn := range cat.TableNames() {
+			tab, _ := cat.Table(tn)
+			ti := TableInfo{Name: tab.Name}
+			for _, c := range tab.Columns {
+				ti.Columns = append(ti.Columns, c.Name+" "+c.Kind.String())
+			}
+			if st, ok := cat.Stats(tn); ok {
+				ti.Rows = st.Rows
+			}
+			info.Tables = append(info.Tables, ti)
+		}
+		out.Sources = append(out.Sources, info)
+	}
+	for _, vn := range engine.Catalog().ViewNames() {
+		v, _ := engine.Catalog().View(vn)
+		out.Views = append(out.Views, ViewInfo{Name: v.Name, SQL: v.SQL})
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

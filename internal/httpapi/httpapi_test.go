@@ -1,0 +1,176 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func server(t *testing.T) *httptest.Server {
+	t.Helper()
+	cfg := workload.DefaultCRM()
+	cfg.Customers = 60
+	fed, err := workload.BuildCRM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(fed.Engine))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := server(t)
+	resp, body := post(t, srv.URL+"/query", QueryRequest{
+		SQL: "SELECT region, COUNT(*) AS n FROM customer360 GROUP BY region ORDER BY region",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Columns) != 2 || qr.Columns[0] != "region" {
+		t.Errorf("columns = %v", qr.Columns)
+	}
+	if len(qr.Rows) == 0 {
+		t.Error("no rows")
+	}
+	if qr.Network.BytesShipped <= 0 || qr.Network.RoundTrips <= 0 {
+		t.Errorf("network accounting missing: %+v", qr.Network)
+	}
+}
+
+func TestQueryNullsAndTypesInJSON(t *testing.T) {
+	srv := server(t)
+	resp, body := post(t, srv.URL+"/query", QueryRequest{
+		SQL: "SELECT NULL, 1, 2.5, 'x', TRUE",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	_ = json.Unmarshal(body, &qr)
+	row := qr.Rows[0]
+	if row[0] != nil {
+		t.Errorf("NULL must encode as null, got %v", row[0])
+	}
+	if row[1].(float64) != 1 || row[2].(float64) != 2.5 || row[3].(string) != "x" || row[4].(bool) != true {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	srv := server(t)
+	resp, body := post(t, srv.URL+"/query", QueryRequest{SQL: "SELEKT nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "error") {
+		t.Errorf("body = %s", body)
+	}
+	resp, _ = post(t, srv.URL+"/query", QueryRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sql status = %d", resp.StatusCode)
+	}
+	r, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d", r.StatusCode)
+	}
+}
+
+func TestNaiveModeShipsMore(t *testing.T) {
+	srv := server(t)
+	sql := "SELECT name FROM crm.customers WHERE region = 'east'"
+	var opt, naive QueryResponse
+	_, body := post(t, srv.URL+"/query", QueryRequest{SQL: sql})
+	_ = json.Unmarshal(body, &opt)
+	_, body = post(t, srv.URL+"/query", QueryRequest{SQL: sql, Naive: true})
+	_ = json.Unmarshal(body, &naive)
+	if opt.Network.BytesShipped >= naive.Network.BytesShipped {
+		t.Errorf("optimized %d >= naive %d", opt.Network.BytesShipped, naive.Network.BytesShipped)
+	}
+	if len(opt.Rows) != len(naive.Rows) {
+		t.Error("naive mode changed results")
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := server(t)
+	resp, body := post(t, srv.URL+"/explain", QueryRequest{
+		SQL: "SELECT name FROM crm.customers WHERE region = 'east'",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var er ExplainResponse
+	_ = json.Unmarshal(body, &er)
+	if !strings.Contains(er.Plan, "Remote @crm") || !strings.Contains(er.Plan, "pushdown @crm") {
+		t.Errorf("plan = %s", er.Plan)
+	}
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cat CatalogResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Sources) != 3 {
+		t.Errorf("sources = %d", len(cat.Sources))
+	}
+	found := false
+	for _, s := range cat.Sources {
+		if s.Name == "crm" && len(s.Tables) == 1 && s.Tables[0].Rows == 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("crm source missing or wrong: %+v", cat.Sources)
+	}
+	if len(cat.Views) != 1 || cat.Views[0].Name != "customer360" {
+		t.Errorf("views = %+v", cat.Views)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,303 @@
+// Package linkage implements record correlation between sources that share
+// no reliable join key — §5 (Draper): "if the data sources are really
+// heterogeneous, the probability that they have a reliable join key is
+// pretty small. Our system worked by creating and storing what was
+// essentially a join index between the sources."
+//
+// The pipeline is the classic record-linkage stack: normalization,
+// token-based blocking to avoid the quadratic comparison, string
+// similarity scoring (edit distance + q-gram Jaccard), and a persisted
+// JoinIndex the mediator probes at query time.
+package linkage
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/datum"
+)
+
+// Normalize canonicalizes a string for matching: lower-case, strip
+// punctuation, collapse whitespace.
+func Normalize(s string) string {
+	var b strings.Builder
+	lastSpace := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+			lastSpace = false
+		case unicode.IsSpace(r) || unicode.IsPunct(r):
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Levenshtein computes the edit distance between two strings (runes).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// EditSimilarity maps edit distance into [0,1]: 1 means identical.
+func EditSimilarity(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	max := len([]rune(a))
+	if lb := len([]rune(b)); lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// QGrams returns the multiset of q-grams of a padded string.
+func QGrams(s string, q int) map[string]int {
+	if q < 1 {
+		q = 2
+	}
+	padded := strings.Repeat("#", q-1) + s + strings.Repeat("#", q-1)
+	out := map[string]int{}
+	runes := []rune(padded)
+	for i := 0; i+q <= len(runes); i++ {
+		out[string(runes[i:i+q])]++
+	}
+	return out
+}
+
+// JaccardQGrams computes the Jaccard similarity of the two strings'
+// q-gram sets.
+func JaccardQGrams(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	inter, union := 0, 0
+	for g, ca := range ga {
+		cb := gb[g]
+		if ca < cb {
+			inter += ca
+		} else {
+			inter += cb
+		}
+		if ca > cb {
+			union += ca
+		} else {
+			union += cb
+		}
+	}
+	for g, cb := range gb {
+		if _, seen := ga[g]; !seen {
+			union += cb
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Score combines edit and q-gram similarity over normalized inputs. It is
+// the default matcher used by the join index.
+func Score(a, b string) float64 {
+	na, nb := Normalize(a), Normalize(b)
+	return 0.5*EditSimilarity(na, nb) + 0.5*JaccardQGrams(na, nb, 2)
+}
+
+// Record is one row participating in correlation: an opaque key plus the
+// text used for matching.
+type Record struct {
+	Key  datum.Datum
+	Text string
+}
+
+// Pair is one correlated (left, right) key pair with its match score.
+type Pair struct {
+	Left, Right datum.Datum
+	Score       float64
+}
+
+// Config tunes join-index construction.
+type Config struct {
+	// Threshold is the minimum combined score to accept a pair.
+	Threshold float64
+	// MaxCandidatesPerBlock caps a blocking bucket to bound worst-case
+	// cost; 0 means unlimited.
+	MaxCandidatesPerBlock int
+}
+
+// DefaultConfig matches names with moderate corruption.
+func DefaultConfig() Config { return Config{Threshold: 0.75} }
+
+// JoinIndex is the persisted correlation between two record sets.
+type JoinIndex struct {
+	pairs   []Pair
+	byLeft  map[uint64][]int
+	byRight map[uint64][]int
+}
+
+// Build constructs a join index by blocking on normalized tokens and
+// scoring candidates within blocks.
+func Build(left, right []Record, cfg Config) *JoinIndex {
+	if cfg.Threshold <= 0 {
+		cfg = DefaultConfig()
+	}
+	// Blocking: invert right records by token.
+	blocks := map[string][]int{}
+	for i, r := range right {
+		for _, tok := range strings.Fields(Normalize(r.Text)) {
+			blocks[tok] = append(blocks[tok], i)
+		}
+	}
+	type key struct{ l, r int }
+	seen := map[key]bool{}
+	ix := &JoinIndex{byLeft: map[uint64][]int{}, byRight: map[uint64][]int{}}
+	for li, l := range left {
+		candidates := map[int]bool{}
+		for _, tok := range strings.Fields(Normalize(l.Text)) {
+			bucket := blocks[tok]
+			if cfg.MaxCandidatesPerBlock > 0 && len(bucket) > cfg.MaxCandidatesPerBlock {
+				bucket = bucket[:cfg.MaxCandidatesPerBlock]
+			}
+			for _, ri := range bucket {
+				candidates[ri] = true
+			}
+		}
+		for ri := range candidates {
+			if seen[key{li, ri}] {
+				continue
+			}
+			seen[key{li, ri}] = true
+			s := Score(l.Text, right[ri].Text)
+			if s < cfg.Threshold {
+				continue
+			}
+			ix.add(Pair{Left: l.Key, Right: right[ri].Key, Score: s})
+		}
+	}
+	ix.sortPairs()
+	return ix
+}
+
+func (ix *JoinIndex) add(p Pair) {
+	idx := len(ix.pairs)
+	ix.pairs = append(ix.pairs, p)
+	ix.byLeft[p.Left.Hash()] = append(ix.byLeft[p.Left.Hash()], idx)
+	ix.byRight[p.Right.Hash()] = append(ix.byRight[p.Right.Hash()], idx)
+}
+
+func (ix *JoinIndex) sortPairs() {
+	// Deterministic order for stable output: by score desc, then keys.
+	order := make([]int, len(ix.pairs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := ix.pairs[order[a]], ix.pairs[order[b]]
+		if pa.Score != pb.Score {
+			return pa.Score > pb.Score
+		}
+		if c := datum.Compare(pa.Left, pb.Left); c != 0 {
+			return c < 0
+		}
+		return datum.Compare(pa.Right, pb.Right) < 0
+	})
+	sorted := make([]Pair, len(ix.pairs))
+	for i, o := range order {
+		sorted[i] = ix.pairs[o]
+	}
+	ix.pairs = sorted
+	ix.byLeft = map[uint64][]int{}
+	ix.byRight = map[uint64][]int{}
+	for i, p := range ix.pairs {
+		ix.byLeft[p.Left.Hash()] = append(ix.byLeft[p.Left.Hash()], i)
+		ix.byRight[p.Right.Hash()] = append(ix.byRight[p.Right.Hash()], i)
+	}
+}
+
+// Pairs returns all correlated pairs, best score first.
+func (ix *JoinIndex) Pairs() []Pair { return ix.pairs }
+
+// Len returns the number of stored pairs.
+func (ix *JoinIndex) Len() int { return len(ix.pairs) }
+
+// RightsFor returns the right-side keys correlated with a left key.
+func (ix *JoinIndex) RightsFor(left datum.Datum) []Pair {
+	var out []Pair
+	for _, i := range ix.byLeft[left.Hash()] {
+		if datum.Compare(ix.pairs[i].Left, left) == 0 {
+			out = append(out, ix.pairs[i])
+		}
+	}
+	return out
+}
+
+// LeftsFor returns the left-side keys correlated with a right key.
+func (ix *JoinIndex) LeftsFor(right datum.Datum) []Pair {
+	var out []Pair
+	for _, i := range ix.byRight[right.Hash()] {
+		if datum.Compare(ix.pairs[i].Right, right) == 0 {
+			out = append(out, ix.pairs[i])
+		}
+	}
+	return out
+}
+
+// Quality compares the index against a ground-truth pair set and returns
+// precision and recall (experiment E5's metrics).
+func (ix *JoinIndex) Quality(truth []Pair) (precision, recall float64) {
+	truthSet := map[[2]uint64]bool{}
+	for _, p := range truth {
+		truthSet[[2]uint64{p.Left.Hash(), p.Right.Hash()}] = true
+	}
+	correct := 0
+	for _, p := range ix.pairs {
+		if truthSet[[2]uint64{p.Left.Hash(), p.Right.Hash()}] {
+			correct++
+		}
+	}
+	if len(ix.pairs) > 0 {
+		precision = float64(correct) / float64(len(ix.pairs))
+	}
+	if len(truth) > 0 {
+		recall = float64(correct) / float64(len(truth))
+	}
+	return precision, recall
+}

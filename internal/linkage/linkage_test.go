@@ -1,0 +1,186 @@
+package linkage
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datum"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"  Acme,  Inc. ": "acme inc",
+		"ACME INC":       "acme inc",
+		"a-b_c":          "a b c",
+		"":               "",
+		"!!!":            "",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	sym := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(sym, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error("symmetry:", err)
+	}
+	ident := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(ident, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error("identity:", err)
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if EditSimilarity("abc", "abc") != 1 {
+		t.Error("identical strings must score 1")
+	}
+	if EditSimilarity("", "") != 1 {
+		t.Error("empty strings must score 1")
+	}
+	if s := EditSimilarity("abcd", "abce"); s != 0.75 {
+		t.Errorf("one edit in four = %v", s)
+	}
+	if s := EditSimilarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint = %v", s)
+	}
+}
+
+func TestQGramsAndJaccard(t *testing.T) {
+	g := QGrams("ab", 2)
+	// padded: #ab# → #a, ab, b#
+	if len(g) != 3 || g["ab"] != 1 {
+		t.Errorf("qgrams = %v", g)
+	}
+	if JaccardQGrams("abc", "abc", 2) != 1 {
+		t.Error("identical must be 1")
+	}
+	if s := JaccardQGrams("abc", "zzz", 2); s != 0 {
+		t.Errorf("disjoint = %v", s)
+	}
+	if JaccardQGrams("", "", 2) != 1 {
+		t.Error("empty vs empty must be 1")
+	}
+}
+
+func TestScoreOrdersPlausibleMatches(t *testing.T) {
+	base := "Acme Corporation"
+	near := Score(base, "ACME Corp.")
+	far := Score(base, "Globex LLC")
+	if near <= far {
+		t.Errorf("near=%v far=%v", near, far)
+	}
+	if Score(base, base) != 1 {
+		t.Error("self score must be 1")
+	}
+}
+
+// mkRecords builds left/right record sets where right names are corrupted
+// versions of left names. Names are built from distinct word pairs so that
+// non-matching records are genuinely dissimilar.
+func mkRecords(n int) (left, right []Record, truth []Pair) {
+	first := []string{"atlas", "borealis", "cascade", "delta", "ember", "fjord", "granite", "horizon", "indigo", "juniper"}
+	second := []string{"logistics", "fabrication", "analytics", "robotics", "shipping", "foundry", "optics", "textiles", "farming", "marine"}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s %s", first[i%len(first)], second[(i/len(first))%len(second)])
+		l := Record{Key: datum.NewInt(int64(i)), Text: name + " inc"}
+		// Corrupt: case, punctuation, and a trailing truncation.
+		r := Record{Key: datum.NewInt(int64(1000 + i)), Text: fmt.Sprintf("%s, In", name)}
+		left = append(left, l)
+		right = append(right, r)
+		truth = append(truth, Pair{Left: l.Key, Right: r.Key})
+	}
+	return left, right, truth
+}
+
+func TestBuildJoinIndexRecallAndPrecision(t *testing.T) {
+	left, right, truth := mkRecords(30)
+	ix := Build(left, right, DefaultConfig())
+	p, r := ix.Quality(truth)
+	if r < 0.9 {
+		t.Errorf("recall = %v, want >= 0.9", r)
+	}
+	if p < 0.5 {
+		t.Errorf("precision = %v, want >= 0.5", p)
+	}
+}
+
+func TestJoinIndexLookups(t *testing.T) {
+	left := []Record{{Key: datum.NewInt(1), Text: "Acme Inc"}}
+	right := []Record{
+		{Key: datum.NewInt(100), Text: "ACME, Inc."},
+		{Key: datum.NewInt(200), Text: "Globex"},
+	}
+	ix := Build(left, right, DefaultConfig())
+	if ix.Len() != 1 {
+		t.Fatalf("pairs = %d: %+v", ix.Len(), ix.Pairs())
+	}
+	rs := ix.RightsFor(datum.NewInt(1))
+	if len(rs) != 1 || rs[0].Right.Int() != 100 {
+		t.Errorf("RightsFor = %+v", rs)
+	}
+	ls := ix.LeftsFor(datum.NewInt(100))
+	if len(ls) != 1 || ls[0].Left.Int() != 1 {
+		t.Errorf("LeftsFor = %+v", ls)
+	}
+	if got := ix.RightsFor(datum.NewInt(99)); got != nil {
+		t.Errorf("missing key must return nil, got %+v", got)
+	}
+}
+
+func TestThresholdControlsPrecision(t *testing.T) {
+	left := []Record{{Key: datum.NewInt(1), Text: "johnson controls"}}
+	right := []Record{
+		{Key: datum.NewInt(10), Text: "Johnson Controls"},                 // true match
+		{Key: datum.NewInt(20), Text: "johnson brothers controls supply"}, // partial
+	}
+	loose := Build(left, right, Config{Threshold: 0.4})
+	strict := Build(left, right, Config{Threshold: 0.95})
+	if loose.Len() <= strict.Len() {
+		t.Errorf("loose=%d strict=%d", loose.Len(), strict.Len())
+	}
+	if strict.Len() != 1 {
+		t.Errorf("strict must keep only the exact-normalized match, got %d", strict.Len())
+	}
+}
+
+func TestBlockingBoundsComparisons(t *testing.T) {
+	// Records sharing no token are never compared, hence never matched —
+	// even at threshold 0.
+	left := []Record{{Key: datum.NewInt(1), Text: "alpha"}}
+	right := []Record{{Key: datum.NewInt(2), Text: "omega"}}
+	ix := Build(left, right, Config{Threshold: 0.01})
+	if ix.Len() != 0 {
+		t.Errorf("blocked pair leaked through: %+v", ix.Pairs())
+	}
+}
+
+func TestQualityEdgeCases(t *testing.T) {
+	ix := &JoinIndex{byLeft: map[uint64][]int{}, byRight: map[uint64][]int{}}
+	p, r := ix.Quality(nil)
+	if p != 0 || r != 0 {
+		t.Errorf("empty quality = %v %v", p, r)
+	}
+}

@@ -1,0 +1,128 @@
+// Package netsim simulates the network links between the mediator and the
+// data sources. The paper's EII performance arguments (§3 Bitton, §5
+// Draper) are all about how much data crosses these links and at what
+// latency; the simulator makes both measurable and controllable.
+//
+// A Link has a round-trip latency, a bandwidth, and a serialization factor
+// (the "convert to XML and triple the size" effect from §3 is
+// SerializationFactor=3). Transfers accumulate into Metrics; virtual time
+// accumulates into the link's clock so experiments can report latencies
+// without actually sleeping.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Link models one mediator<->source connection.
+type Link struct {
+	mu sync.Mutex
+	// Latency is charged once per round trip (request + first byte).
+	Latency time.Duration
+	// BytesPerSecond is the link throughput.
+	BytesPerSecond float64
+	// SerializationFactor inflates the logical payload size; 1 means the
+	// wire format is as compact as the engine's row estimate, 3 models
+	// the XML inflation the paper describes.
+	SerializationFactor float64
+	// RealSleep makes Transfer actually block for the simulated
+	// duration (capped at MaxSleep), so wall-clock measurements expose
+	// inter-source parallelism. Off by default: experiments usually
+	// read the virtual clock instead.
+	RealSleep bool
+	// MaxSleep caps one blocking transfer; zero means 50ms.
+	MaxSleep time.Duration
+
+	metrics Metrics
+}
+
+// Metrics accumulates transfer accounting for a link or a whole federation.
+type Metrics struct {
+	RoundTrips   int64
+	BytesShipped int64         // logical bytes before serialization inflation
+	WireBytes    int64         // bytes after inflation; what the link carried
+	SimTime      time.Duration // virtual time spent on the link
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.RoundTrips += other.RoundTrips
+	m.BytesShipped += other.BytesShipped
+	m.WireBytes += other.WireBytes
+	m.SimTime += other.SimTime
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("trips=%d shipped=%dB wire=%dB time=%s",
+		m.RoundTrips, m.BytesShipped, m.WireBytes, m.SimTime)
+}
+
+// NewLink builds a link. Non-positive bandwidth or serialization factors
+// default to sane values (1 GB/s, factor 1).
+func NewLink(latency time.Duration, bytesPerSecond, serializationFactor float64) *Link {
+	if bytesPerSecond <= 0 {
+		bytesPerSecond = 1 << 30
+	}
+	if serializationFactor <= 0 {
+		serializationFactor = 1
+	}
+	return &Link{Latency: latency, BytesPerSecond: bytesPerSecond, SerializationFactor: serializationFactor}
+}
+
+// LocalLink returns a zero-cost link for co-located execution (the
+// warehouse's local scans).
+func LocalLink() *Link { return NewLink(0, 0, 0) }
+
+// Transfer charges one round trip carrying the given logical payload and
+// returns the virtual time it took. With RealSleep set it also blocks for
+// that duration (capped), so concurrent transfers over different links
+// overlap in wall-clock time the way real federated fetches do.
+func (l *Link) Transfer(logicalBytes int) time.Duration {
+	l.mu.Lock()
+	wire := int64(float64(logicalBytes) * l.SerializationFactor)
+	d := l.Latency + time.Duration(float64(wire)/l.BytesPerSecond*float64(time.Second))
+	l.metrics.RoundTrips++
+	l.metrics.BytesShipped += int64(logicalBytes)
+	l.metrics.WireBytes += wire
+	l.metrics.SimTime += d
+	sleep := l.RealSleep
+	maxSleep := l.MaxSleep
+	l.mu.Unlock()
+	if sleep {
+		if maxSleep <= 0 {
+			maxSleep = 50 * time.Millisecond
+		}
+		if d > maxSleep {
+			time.Sleep(maxSleep)
+		} else {
+			time.Sleep(d)
+		}
+	}
+	return d
+}
+
+// TransferCost prices a hypothetical transfer without recording it; the
+// optimizer's cost model uses this.
+func (l *Link) TransferCost(logicalBytes int64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	wire := float64(logicalBytes) * l.SerializationFactor
+	return l.Latency + time.Duration(wire/l.BytesPerSecond*float64(time.Second))
+}
+
+// Metrics returns a snapshot of the accumulated accounting.
+func (l *Link) Metrics() Metrics {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.metrics
+}
+
+// Reset zeroes the accounting.
+func (l *Link) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics = Metrics{}
+}

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTransferAccounting(t *testing.T) {
+	l := NewLink(10*time.Millisecond, 1000, 1) // 1000 B/s
+	d := l.Transfer(500)
+	want := 10*time.Millisecond + 500*time.Millisecond
+	if d != want {
+		t.Errorf("transfer time = %v, want %v", d, want)
+	}
+	m := l.Metrics()
+	if m.RoundTrips != 1 || m.BytesShipped != 500 || m.WireBytes != 500 || m.SimTime != want {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestSerializationFactorInflation(t *testing.T) {
+	l := NewLink(0, 1000, 3) // XML-style 3x inflation
+	l.Transfer(100)
+	m := l.Metrics()
+	if m.BytesShipped != 100 || m.WireBytes != 300 {
+		t.Errorf("inflation: shipped=%d wire=%d", m.BytesShipped, m.WireBytes)
+	}
+	if m.SimTime != 300*time.Millisecond {
+		t.Errorf("sim time = %v, want 300ms (inflated payload)", m.SimTime)
+	}
+}
+
+func TestTransferCostDoesNotRecord(t *testing.T) {
+	l := NewLink(time.Millisecond, 1000, 2)
+	c := l.TransferCost(500)
+	if c != time.Millisecond+time.Second {
+		t.Errorf("cost = %v", c)
+	}
+	if l.Metrics().RoundTrips != 0 {
+		t.Error("TransferCost must not record")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	l := NewLink(0, -1, 0)
+	if l.BytesPerSecond != 1<<30 || l.SerializationFactor != 1 {
+		t.Error("defaults not applied")
+	}
+	ll := LocalLink()
+	if d := ll.Transfer(1 << 20); d > time.Millisecond*2 {
+		t.Errorf("local link should be near-free, got %v", d)
+	}
+}
+
+func TestResetAndAdd(t *testing.T) {
+	l := NewLink(0, 1000, 1)
+	l.Transfer(100)
+	l.Reset()
+	if l.Metrics() != (Metrics{}) {
+		t.Error("reset must zero metrics")
+	}
+	var total Metrics
+	total.Add(Metrics{RoundTrips: 1, BytesShipped: 10, WireBytes: 20, SimTime: time.Second})
+	total.Add(Metrics{RoundTrips: 2, BytesShipped: 5, WireBytes: 5, SimTime: time.Second})
+	if total.RoundTrips != 3 || total.BytesShipped != 15 || total.WireBytes != 25 || total.SimTime != 2*time.Second {
+		t.Errorf("Add = %+v", total)
+	}
+	if !strings.Contains(total.String(), "trips=3") {
+		t.Error("String rendering")
+	}
+}
+
+func TestConcurrentTransfers(t *testing.T) {
+	l := NewLink(0, 1e6, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Transfer(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if m := l.Metrics(); m.RoundTrips != 1600 || m.BytesShipped != 16000 {
+		t.Errorf("concurrent metrics = %+v", m)
+	}
+}

@@ -1,0 +1,182 @@
+package opt
+
+import (
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+)
+
+// placeRemotes wraps maximal single-source, capability-compatible subtrees
+// in Remote nodes so they execute at the source. Everything outside a
+// Remote runs at the mediator; bare scans that end up outside still ship
+// their whole table (the execution runtime treats an unwrapped Scan as
+// Remote(Scan)), so placement here is purely an optimization decision.
+func placeRemotes(n plan.Node, env Env, opts Options) plan.Node {
+	out, src := place(n, env, opts)
+	if src != "" {
+		allowKeys := env != nil && env.Caps(src).PushFilter
+		return &plan.Remote{Source: src, Child: out, AllowKeyFilter: allowKeys}
+	}
+	return out
+}
+
+// place rewrites the subtree and reports the owning source if the entire
+// result is still executable at a single source ("" otherwise). When a
+// child subtree is pushable but the current node is not, the child gets
+// wrapped in Remote here.
+func place(n plan.Node, env Env, opts Options) (plan.Node, string) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		if x.Source == "" && x.Table == "" {
+			return x, "" // FROM-less dual runs at the mediator
+		}
+		return x, x.Source
+	case *plan.Remote:
+		// Already placed (idempotent re-optimization).
+		return x, ""
+	}
+
+	kids := n.Children()
+	newKids := make([]plan.Node, len(kids))
+	srcs := make([]string, len(kids))
+	for i, k := range kids {
+		newKids[i], srcs[i] = place(k, env, opts)
+	}
+
+	// Determine whether this node can join its children at one source.
+	owner := ""
+	uniform := true
+	for _, s := range srcs {
+		if s == "" {
+			uniform = false
+			break
+		}
+		if owner == "" {
+			owner = s
+		} else if owner != s {
+			uniform = false
+			break
+		}
+	}
+	if len(kids) == 0 {
+		uniform = false
+	}
+
+	if uniform && !opts.NoRemotePushdown && env != nil && env.Caps(owner).Allows(n) {
+		// The whole node stays pushable.
+		return n.WithChildren(newKids), owner
+	}
+
+	// Close off pushable children with Remote boundaries.
+	for i, s := range srcs {
+		if s == "" {
+			continue
+		}
+		if opts.NoRemotePushdown {
+			// Naive mode: only bare scans cross the link.
+			newKids[i] = demoteToScanShipping(newKids[i], s)
+			continue
+		}
+		allowKeys := env != nil && env.Caps(s).PushFilter
+		newKids[i] = &plan.Remote{Source: s, Child: newKids[i], AllowKeyFilter: allowKeys}
+	}
+	return n.WithChildren(newKids), ""
+}
+
+// demoteToScanShipping rewrites a pushable subtree so each scan ships
+// whole tables and all other operators run at the mediator.
+func demoteToScanShipping(n plan.Node, source string) plan.Node {
+	return plan.Transform(n, func(x plan.Node) plan.Node {
+		if s, ok := x.(*plan.Scan); ok {
+			return &plan.Remote{Source: s.Source, Child: s}
+		}
+		return x
+	})
+}
+
+// annotateSemiJoins decides, per cross-source join, whether one input
+// should be fetched semi-join-reduced by the other's keys — the "best
+// assembly site / local reduction" decision of §3. A side qualifies when it
+// is a filter-capable Remote, the probe side is small enough to ship its
+// distinct keys, and the reduction is estimated to pay for the extra round
+// trip.
+func annotateSemiJoins(n plan.Node, env Env) plan.Node {
+	est := newEstimator(env)
+	return plan.Transform(n, func(x plan.Node) plan.Node {
+		j, ok := x.(*plan.Join)
+		if !ok || j.Cond == nil {
+			return x
+		}
+		leftKeys, rightKeys := equiKeyPairs(j)
+		if len(leftKeys) == 0 {
+			return x
+		}
+		// savings estimates how many rows a reduction avoids shipping:
+		// the reduced side keeps roughly probeRows/keyDistinct of its
+		// rows (containment assumption).
+		savings := func(probe, reduce plan.Node, reduceKey sqlparse.Expr) float64 {
+			r, isRemote := reduce.(*plan.Remote)
+			if !isRemote || !r.AllowKeyFilter {
+				return 0
+			}
+			probeRows := est.Rows(probe)
+			if probeRows > plan.DefaultSemiJoinKeyCap {
+				return 0
+			}
+			reduceRows := est.Rows(reduce)
+			keyDistinct := est.distinctOf(reduceKey, r.Child)
+			if keyDistinct < 1 {
+				keyDistinct = 1
+			}
+			kept := reduceRows * probeRows / keyDistinct
+			if kept > reduceRows {
+				kept = reduceRows
+			}
+			saved := reduceRows - kept
+			// Require the reduction to at least halve the fetch.
+			if saved < reduceRows/2 {
+				return 0
+			}
+			return saved
+		}
+		saveRight := savings(j.Left, j.Right, rightKeys[0])
+		saveLeft := 0.0
+		if j.Type == sqlparse.JoinInner {
+			saveLeft = savings(j.Right, j.Left, leftKeys[0])
+		}
+		hint := plan.SemiJoinNone
+		switch {
+		case saveRight > 0 && saveRight >= saveLeft:
+			hint = plan.SemiJoinReduceRight
+		case saveLeft > 0:
+			hint = plan.SemiJoinReduceLeft
+		}
+		if hint == plan.SemiJoinNone {
+			return x
+		}
+		nj := plan.NewJoin(j.Type, j.Left, j.Right, j.Cond)
+		nj.SemiJoin = hint
+		return nj
+	})
+}
+
+// equiKeyPairs extracts the equi-join key expressions of a join, aligned
+// (leftKeys[i] = rightKeys[i]).
+func equiKeyPairs(j *plan.Join) (leftKeys, rightKeys []sqlparse.Expr) {
+	leftCols := j.Left.Columns()
+	rightCols := j.Right.Columns()
+	for _, c := range splitConjuncts(j.Cond) {
+		b, ok := c.(*sqlparse.BinaryExpr)
+		if !ok || b.Op != sqlparse.OpEq {
+			continue
+		}
+		switch {
+		case refsResolveAgainst(b.Left, leftCols) && refsResolveAgainst(b.Right, rightCols):
+			leftKeys = append(leftKeys, b.Left)
+			rightKeys = append(rightKeys, b.Right)
+		case refsResolveAgainst(b.Left, rightCols) && refsResolveAgainst(b.Right, leftCols):
+			leftKeys = append(leftKeys, b.Right)
+			rightKeys = append(rightKeys, b.Left)
+		}
+	}
+	return leftKeys, rightKeys
+}

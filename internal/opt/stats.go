@@ -1,0 +1,360 @@
+package opt
+
+import (
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+)
+
+// Default selectivities, following the System-R conventions.
+const (
+	selEq       = 0.1 // equality against a non-column when distinct unknown
+	selRange    = 1.0 / 3.0
+	selLike     = 0.25
+	selDefault  = 1.0 / 3.0
+	defaultRows = 1000
+)
+
+// mediatorRowCost is the virtual CPU time to process one row centrally;
+// it prices mediator work in the same currency as network time.
+const mediatorRowCost = 200 * time.Nanosecond
+
+type estimator struct {
+	env Env
+}
+
+func newEstimator(env Env) *estimator { return &estimator{env: env} }
+
+// tableStats fetches stats, fabricating defaults when the source offers
+// none.
+func (e *estimator) tableStats(source, table string, arity int) *schema.TableStats {
+	if e.env != nil {
+		if st := e.env.Stats(source, table); st != nil {
+			return st
+		}
+	}
+	st := &schema.TableStats{Rows: defaultRows, RowWidth: 16 + arity*12}
+	st.Cols = make([]schema.ColStats, arity)
+	for i := range st.Cols {
+		st.Cols[i] = schema.ColStats{Distinct: defaultRows / 10, Min: datum.Null, Max: datum.Null}
+	}
+	return st
+}
+
+// Rows estimates the output cardinality of a node.
+func (e *estimator) Rows(n plan.Node) float64 {
+	switch x := n.(type) {
+	case *plan.Scan:
+		if x.Source == "" && x.Table == "" {
+			return 1 // FROM-less dual
+		}
+		return float64(e.tableStats(x.Source, x.Table, len(x.Cols)).Rows)
+	case *plan.Filter:
+		return e.Rows(x.Input) * e.selectivity(x.Cond, x.Input)
+	case *plan.Project:
+		return e.Rows(x.Input)
+	case *plan.Join:
+		return e.joinRows(x)
+	case *plan.Aggregate:
+		in := e.Rows(x.Input)
+		if len(x.GroupBy) == 0 {
+			return 1
+		}
+		groups := 1.0
+		for _, g := range x.GroupBy {
+			groups *= e.distinctOf(g, x.Input)
+		}
+		if groups > in {
+			groups = in
+		}
+		if groups < 1 {
+			groups = 1
+		}
+		return groups
+	case *plan.Sort:
+		return e.Rows(x.Input)
+	case *plan.Limit:
+		in := e.Rows(x.Input)
+		if x.Count >= 0 && float64(x.Count) < in {
+			return float64(x.Count)
+		}
+		return in
+	case *plan.Distinct:
+		return e.Rows(x.Input) / 2
+	case *plan.Union:
+		total := 0.0
+		for _, in := range x.Inputs {
+			total += e.Rows(in)
+		}
+		return total
+	case *plan.Remote:
+		return e.Rows(x.Child)
+	default:
+		return defaultRows
+	}
+}
+
+// RowWidth estimates the serialized row width of a node's output.
+func (e *estimator) RowWidth(n plan.Node) float64 {
+	switch x := n.(type) {
+	case *plan.Scan:
+		if x.Source == "" && x.Table == "" {
+			return 4
+		}
+		return float64(e.tableStats(x.Source, x.Table, len(x.Cols)).RowWidth)
+	case *plan.Join:
+		return e.RowWidth(x.Left) + e.RowWidth(x.Right)
+	case *plan.Union:
+		return e.RowWidth(x.Inputs[0])
+	case *plan.Remote:
+		return e.RowWidth(x.Child)
+	default:
+		kids := n.Children()
+		if len(kids) == 0 {
+			return 32
+		}
+		childWidth := e.RowWidth(kids[0])
+		childCols := len(kids[0].Columns())
+		cols := len(n.Columns())
+		if childCols == 0 || cols >= childCols {
+			return childWidth
+		}
+		// Projections narrow the row proportionally.
+		return childWidth * float64(cols) / float64(childCols)
+	}
+}
+
+// joinRows uses the classic |L|*|R| / max(V(L,k), V(R,k)) formula per
+// equi-key, falling back to a fixed selectivity for theta joins.
+func (e *estimator) joinRows(j *plan.Join) float64 {
+	l := e.Rows(j.Left)
+	r := e.Rows(j.Right)
+	if j.Cond == nil {
+		return l * r
+	}
+	sel := 1.0
+	gotEqui := false
+	for _, c := range splitConjuncts(j.Cond) {
+		b, ok := c.(*sqlparse.BinaryExpr)
+		if !ok || b.Op != sqlparse.OpEq {
+			continue
+		}
+		lr, lok := b.Left.(*sqlparse.ColumnRef)
+		rr, rok := b.Right.(*sqlparse.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		dl := e.refDistinct(lr, j.Left, j.Right)
+		dr := e.refDistinct(rr, j.Left, j.Right)
+		d := dl
+		if dr > d {
+			d = dr
+		}
+		if d < 1 {
+			d = 10
+		}
+		sel /= d
+		gotEqui = true
+	}
+	if !gotEqui {
+		sel = selDefault
+	}
+	out := l * r * sel
+	if j.Type == sqlparse.JoinLeft && out < l {
+		out = l // every left row survives
+	}
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// refDistinct finds the distinct count of a column reference in either
+// join input.
+func (e *estimator) refDistinct(ref *sqlparse.ColumnRef, sides ...plan.Node) float64 {
+	for _, side := range sides {
+		if _, err := plan.ResolveColumn(side.Columns(), ref); err == nil {
+			return e.distinctOf(ref, side)
+		}
+	}
+	return 10
+}
+
+// distinctOf estimates the number of distinct values an expression takes
+// over a node's output.
+func (e *estimator) distinctOf(expr sqlparse.Expr, n plan.Node) float64 {
+	ref, ok := expr.(*sqlparse.ColumnRef)
+	if !ok {
+		return 10
+	}
+	// Walk down through width-preserving nodes to the scan that owns the
+	// column.
+	switch x := n.(type) {
+	case *plan.Scan:
+		idx, err := plan.ResolveColumn(x.Cols, ref)
+		if err != nil {
+			return 10
+		}
+		st := e.tableStats(x.Source, x.Table, len(x.Cols))
+		if idx < len(st.Cols) && st.Cols[idx].Distinct > 0 {
+			return float64(st.Cols[idx].Distinct)
+		}
+		return 10
+	case *plan.Filter, *plan.Sort, *plan.Limit, *plan.Distinct, *plan.Remote:
+		return e.distinctOf(expr, n.Children()[0])
+	case *plan.Project:
+		// Trace the output column back to its source expression.
+		if idx, err := plan.ResolveColumn(x.Cols, ref); err == nil {
+			return e.distinctOf(x.Exprs[idx], x.Input)
+		}
+		return 10
+	case *plan.Join:
+		if _, err := plan.ResolveColumn(x.Left.Columns(), ref); err == nil {
+			return e.distinctOf(expr, x.Left)
+		}
+		if _, err := plan.ResolveColumn(x.Right.Columns(), ref); err == nil {
+			return e.distinctOf(expr, x.Right)
+		}
+		return 10
+	default:
+		return 10
+	}
+}
+
+// selectivity estimates the fraction of input rows a predicate keeps.
+func (e *estimator) selectivity(cond sqlparse.Expr, input plan.Node) float64 {
+	if cond == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, c := range splitConjuncts(cond) {
+		sel *= e.conjunctSelectivity(c, input)
+	}
+	if sel < 1e-9 {
+		sel = 1e-9
+	}
+	return sel
+}
+
+func (e *estimator) conjunctSelectivity(c sqlparse.Expr, input plan.Node) float64 {
+	switch x := c.(type) {
+	case *sqlparse.BinaryExpr:
+		switch x.Op {
+		case sqlparse.OpEq:
+			if ref, ok := x.Left.(*sqlparse.ColumnRef); ok {
+				if d := e.distinctOf(ref, input); d > 0 {
+					return 1 / d
+				}
+			}
+			if ref, ok := x.Right.(*sqlparse.ColumnRef); ok {
+				if d := e.distinctOf(ref, input); d > 0 {
+					return 1 / d
+				}
+			}
+			return selEq
+		case sqlparse.OpNe:
+			return 1 - selEq
+		case sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+			return selRange
+		case sqlparse.OpLike:
+			return selLike
+		case sqlparse.OpOr:
+			a := e.conjunctSelectivity(x.Left, input)
+			b := e.conjunctSelectivity(x.Right, input)
+			s := a + b - a*b
+			if s > 1 {
+				s = 1
+			}
+			return s
+		case sqlparse.OpAnd:
+			return e.conjunctSelectivity(x.Left, input) * e.conjunctSelectivity(x.Right, input)
+		default:
+			return selDefault
+		}
+	case *sqlparse.InExpr:
+		base := selEq
+		if ref, ok := x.Child.(*sqlparse.ColumnRef); ok {
+			if d := e.distinctOf(ref, input); d > 0 {
+				base = 1 / d
+			}
+		}
+		s := base * float64(len(x.List))
+		if s > 1 {
+			s = 1
+		}
+		if x.Not {
+			s = 1 - s
+		}
+		return s
+	case *sqlparse.BetweenExpr:
+		if x.Not {
+			return 1 - selRange
+		}
+		return selRange
+	case *sqlparse.IsNullExpr:
+		if x.Not {
+			return 0.9
+		}
+		return 0.1
+	case *sqlparse.UnaryExpr:
+		if x.Op == "NOT" {
+			return 1 - e.conjunctSelectivity(x.Child, input)
+		}
+		return selDefault
+	default:
+		return selDefault
+	}
+}
+
+// cost computes the PlanCost of a (possibly Remote-annotated) plan. Work
+// below a Remote boundary is free for the mediator but its result transits
+// the link; everything above costs mediator CPU.
+func (e *estimator) cost(n plan.Node) PlanCost {
+	var c PlanCost
+	var walk func(plan.Node, bool)
+	walk = func(x plan.Node, remote bool) {
+		if r, ok := x.(*plan.Remote); ok {
+			rows := e.Rows(r.Child)
+			width := e.RowWidth(r.Child)
+			bytes := int64(rows * width)
+			c.Shipped += bytes
+			if e.env != nil {
+				if link := e.env.Link(r.Source); link != nil {
+					c.Network += link.TransferCost(bytes)
+				}
+			}
+			walk(r.Child, true)
+			return
+		}
+		if !remote {
+			// Mediator processes this node's output rows.
+			c.CPURows += int64(e.Rows(x))
+		}
+		for _, k := range x.Children() {
+			walk(k, remote)
+		}
+		// Bare scans outside a Remote still pull the whole table over
+		// the link.
+		if s, ok := x.(*plan.Scan); ok && !remote && s.Source != "" {
+			rows := e.Rows(s)
+			bytes := int64(rows * e.RowWidth(s))
+			c.Shipped += bytes
+			if e.env != nil {
+				if link := e.env.Link(s.Source); link != nil {
+					c.Network += link.TransferCost(bytes)
+				}
+			}
+		}
+	}
+	walk(n, false)
+	c.Rows = int64(e.Rows(n))
+	return c
+}
+
+// Total collapses a PlanCost into one duration for comparisons.
+func (c PlanCost) Total() time.Duration {
+	return c.Network + time.Duration(c.CPURows)*mediatorRowCost
+}

@@ -1,0 +1,131 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/sqlparse"
+)
+
+func TestNodeDescribeStrings(t *testing.T) {
+	s := &Scan{Source: "src", Table: "t", Alias: "a"}
+	f := &Filter{Input: s}
+	cond, _ := sqlparse.ParseExpr("a.x = 1")
+	f.Cond = cond
+	j := NewJoin(sqlparse.JoinLeft, s, s, cond)
+	cross := NewJoin(sqlparse.JoinInner, s, s, nil)
+	agg := NewAggregate(s, nil, []AggSpec{{Func: "COUNT", Star: true}})
+	gagg := NewAggregate(s, []sqlparse.Expr{cond}, []AggSpec{{Func: "MAX", Arg: cond}})
+	sort := &Sort{Input: s, Keys: []SortKey{{Expr: cond, Desc: true}}}
+	lim := &Limit{Input: s, Count: 5, Offset: 2}
+	dis := &Distinct{Input: s}
+	uni := &Union{Inputs: []Node{s, s}}
+	rem := &Remote{Source: "src", Child: s}
+
+	checks := map[Node]string{
+		s:     "Scan src.t AS a",
+		f:     "Filter",
+		j:     "LEFT JOIN",
+		cross: "CROSS",
+		agg:   "Aggregate COUNT(*)",
+		gagg:  "Aggregate BY",
+		sort:  "DESC",
+		lim:   "Limit 5 OFFSET 2",
+		dis:   "Distinct",
+		uni:   "UnionAll (2 inputs)",
+		rem:   "Remote @src",
+	}
+	for n, want := range checks {
+		if got := n.Describe(); !strings.Contains(got, want) {
+			t.Errorf("Describe() = %q, want contains %q", got, want)
+		}
+	}
+}
+
+func TestWithChildrenPreservesFields(t *testing.T) {
+	s1 := &Scan{Source: "src", Table: "t", Alias: "a"}
+	s2 := &Scan{Source: "src", Table: "u", Alias: "b"}
+	cond, _ := sqlparse.ParseExpr("1 = 1")
+
+	j := NewJoin(sqlparse.JoinLeft, s1, s2, cond)
+	j.SemiJoin = SemiJoinReduceRight
+	j2 := j.WithChildren([]Node{s2, s1}).(*Join)
+	if j2.Type != sqlparse.JoinLeft || j2.SemiJoin != SemiJoinReduceRight {
+		t.Error("join WithChildren dropped fields")
+	}
+	r := &Remote{Source: "src", Child: s1, AllowKeyFilter: true}
+	r2 := r.WithChildren([]Node{s2}).(*Remote)
+	if !r2.AllowKeyFilter || r2.Source != "src" {
+		t.Error("remote WithChildren dropped fields")
+	}
+	lim := &Limit{Input: s1, Count: 3, Offset: 1}
+	lim2 := lim.WithChildren([]Node{s2}).(*Limit)
+	if lim2.Count != 3 || lim2.Offset != 1 {
+		t.Error("limit WithChildren dropped fields")
+	}
+}
+
+func TestScanWithChildrenPanicsOnKids(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := &Scan{}
+	s.WithChildren([]Node{s})
+}
+
+func TestColMetaQualifiedName(t *testing.T) {
+	if (ColMeta{Table: "t", Name: "c"}).QualifiedName() != "t.c" {
+		t.Error("qualified")
+	}
+	if (ColMeta{Name: "c"}).QualifiedName() != "c" {
+		t.Error("unqualified")
+	}
+}
+
+func TestAggSpecSQL(t *testing.T) {
+	arg, _ := sqlparse.ParseExpr("x")
+	cases := map[string]AggSpec{
+		"COUNT(*)":          {Func: "COUNT", Star: true},
+		"SUM(x)":            {Func: "SUM", Arg: arg},
+		"COUNT(DISTINCT x)": {Func: "COUNT", Arg: arg, Distinct: true},
+	}
+	for want, sp := range cases {
+		if got := sp.SQL(); got != want {
+			t.Errorf("AggSpec.SQL() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSemiJoinHintZeroValue(t *testing.T) {
+	s := &Scan{Source: "s", Table: "t", Alias: "t"}
+	j := NewJoin(sqlparse.JoinInner, s, s, nil)
+	if j.SemiJoin != SemiJoinNone {
+		t.Error("new joins must default to no semi-join hint")
+	}
+}
+
+func TestAggregateOutputKinds(t *testing.T) {
+	s := &Scan{Source: "src", Table: "t", Alias: "t", Cols: []ColMeta{
+		{Table: "t", Name: "g", Kind: datum.KindString},
+		{Table: "t", Name: "v", Kind: datum.KindFloat},
+	}}
+	g, _ := sqlparse.ParseExpr("g")
+	v, _ := sqlparse.ParseExpr("v")
+	agg := NewAggregate(s, []sqlparse.Expr{g}, []AggSpec{
+		{Func: "COUNT", Star: true},
+		{Func: "SUM", Arg: v},
+	})
+	cols := agg.Columns()
+	if cols[0].Kind != datum.KindString {
+		t.Errorf("group col kind = %v", cols[0].Kind)
+	}
+	if cols[1].Kind != datum.KindInt {
+		t.Errorf("count kind = %v", cols[1].Kind)
+	}
+	if cols[2].Kind != datum.KindFloat {
+		t.Errorf("sum kind = %v", cols[2].Kind)
+	}
+}

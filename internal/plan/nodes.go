@@ -1,0 +1,472 @@
+// Package plan defines the logical query plan and the builder that turns a
+// parsed SELECT into a plan: name resolution, mediated-view unfolding (query
+// reformulation in the paper's terms), and the normalizations the optimizer
+// relies on.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datum"
+	"repro/internal/sqlparse"
+)
+
+// ColMeta describes one output column of a plan node.
+type ColMeta struct {
+	// Table is the binding qualifier (table alias, view alias, or "").
+	Table string
+	// Name is the column's name within the qualifier.
+	Name string
+	// Kind is the inferred type; KindNull when unknown.
+	Kind datum.Kind
+}
+
+// QualifiedName renders the column for diagnostics.
+func (c ColMeta) QualifiedName() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Node is a logical plan operator.
+type Node interface {
+	// Columns returns the output schema of the node.
+	Columns() []ColMeta
+	// Children returns the input nodes.
+	Children() []Node
+	// WithChildren returns a copy of the node with the inputs replaced;
+	// len(kids) must equal len(Children()).
+	WithChildren(kids []Node) Node
+	// Describe renders a one-line summary for EXPLAIN output.
+	Describe() string
+}
+
+// Scan reads one table of one source.
+type Scan struct {
+	Source string
+	Table  string
+	Alias  string // binding name; never empty after building
+	Cols   []ColMeta
+}
+
+// Columns implements Node.
+func (s *Scan) Columns() []ColMeta { return s.Cols }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// WithChildren implements Node.
+func (s *Scan) WithChildren(kids []Node) Node {
+	if len(kids) != 0 {
+		panic("plan: Scan takes no children")
+	}
+	c := *s
+	return &c
+}
+
+// Describe implements Node.
+func (s *Scan) Describe() string {
+	return fmt.Sprintf("Scan %s.%s AS %s", s.Source, s.Table, s.Alias)
+}
+
+// Filter keeps rows for which Cond evaluates to TRUE.
+type Filter struct {
+	Input Node
+	Cond  sqlparse.Expr
+}
+
+// Columns implements Node.
+func (f *Filter) Columns() []ColMeta { return f.Input.Columns() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Input} }
+
+// WithChildren implements Node.
+func (f *Filter) WithChildren(kids []Node) Node {
+	return &Filter{Input: kids[0], Cond: f.Cond}
+}
+
+// Describe implements Node.
+func (f *Filter) Describe() string { return "Filter " + f.Cond.SQL() }
+
+// Project computes expressions over its input.
+type Project struct {
+	Input Node
+	Exprs []sqlparse.Expr
+	Cols  []ColMeta // one per expr; Name holds the output alias
+}
+
+// Columns implements Node.
+func (p *Project) Columns() []ColMeta { return p.Cols }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Input} }
+
+// WithChildren implements Node.
+func (p *Project) WithChildren(kids []Node) Node {
+	return &Project{Input: kids[0], Exprs: p.Exprs, Cols: p.Cols}
+}
+
+// Describe implements Node.
+func (p *Project) Describe() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.SQL()
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+
+// SemiJoinHint tells the executor which join input (if any) should be
+// fetched reduced by the other side's join keys.
+type SemiJoinHint uint8
+
+// Semi-join orientations.
+const (
+	SemiJoinNone SemiJoinHint = iota
+	// SemiJoinReduceRight ships the left input's keys into the right
+	// Remote.
+	SemiJoinReduceRight
+	// SemiJoinReduceLeft ships the right input's keys into the left
+	// Remote (inner joins only; reducing the preserved side of an outer
+	// join would drop rows).
+	SemiJoinReduceLeft
+)
+
+// DefaultSemiJoinKeyCap bounds how many distinct keys a semi-join ships;
+// the optimizer only hints reductions whose probe side is estimated under
+// this, and the executor falls back to a full fetch beyond it.
+const DefaultSemiJoinKeyCap = 512
+
+// Join combines two inputs. Cond may be nil for a cross join.
+type Join struct {
+	Type        sqlparse.JoinType
+	Left, Right Node
+	Cond        sqlparse.Expr
+	// SemiJoin is the optimizer's reduction hint.
+	SemiJoin SemiJoinHint
+	cols     []ColMeta
+}
+
+// NewJoin builds a join node, computing its output columns. LEFT joins mark
+// right-side columns nullable by leaving kinds intact (nullability is not
+// tracked per-plan-column).
+func NewJoin(t sqlparse.JoinType, left, right Node, cond sqlparse.Expr) *Join {
+	j := &Join{Type: t, Left: left, Right: right, Cond: cond}
+	j.cols = append(append([]ColMeta{}, left.Columns()...), right.Columns()...)
+	return j
+}
+
+// Columns implements Node.
+func (j *Join) Columns() []ColMeta { return j.cols }
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// WithChildren implements Node.
+func (j *Join) WithChildren(kids []Node) Node {
+	nj := NewJoin(j.Type, kids[0], kids[1], j.Cond)
+	nj.SemiJoin = j.SemiJoin
+	return nj
+}
+
+// Describe implements Node.
+func (j *Join) Describe() string {
+	s := j.Type.String()
+	if j.Cond != nil {
+		s += " ON " + j.Cond.SQL()
+	} else {
+		s = "CROSS " + s
+	}
+	return s
+}
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Func     string // COUNT, SUM, AVG, MIN, MAX
+	Arg      sqlparse.Expr
+	Distinct bool
+	Star     bool // COUNT(*)
+}
+
+// SQL renders the aggregate call.
+func (a AggSpec) SQL() string {
+	f := &sqlparse.FuncExpr{Name: a.Func, Distinct: a.Distinct, Star: a.Star}
+	if a.Arg != nil {
+		f.Args = []sqlparse.Expr{a.Arg}
+	}
+	return f.SQL()
+}
+
+// Aggregate groups its input by the GroupBy expressions and computes the
+// aggregates. Output columns: group columns first, then one per aggregate.
+type Aggregate struct {
+	Input   Node
+	GroupBy []sqlparse.Expr
+	Aggs    []AggSpec
+	cols    []ColMeta
+}
+
+// NewAggregate builds an aggregate node. Output columns are named by the
+// rendered SQL of each expression so post-aggregation expressions resolve
+// against them textually.
+func NewAggregate(input Node, groupBy []sqlparse.Expr, aggs []AggSpec) *Aggregate {
+	a := &Aggregate{Input: input, GroupBy: groupBy, Aggs: aggs}
+	for _, g := range groupBy {
+		kind := datum.KindNull
+		if cr, ok := g.(*sqlparse.ColumnRef); ok {
+			if m, found := findCol(input.Columns(), cr); found {
+				kind = m.Kind
+			}
+		}
+		a.cols = append(a.cols, ColMeta{Name: g.SQL(), Kind: kind})
+	}
+	for _, sp := range aggs {
+		kind := datum.KindFloat
+		if sp.Func == "COUNT" {
+			kind = datum.KindInt
+		}
+		a.cols = append(a.cols, ColMeta{Name: sp.SQL(), Kind: kind})
+	}
+	return a
+}
+
+// Columns implements Node.
+func (a *Aggregate) Columns() []ColMeta { return a.cols }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Input} }
+
+// WithChildren implements Node.
+func (a *Aggregate) WithChildren(kids []Node) Node {
+	return NewAggregate(kids[0], a.GroupBy, a.Aggs)
+}
+
+// Describe implements Node.
+func (a *Aggregate) Describe() string {
+	var parts []string
+	for _, g := range a.GroupBy {
+		parts = append(parts, g.SQL())
+	}
+	aggs := make([]string, len(a.Aggs))
+	for i, sp := range a.Aggs {
+		aggs[i] = sp.SQL()
+	}
+	if len(parts) == 0 {
+		return "Aggregate " + strings.Join(aggs, ", ")
+	}
+	return "Aggregate BY " + strings.Join(parts, ", ") + ": " + strings.Join(aggs, ", ")
+}
+
+// SortKey is one ordering expression.
+type SortKey struct {
+	Expr sqlparse.Expr
+	Desc bool
+}
+
+// Sort orders its input.
+type Sort struct {
+	Input Node
+	Keys  []SortKey
+}
+
+// Columns implements Node.
+func (s *Sort) Columns() []ColMeta { return s.Input.Columns() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Input} }
+
+// WithChildren implements Node.
+func (s *Sort) WithChildren(kids []Node) Node {
+	return &Sort{Input: kids[0], Keys: s.Keys}
+}
+
+// Describe implements Node.
+func (s *Sort) Describe() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.Expr.SQL()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return "Sort " + strings.Join(parts, ", ")
+}
+
+// Limit returns at most Count rows after skipping Offset rows. Count < 0
+// means no limit (offset only).
+type Limit struct {
+	Input  Node
+	Count  int64
+	Offset int64
+}
+
+// Columns implements Node.
+func (l *Limit) Columns() []ColMeta { return l.Input.Columns() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Input} }
+
+// WithChildren implements Node.
+func (l *Limit) WithChildren(kids []Node) Node {
+	return &Limit{Input: kids[0], Count: l.Count, Offset: l.Offset}
+}
+
+// Describe implements Node.
+func (l *Limit) Describe() string {
+	return fmt.Sprintf("Limit %d OFFSET %d", l.Count, l.Offset)
+}
+
+// Distinct removes duplicate rows.
+type Distinct struct {
+	Input Node
+}
+
+// Columns implements Node.
+func (d *Distinct) Columns() []ColMeta { return d.Input.Columns() }
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Input} }
+
+// WithChildren implements Node.
+func (d *Distinct) WithChildren(kids []Node) Node { return &Distinct{Input: kids[0]} }
+
+// Describe implements Node.
+func (d *Distinct) Describe() string { return "Distinct" }
+
+// Union concatenates its inputs (UNION ALL).
+type Union struct {
+	Inputs []Node
+}
+
+// Columns implements Node.
+func (u *Union) Columns() []ColMeta { return u.Inputs[0].Columns() }
+
+// Children implements Node.
+func (u *Union) Children() []Node { return u.Inputs }
+
+// WithChildren implements Node.
+func (u *Union) WithChildren(kids []Node) Node { return &Union{Inputs: kids} }
+
+// Describe implements Node.
+func (u *Union) Describe() string { return fmt.Sprintf("UnionAll (%d inputs)", len(u.Inputs)) }
+
+// Remote marks a subtree the optimizer decided to push down to a single
+// source. The execution runtime ships Child to that source's wrapper.
+type Remote struct {
+	Source string
+	Child  Node
+	// AllowKeyFilter records that the source can absorb an additional
+	// key-list filter (PushFilter capability); the executor's semi-join
+	// reduction uses it to ship join keys instead of whole tables.
+	AllowKeyFilter bool
+}
+
+// Columns implements Node.
+func (r *Remote) Columns() []ColMeta { return r.Child.Columns() }
+
+// Children implements Node.
+func (r *Remote) Children() []Node { return []Node{r.Child} }
+
+// WithChildren implements Node.
+func (r *Remote) WithChildren(kids []Node) Node {
+	return &Remote{Source: r.Source, Child: kids[0], AllowKeyFilter: r.AllowKeyFilter}
+}
+
+// Describe implements Node.
+func (r *Remote) Describe() string { return "Remote @" + r.Source }
+
+// findCol resolves a column reference against a column list: a qualified
+// reference must match both qualifier and name; an unqualified reference
+// must match a unique name.
+func findCol(cols []ColMeta, ref *sqlparse.ColumnRef) (ColMeta, bool) {
+	idx, err := ResolveColumn(cols, ref)
+	if err != nil {
+		return ColMeta{}, false
+	}
+	return cols[idx], true
+}
+
+// ResolveColumn returns the offset of the column referenced by ref within
+// cols. Ambiguous or missing references return an error.
+func ResolveColumn(cols []ColMeta, ref *sqlparse.ColumnRef) (int, error) {
+	found := -1
+	for i, c := range cols {
+		if !strings.EqualFold(c.Name, ref.Column) {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(c.Table, ref.Table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("plan: ambiguous column reference %q", ref.SQL())
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("plan: unknown column %q", ref.SQL())
+	}
+	return found, nil
+}
+
+// Explain renders the plan tree indented, one node per line.
+func Explain(n Node) string {
+	var b strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Describe())
+		b.WriteByte('\n')
+		for _, k := range n.Children() {
+			walk(k, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// Walk visits every node in the tree pre-order.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, k := range n.Children() {
+		Walk(k, fn)
+	}
+}
+
+// Transform rebuilds the tree bottom-up, applying fn to every node after
+// its children have been transformed.
+func Transform(n Node, fn func(Node) Node) Node {
+	kids := n.Children()
+	if len(kids) > 0 {
+		newKids := make([]Node, len(kids))
+		changed := false
+		for i, k := range kids {
+			newKids[i] = Transform(k, fn)
+			if newKids[i] != k {
+				changed = true
+			}
+		}
+		if changed {
+			n = n.WithChildren(newKids)
+		}
+	}
+	return fn(n)
+}
+
+// SourcesOf returns the distinct source names under the node, sorted.
+func SourcesOf(n Node) []string {
+	set := map[string]bool{}
+	Walk(n, func(x Node) {
+		if s, ok := x.(*Scan); ok {
+			set[s.Source] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,160 @@
+// Package schema describes the shape of relations: typed columns, table
+// schemas with keys, and the statistics the optimizer consumes. Both the
+// per-source catalogs and the mediated (virtual) catalog are built from
+// these descriptors.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datum"
+)
+
+// Column is one attribute of a relation.
+type Column struct {
+	Name     string
+	Kind     datum.Kind
+	Nullable bool
+}
+
+// String renders the column as "name KIND".
+func (c Column) String() string {
+	s := c.Name + " " + c.Kind.String()
+	if !c.Nullable {
+		s += " NOT NULL"
+	}
+	return s
+}
+
+// Table describes a base table: its name, ordered columns and (optionally)
+// the offsets of its primary-key columns.
+type Table struct {
+	Name    string
+	Columns []Column
+	// Key holds column offsets forming the primary key; empty means no
+	// declared key.
+	Key []int
+}
+
+// NewTable builds a table descriptor, validating column-name uniqueness.
+func NewTable(name string, cols []Column, key ...int) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: table name must be non-empty")
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if lc == "" {
+			return nil, fmt.Errorf("schema: table %s has an unnamed column", name)
+		}
+		if seen[lc] {
+			return nil, fmt.Errorf("schema: table %s: duplicate column %s", name, c.Name)
+		}
+		seen[lc] = true
+	}
+	for _, k := range key {
+		if k < 0 || k >= len(cols) {
+			return nil, fmt.Errorf("schema: table %s: key offset %d out of range", name, k)
+		}
+	}
+	return &Table{Name: name, Columns: cols, Key: key}, nil
+}
+
+// MustTable is NewTable that panics on error; for statically-known schemas
+// in tests, examples and the workload generators.
+func MustTable(name string, cols []Column, key ...int) *Table {
+	t, err := NewTable(name, cols, key...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ColumnIndex returns the offset of the named column (case-insensitive), or
+// -1 if absent.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arity returns the number of columns.
+func (t *Table) Arity() int { return len(t.Columns) }
+
+// RowWidth estimates the average serialized row width in bytes, used by the
+// cost model before real statistics exist.
+func (t *Table) RowWidth() int {
+	w := 4
+	for _, c := range t.Columns {
+		switch c.Kind {
+		case datum.KindString:
+			w += 24
+		default:
+			w += 9
+		}
+	}
+	return w
+}
+
+// CheckRow validates a row against the table schema: arity, kind and
+// nullability.
+func (t *Table) CheckRow(r datum.Row) error {
+	if len(r) != len(t.Columns) {
+		return fmt.Errorf("schema: table %s expects %d columns, got %d", t.Name, len(t.Columns), len(r))
+	}
+	for i, d := range r {
+		c := t.Columns[i]
+		if d.IsNull() {
+			if !c.Nullable {
+				return fmt.Errorf("schema: table %s: NULL in NOT NULL column %s", t.Name, c.Name)
+			}
+			continue
+		}
+		if d.Kind() != c.Kind {
+			return fmt.Errorf("schema: table %s: column %s expects %s, got %s",
+				t.Name, c.Name, c.Kind, d.Kind())
+		}
+	}
+	return nil
+}
+
+// String renders the table as a CREATE-TABLE-ish summary.
+func (t *Table) String() string {
+	parts := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		parts[i] = c.String()
+	}
+	return t.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ColStats summarizes one column for the optimizer.
+type ColStats struct {
+	Distinct int64 // number of distinct non-null values
+	NullFrac float64
+	Min, Max datum.Datum // undefined (Null) when the column is empty
+}
+
+// TableStats summarizes a table for the optimizer.
+type TableStats struct {
+	Rows     int64
+	RowWidth int // average serialized width in bytes
+	Cols     []ColStats
+}
+
+// DefaultStats fabricates conservative statistics for a table with the given
+// row count, used when a source cannot report real statistics.
+func DefaultStats(t *Table, rows int64) *TableStats {
+	cols := make([]ColStats, len(t.Columns))
+	for i := range cols {
+		d := rows / 10
+		if d < 1 {
+			d = 1
+		}
+		cols[i] = ColStats{Distinct: d, NullFrac: 0, Min: datum.Null, Max: datum.Null}
+	}
+	return &TableStats{Rows: rows, RowWidth: t.RowWidth(), Cols: cols}
+}

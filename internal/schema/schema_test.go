@@ -1,0 +1,98 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+)
+
+func custTable() *Table {
+	return MustTable("customers", []Column{
+		{Name: "id", Kind: datum.KindInt},
+		{Name: "name", Kind: datum.KindString, Nullable: true},
+		{Name: "balance", Kind: datum.KindFloat, Nullable: true},
+	}, 0)
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", nil); err == nil {
+		t.Error("empty table name must error")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a"}, {Name: "A"}}); err == nil {
+		t.Error("duplicate column (case-insensitive) must error")
+	}
+	if _, err := NewTable("t", []Column{{Name: ""}}); err == nil {
+		t.Error("unnamed column must error")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a"}}, 5); err == nil {
+		t.Error("key offset out of range must error")
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable must panic on invalid input")
+		}
+	}()
+	MustTable("", nil)
+}
+
+func TestColumnIndex(t *testing.T) {
+	tab := custTable()
+	if tab.ColumnIndex("NAME") != 1 {
+		t.Error("lookup must be case-insensitive")
+	}
+	if tab.ColumnIndex("missing") != -1 {
+		t.Error("missing column must return -1")
+	}
+	if tab.Arity() != 3 {
+		t.Error("arity")
+	}
+}
+
+func TestCheckRow(t *testing.T) {
+	tab := custTable()
+	good := datum.Row{datum.NewInt(1), datum.NewString("Ann"), datum.NewFloat(10)}
+	if err := tab.CheckRow(good); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := tab.CheckRow(good[:2]); err == nil {
+		t.Error("short row must be rejected")
+	}
+	bad := datum.Row{datum.NewString("x"), datum.Null, datum.Null}
+	if err := tab.CheckRow(bad); err == nil {
+		t.Error("kind mismatch must be rejected")
+	}
+	nullKey := datum.Row{datum.Null, datum.Null, datum.Null}
+	if err := tab.CheckRow(nullKey); err == nil || !strings.Contains(err.Error(), "NOT NULL") {
+		t.Errorf("NULL in NOT NULL column must be rejected, got %v", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tab := custTable()
+	s := tab.String()
+	if !strings.Contains(s, "customers(") || !strings.Contains(s, "id INT NOT NULL") {
+		t.Errorf("unexpected rendering: %s", s)
+	}
+}
+
+func TestRowWidthAndDefaultStats(t *testing.T) {
+	tab := custTable()
+	if tab.RowWidth() <= 0 {
+		t.Error("row width must be positive")
+	}
+	st := DefaultStats(tab, 1000)
+	if st.Rows != 1000 || len(st.Cols) != 3 {
+		t.Error("default stats shape")
+	}
+	if st.Cols[0].Distinct != 100 {
+		t.Errorf("default distinct = %d, want rows/10", st.Cols[0].Distinct)
+	}
+	st0 := DefaultStats(tab, 0)
+	if st0.Cols[0].Distinct != 1 {
+		t.Error("distinct must be at least 1")
+	}
+}

@@ -1,0 +1,61 @@
+package search
+
+import (
+	"strings"
+
+	"repro/internal/docstore"
+	"repro/internal/semantics"
+)
+
+// QueryExpanded runs a keyword query with ontology-driven synonym
+// expansion: each query token that the ontology maps to a concept is
+// augmented with that concept's other surface terms. This is §8's "common
+// semantic framework for integrating retrieval results" applied to
+// search: a user asking for "cust_no" also finds rows labelled
+// "customer-id" and vice versa.
+func (ix *Index) QueryExpanded(q string, onto *semantics.Ontology, limit int) []Hit {
+	if onto == nil {
+		return ix.Query(q, limit)
+	}
+	var expanded []string
+	seen := map[string]bool{}
+	add := func(tok string) {
+		if tok != "" && !seen[tok] {
+			seen[tok] = true
+			expanded = append(expanded, tok)
+		}
+	}
+	expandConcept := func(term string) {
+		concept := onto.Canonical(term)
+		if concept == "" {
+			return
+		}
+		// The concept name itself is a searchable surface form...
+		for _, part := range docstore.Tokenize(concept) {
+			add(part)
+		}
+		// ...as are its ancestors (broader terms).
+		for _, anc := range onto.Ancestors(concept) {
+			for _, part := range docstore.Tokenize(anc) {
+				add(part)
+			}
+		}
+	}
+	// Whitespace-split words keep compound identifiers ("cust_no")
+	// intact for synonym lookup; the index tokens come from Tokenize.
+	for _, word := range strings.Fields(q) {
+		expandConcept(word)
+	}
+	for _, tok := range docstore.Tokenize(q) {
+		add(tok)
+		expandConcept(tok)
+	}
+	var joined string
+	for i, tok := range expanded {
+		if i > 0 {
+			joined += " "
+		}
+		joined += tok
+	}
+	return ix.Query(joined, limit)
+}

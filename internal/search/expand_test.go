@@ -1,0 +1,53 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/semantics"
+)
+
+func TestQueryExpandedFindsSynonymLabels(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(Entry{Source: "crm", Kind: KindRow, Ref: "a", Text: "cust_no 42 active"})
+	ix.Add(Entry{Source: "legacy", Kind: KindRow, Ref: "b", Text: "customer-id 42 dormant"})
+	ix.Add(Entry{Source: "hr", Kind: KindRow, Ref: "c", Text: "unrelated payroll entry"})
+
+	onto := semantics.NewOntology()
+	onto.AddConcept("customer-id")
+	onto.AddSynonym("cust_no", "customer-id")
+
+	// Plain query only matches the literal token.
+	plain := ix.Query("cust_no", 0)
+	if len(plain) != 1 || plain[0].Entry.Ref != "a" {
+		t.Fatalf("plain hits = %+v", plain)
+	}
+	// Expanded query reaches the synonym-labelled row too.
+	expanded := ix.QueryExpanded("cust_no", onto, 0)
+	refs := map[string]bool{}
+	for _, h := range expanded {
+		refs[h.Entry.Ref] = true
+	}
+	if !refs["a"] || !refs["b"] {
+		t.Errorf("expanded hits = %+v", expanded)
+	}
+	if refs["c"] {
+		t.Error("unrelated row leaked into expanded hits")
+	}
+}
+
+func TestQueryExpandedNilOntology(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(Entry{Source: "s", Kind: KindDocument, Ref: "d", Text: "hello world"})
+	if hits := ix.QueryExpanded("hello", nil, 0); len(hits) != 1 {
+		t.Errorf("nil ontology must behave like Query: %+v", hits)
+	}
+}
+
+func TestQueryExpandedUnknownTokensPassThrough(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(Entry{Source: "s", Kind: KindDocument, Ref: "d", Text: "zebra stripes"})
+	onto := semantics.NewOntology()
+	if hits := ix.QueryExpanded("zebra", onto, 0); len(hits) != 1 {
+		t.Errorf("unknown tokens must still match: %+v", hits)
+	}
+}

@@ -1,0 +1,191 @@
+// Package search implements enterprise search across the federation — §8
+// (Sikka): "enable search across documents, business objects and structured
+// data in all the applications in an enterprise." Structured rows,
+// schema-less documents, and free text all index into one TF-IDF inverted
+// index; a query returns ranked hits that identify the owning source so the
+// caller can drill down ("from such a starting point, Jamie might need to
+// dive into details in any particular direction").
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/docstore"
+)
+
+// Kind labels what a hit points at, mirroring §8's three data classes.
+type Kind string
+
+// Hit kinds.
+const (
+	KindRow      Kind = "row"      // structured: a table row
+	KindDocument Kind = "document" // unstructured: a document
+	KindObject   Kind = "object"   // semi-structured: a business object
+)
+
+// Entry is one indexed item.
+type Entry struct {
+	// Source is the owning system ("crm", "hr", "docs"...).
+	Source string
+	// Kind classifies the entry.
+	Kind Kind
+	// Ref locates the item inside its source (table/primary key, doc
+	// id, ...).
+	Ref string
+	// Text is the indexed content.
+	Text string
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	Entry Entry
+	Score float64
+}
+
+// Index is a TF-IDF inverted index over federation content. It is safe for
+// concurrent use.
+type Index struct {
+	mu      sync.RWMutex
+	entries []Entry
+	// postings: token -> entry ordinal -> term frequency.
+	postings map[string]map[int]int
+	lengths  []int // tokens per entry
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{postings: make(map[string]map[int]int)}
+}
+
+// Add indexes one entry.
+func (ix *Index) Add(e Entry) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id := len(ix.entries)
+	ix.entries = append(ix.entries, e)
+	toks := docstore.Tokenize(e.Text)
+	ix.lengths = append(ix.lengths, len(toks))
+	for _, tok := range toks {
+		m := ix.postings[tok]
+		if m == nil {
+			m = make(map[int]int)
+			ix.postings[tok] = m
+		}
+		m[id]++
+	}
+}
+
+// Len returns the number of indexed entries.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.entries)
+}
+
+// IndexRow indexes a structured row: every datum is rendered to text.
+func (ix *Index) IndexRow(source, table string, key string, row datum.Row, colNames []string) {
+	var b strings.Builder
+	for i, d := range row {
+		if d.IsNull() {
+			continue
+		}
+		if i < len(colNames) {
+			b.WriteString(colNames[i])
+			b.WriteByte(' ')
+		}
+		b.WriteString(d.Display())
+		b.WriteByte(' ')
+	}
+	ix.Add(Entry{Source: source, Kind: KindRow, Ref: table + "/" + key, Text: b.String()})
+}
+
+// IndexDocument indexes a schema-less document (fields + body).
+func (ix *Index) IndexDocument(source string, doc docstore.Document) {
+	var b strings.Builder
+	b.WriteString(doc.Body)
+	for k, v := range doc.Fields {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte(' ')
+		b.WriteString(v.Display())
+	}
+	ix.Add(Entry{Source: source, Kind: KindDocument, Ref: doc.ID, Text: b.String()})
+}
+
+// IndexStore bulk-indexes every document in a schema-less store.
+func (ix *Index) IndexStore(s *docstore.Store) int {
+	n := 0
+	// The store has no enumeration API surface beyond Search with no
+	// terms; use Impose-free traversal via the store's own snapshot:
+	// Search("") is empty, so the store exposes ForEach below.
+	s.ForEach(func(d docstore.Document) {
+		ix.IndexDocument(s.Name(), d)
+		n++
+	})
+	return n
+}
+
+// Query returns ranked hits for the keyword query: entries matching more,
+// rarer terms score higher (TF-IDF with length normalization). Ties break
+// deterministically by source/ref.
+func (ix *Index) Query(q string, limit int) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	toks := docstore.Tokenize(q)
+	if len(toks) == 0 {
+		return nil
+	}
+	n := float64(len(ix.entries))
+	scores := map[int]float64{}
+	for _, tok := range toks {
+		posting := ix.postings[tok]
+		if len(posting) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(posting)))
+		for id, tf := range posting {
+			norm := 1.0
+			if ix.lengths[id] > 0 {
+				norm = math.Sqrt(float64(ix.lengths[id]))
+			}
+			scores[id] += float64(tf) * idf / norm
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{Entry: ix.entries[id], Score: s})
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if hits[i].Entry.Source != hits[j].Entry.Source {
+			return hits[i].Entry.Source < hits[j].Entry.Source
+		}
+		return hits[i].Entry.Ref < hits[j].Entry.Ref
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// BySource buckets hits per source — the "single view" panel §8 describes,
+// one section per system holding relevant data.
+func BySource(hits []Hit) map[string][]Hit {
+	out := map[string][]Hit{}
+	for _, h := range hits {
+		out[h.Entry.Source] = append(out[h.Entry.Source], h)
+	}
+	return out
+}
+
+// Describe renders a hit for terminal output.
+func (h Hit) Describe() string {
+	return fmt.Sprintf("[%s %s] %s (%.3f)", h.Entry.Source, h.Entry.Kind, h.Entry.Ref, h.Score)
+}

@@ -1,0 +1,124 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/docstore"
+)
+
+func fixture() *Index {
+	ix := NewIndex()
+	// Structured rows (the "business objects and structured data").
+	ix.IndexRow("crm", "customers", "1",
+		datum.Row{datum.NewInt(1), datum.NewString("Globex"), datum.NewString("west")},
+		[]string{"id", "name", "region"})
+	ix.IndexRow("billing", "invoices", "77",
+		datum.Row{datum.NewInt(77), datum.NewString("Globex"), datum.NewFloat(1200)},
+		[]string{"id", "customer", "amount"})
+	// Unstructured documents.
+	ix.IndexDocument("docs", docstore.Document{
+		ID:   "n-1",
+		Body: "Globex filed a support request about late invoices",
+	})
+	ix.IndexDocument("docs", docstore.Document{
+		ID:   "n-2",
+		Body: "quarterly report mentions steady revenue",
+	})
+	return ix
+}
+
+func TestQuerySpansSourceTypes(t *testing.T) {
+	ix := fixture()
+	hits := ix.Query("Globex", 0)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	bySrc := BySource(hits)
+	if len(bySrc["crm"]) != 1 || len(bySrc["billing"]) != 1 || len(bySrc["docs"]) != 1 {
+		t.Errorf("per-source buckets = %v", bySrc)
+	}
+	kinds := map[Kind]bool{}
+	for _, h := range hits {
+		kinds[h.Entry.Kind] = true
+	}
+	if !kinds[KindRow] || !kinds[KindDocument] {
+		t.Error("hits must span structured and unstructured kinds")
+	}
+}
+
+func TestMultiTermRanking(t *testing.T) {
+	ix := fixture()
+	hits := ix.Query("Globex invoices", 0)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	// The doc mentioning both terms must outrank single-term matches.
+	if hits[0].Entry.Ref != "n-1" && hits[0].Entry.Ref != "invoices/77" {
+		t.Errorf("top hit = %+v", hits[0])
+	}
+	foundBoth := hits[0]
+	for _, h := range hits[1:] {
+		if h.Score > foundBoth.Score {
+			t.Error("hits not sorted by score")
+		}
+	}
+}
+
+func TestRareTermsWeighMore(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 20; i++ {
+		ix.Add(Entry{Source: "s", Kind: KindDocument, Ref: string(rune('a' + i)), Text: "common filler words"})
+	}
+	ix.Add(Entry{Source: "s", Kind: KindDocument, Ref: "special", Text: "common unique"})
+	hits := ix.Query("common unique", 1)
+	if len(hits) != 1 || hits[0].Entry.Ref != "special" {
+		t.Errorf("rare term must dominate: %+v", hits)
+	}
+}
+
+func TestLimitAndEmptyQuery(t *testing.T) {
+	ix := fixture()
+	if hits := ix.Query("Globex", 2); len(hits) != 2 {
+		t.Errorf("limit ignored: %d", len(hits))
+	}
+	if hits := ix.Query("", 0); hits != nil {
+		t.Errorf("empty query must return nil, got %v", hits)
+	}
+	if hits := ix.Query("zzzznope", 0); len(hits) != 0 {
+		t.Errorf("no-match query must return empty, got %v", hits)
+	}
+}
+
+func TestIndexStore(t *testing.T) {
+	s := docstore.New("wiki", nil)
+	_ = s.Put(docstore.Document{ID: "p1", Body: "federated query planning"})
+	_ = s.Put(docstore.Document{ID: "p2", Body: "warehouse refresh schedule"})
+	ix := NewIndex()
+	if n := ix.IndexStore(s); n != 2 {
+		t.Fatalf("indexed %d", n)
+	}
+	hits := ix.Query("federated", 0)
+	if len(hits) != 1 || hits[0].Entry.Ref != "p1" || hits[0].Entry.Source != "wiki" {
+		t.Errorf("hits = %+v", hits)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	h := Hit{Entry: Entry{Source: "crm", Kind: KindRow, Ref: "customers/1"}, Score: 0.5}
+	if s := h.Describe(); !strings.Contains(s, "crm") || !strings.Contains(s, "customers/1") {
+		t.Errorf("describe = %q", s)
+	}
+}
+
+func TestNullFieldsSkipped(t *testing.T) {
+	ix := NewIndex()
+	ix.IndexRow("s", "t", "1", datum.Row{datum.Null, datum.NewString("alpha")}, []string{"a", "b"})
+	if hits := ix.Query("null", 0); len(hits) != 0 {
+		t.Errorf("NULLs must not be indexed as text: %v", hits)
+	}
+	if hits := ix.Query("alpha", 0); len(hits) != 1 {
+		t.Errorf("real value must be indexed: %v", hits)
+	}
+}

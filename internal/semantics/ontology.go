@@ -1,0 +1,172 @@
+// Package semantics implements the metadata layer the paper keeps calling
+// the real bottleneck — §1 (Halevy): "the success of the industry will
+// depend ... on delivering useful tools at the higher levels of the
+// information food chain, namely for meta-data management and schema
+// heterogeneity"; §6 (Pollock): data needs "formal semantics ... outside of
+// code and proprietary metadata"; §7 (Rosenthal): "It's the metadata,
+// stupid!"
+//
+// It provides: an ontology with transitive subsumption and synonym
+// inference (§7: "the same transitive relationships can represent matching
+// knowledge and many value derivations, with inference"), a registry of
+// concept annotations on source columns, a schema matcher that proposes
+// correspondences, and the agility measures §7 explicitly requests
+// ("Research question: provide ways to measure data integration agility").
+package semantics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Ontology is a DAG of concepts (is-a edges) plus a synonym map from terms
+// to concepts.
+type Ontology struct {
+	mu       sync.RWMutex
+	parents  map[string][]string
+	synonyms map[string]string
+}
+
+// NewOntology creates an empty ontology.
+func NewOntology() *Ontology {
+	return &Ontology{
+		parents:  make(map[string][]string),
+		synonyms: make(map[string]string),
+	}
+}
+
+func canon(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// AddConcept declares a concept with optional direct parents (is-a edges).
+func (o *Ontology) AddConcept(name string, parents ...string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := canon(name)
+	if _, ok := o.parents[c]; !ok {
+		o.parents[c] = nil
+	}
+	for _, p := range parents {
+		pc := canon(p)
+		if _, ok := o.parents[pc]; !ok {
+			o.parents[pc] = nil
+		}
+		o.parents[c] = append(o.parents[c], pc)
+	}
+}
+
+// AddSynonym binds a surface term to a concept.
+func (o *Ontology) AddSynonym(term, concept string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := canon(concept)
+	if _, ok := o.parents[c]; !ok {
+		o.parents[c] = nil
+	}
+	o.synonyms[canon(term)] = c
+}
+
+// Canonical resolves a term to its concept: synonym lookup first, then the
+// term itself if it names a concept; "" when unknown.
+func (o *Ontology) Canonical(term string) string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	t := canon(term)
+	if c, ok := o.synonyms[t]; ok {
+		return c
+	}
+	if _, ok := o.parents[t]; ok {
+		return t
+	}
+	return ""
+}
+
+// Concepts returns all declared concepts, sorted.
+func (o *Ontology) Concepts() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.parents))
+	for c := range o.parents {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsA reports whether sub is (transitively) subsumed by super. Every
+// concept IsA itself.
+func (o *Ontology) IsA(sub, super string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	s, p := canon(sub), canon(super)
+	if _, ok := o.parents[s]; !ok {
+		return false
+	}
+	if _, ok := o.parents[p]; !ok {
+		return false
+	}
+	seen := map[string]bool{}
+	stack := []string{s}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == p {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, o.parents[cur]...)
+	}
+	return false
+}
+
+// Ancestors returns the transitive closure of a concept's parents
+// (excluding itself), sorted.
+func (o *Ontology) Ancestors(concept string) []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	c := canon(concept)
+	seen := map[string]bool{}
+	var stack []string
+	stack = append(stack, o.parents[c]...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, o.parents[cur]...)
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Related reports whether two terms resolve to concepts where one subsumes
+// the other or they share a common ancestor.
+func (o *Ontology) Related(a, b string) bool {
+	ca, cb := o.Canonical(a), o.Canonical(b)
+	if ca == "" || cb == "" {
+		return false
+	}
+	if ca == cb || o.IsA(ca, cb) || o.IsA(cb, ca) {
+		return true
+	}
+	aAnc := o.Ancestors(ca)
+	set := make(map[string]bool, len(aAnc))
+	for _, x := range aAnc {
+		set[x] = true
+	}
+	for _, y := range o.Ancestors(cb) {
+		if set[y] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package semantics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/linkage"
+	"repro/internal/schema"
+)
+
+// ColRef identifies one column in the federation.
+type ColRef struct {
+	Source, Table, Column string
+}
+
+func (c ColRef) norm() ColRef {
+	return ColRef{canon(c.Source), canon(c.Table), canon(c.Column)}
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	return c.Source + "." + c.Table + "." + c.Column
+}
+
+// Registry stores concept annotations on source columns — the shared,
+// cross-product metadata §7 says the EI community never built for itself.
+type Registry struct {
+	mu          sync.RWMutex
+	annotations map[ColRef]string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{annotations: make(map[ColRef]string)}
+}
+
+// Annotate binds a column to a concept (replacing any prior annotation).
+func (r *Registry) Annotate(ref ColRef, concept string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.annotations[ref.norm()] = canon(concept)
+}
+
+// ConceptOf returns a column's concept annotation.
+func (r *Registry) ConceptOf(ref ColRef) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.annotations[ref.norm()]
+	return c, ok
+}
+
+// Len returns the number of annotations.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.annotations)
+}
+
+// FindByConcept returns every column annotated with the concept or any
+// concept subsumed by it, sorted. This is §7's "descriptive vocabularies
+// for existing data" put to work: ask for "identifier" and get every
+// customer_id, emp_no, ssn column any source annotated.
+func (r *Registry) FindByConcept(concept string, o *Ontology) []ColRef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	want := canon(concept)
+	var out []ColRef
+	for ref, c := range r.annotations {
+		if c == want || (o != nil && o.IsA(c, want)) {
+			out = append(out, ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Correspondence is one proposed attribute match between two tables.
+type Correspondence struct {
+	A, B       ColRef
+	Confidence float64
+	Basis      string // "concept", "synonym", "name", "name+type"
+}
+
+// MatchTables proposes correspondences between the columns of two source
+// tables, using (in order of confidence) shared concept annotations,
+// ontology-related annotations, and normalized name similarity with a type
+// compatibility bonus. This is the semi-automatic schema matching §1 and §8
+// call "relatively in their infancy" — useful, imperfect, threshold-gated.
+func MatchTables(aSource string, a *schema.Table, bSource string, b *schema.Table,
+	reg *Registry, onto *Ontology, threshold float64) []Correspondence {
+	if threshold <= 0 {
+		threshold = 0.6
+	}
+	var out []Correspondence
+	for _, ca := range a.Columns {
+		refA := ColRef{aSource, a.Name, ca.Name}
+		best := Correspondence{Confidence: -1}
+		for _, cb := range b.Columns {
+			refB := ColRef{bSource, b.Name, cb.Name}
+			conf, basis := scorePair(refA, ca, refB, cb, reg, onto)
+			if conf > best.Confidence {
+				best = Correspondence{A: refA, B: refB, Confidence: conf, Basis: basis}
+			}
+		}
+		if best.Confidence >= threshold {
+			out = append(out, best)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].A.String() < out[j].A.String()
+	})
+	return out
+}
+
+func scorePair(refA ColRef, ca schema.Column, refB ColRef, cb schema.Column,
+	reg *Registry, onto *Ontology) (float64, string) {
+	// Concept annotations dominate.
+	if reg != nil {
+		concA, okA := reg.ConceptOf(refA)
+		concB, okB := reg.ConceptOf(refB)
+		if okA && okB {
+			if concA == concB {
+				return 1.0, "concept"
+			}
+			if onto != nil && onto.Related(concA, concB) {
+				return 0.9, "concept-related"
+			}
+		}
+	}
+	// Synonym resolution through the ontology.
+	if onto != nil {
+		sa, sb := onto.Canonical(ca.Name), onto.Canonical(cb.Name)
+		if sa != "" && sa == sb {
+			return 0.85, "synonym"
+		}
+	}
+	// Name similarity with type compatibility.
+	sim := linkage.Score(splitIdent(ca.Name), splitIdent(cb.Name))
+	if ca.Kind == cb.Kind {
+		sim = sim*0.8 + 0.2
+		return sim, "name+type"
+	}
+	return sim * 0.8, "name"
+}
+
+// splitIdent turns snake_case/camelCase identifiers into space-separated
+// words so the string matcher compares vocabulary, not formatting.
+func splitIdent(s string) string {
+	var b strings.Builder
+	var prevLower bool
+	for _, r := range s {
+		switch {
+		case r == '_' || r == '-' || r == '.':
+			b.WriteByte(' ')
+			prevLower = false
+		case r >= 'A' && r <= 'Z':
+			if prevLower {
+				b.WriteByte(' ')
+			}
+			b.WriteRune(r + ('a' - 'A'))
+			prevLower = false
+		default:
+			b.WriteRune(r)
+			prevLower = r >= 'a' && r <= 'z'
+		}
+	}
+	return b.String()
+}

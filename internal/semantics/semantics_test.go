@@ -1,0 +1,200 @@
+package semantics
+
+import (
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/schema"
+)
+
+func ontoFixture() *Ontology {
+	o := NewOntology()
+	o.AddConcept("identifier")
+	o.AddConcept("person-id", "identifier")
+	o.AddConcept("customer-id", "person-id")
+	o.AddConcept("employee-id", "person-id")
+	o.AddConcept("money")
+	o.AddSynonym("cust_no", "customer-id")
+	o.AddSynonym("emp_no", "employee-id")
+	o.AddSynonym("amount", "money")
+	return o
+}
+
+func TestOntologySubsumption(t *testing.T) {
+	o := ontoFixture()
+	if !o.IsA("customer-id", "identifier") {
+		t.Error("transitive is-a failed")
+	}
+	if !o.IsA("customer-id", "customer-id") {
+		t.Error("reflexive is-a failed")
+	}
+	if o.IsA("identifier", "customer-id") {
+		t.Error("is-a must not invert")
+	}
+	if o.IsA("money", "identifier") {
+		t.Error("unrelated concepts must not subsume")
+	}
+	if o.IsA("ghost", "identifier") || o.IsA("identifier", "ghost") {
+		t.Error("unknown concepts must not subsume")
+	}
+}
+
+func TestOntologySynonymsAndRelated(t *testing.T) {
+	o := ontoFixture()
+	if o.Canonical("CUST_NO") != "customer-id" {
+		t.Errorf("canonical = %q", o.Canonical("CUST_NO"))
+	}
+	if o.Canonical("money") != "money" {
+		t.Error("concept names canonicalize to themselves")
+	}
+	if o.Canonical("nothing") != "" {
+		t.Error("unknown terms canonicalize to empty")
+	}
+	// customer-id and employee-id share ancestor person-id.
+	if !o.Related("cust_no", "emp_no") {
+		t.Error("sibling concepts with shared ancestor must be related")
+	}
+	if o.Related("cust_no", "amount") {
+		t.Error("identifier vs money must not be related")
+	}
+	anc := o.Ancestors("customer-id")
+	if len(anc) != 2 || anc[0] != "identifier" || anc[1] != "person-id" {
+		t.Errorf("ancestors = %v", anc)
+	}
+}
+
+func TestOntologyCycleTolerance(t *testing.T) {
+	o := NewOntology()
+	o.AddConcept("a", "b")
+	o.AddConcept("b", "a") // cycle must not hang
+	if !o.IsA("a", "b") || !o.IsA("b", "a") {
+		t.Error("cyclic subsumption should hold both ways")
+	}
+}
+
+func TestRegistryAnnotations(t *testing.T) {
+	o := ontoFixture()
+	r := NewRegistry()
+	r.Annotate(ColRef{"crm", "customers", "id"}, "customer-id")
+	r.Annotate(ColRef{"hr", "employees", "emp_no"}, "employee-id")
+	r.Annotate(ColRef{"billing", "invoices", "amount"}, "money")
+
+	if c, ok := r.ConceptOf(ColRef{"CRM", "Customers", "ID"}); !ok || c != "customer-id" {
+		t.Errorf("case-insensitive lookup failed: %q %v", c, ok)
+	}
+	ids := r.FindByConcept("identifier", o)
+	if len(ids) != 2 {
+		t.Errorf("identifier columns = %v", ids)
+	}
+	money := r.FindByConcept("money", o)
+	if len(money) != 1 || money[0].Column != "amount" {
+		t.Errorf("money columns = %v", money)
+	}
+	if r.Len() != 3 {
+		t.Errorf("len = %d", r.Len())
+	}
+}
+
+func TestMatchTablesByConceptSynonymAndName(t *testing.T) {
+	o := ontoFixture()
+	r := NewRegistry()
+	a := schema.MustTable("customers", []schema.Column{
+		{Name: "id", Kind: datum.KindInt},
+		{Name: "full_name", Kind: datum.KindString},
+		{Name: "postal_code", Kind: datum.KindString},
+	})
+	b := schema.MustTable("clients", []schema.Column{
+		{Name: "cust_no", Kind: datum.KindInt},
+		{Name: "fullName", Kind: datum.KindString},
+		{Name: "zip", Kind: datum.KindString},
+	})
+	r.Annotate(ColRef{"crm", "customers", "id"}, "customer-id")
+	r.Annotate(ColRef{"legacy", "clients", "cust_no"}, "customer-id")
+
+	matches := MatchTables("crm", a, "legacy", b, r, o, 0.6)
+	byA := map[string]Correspondence{}
+	for _, m := range matches {
+		byA[m.A.Column] = m
+	}
+	if m, ok := byA["id"]; !ok || m.B.Column != "cust_no" || m.Basis != "concept" || m.Confidence != 1.0 {
+		t.Errorf("id match = %+v", byA["id"])
+	}
+	if m, ok := byA["full_name"]; !ok || m.B.Column != "fullName" {
+		t.Errorf("name-split match = %+v", byA["full_name"])
+	}
+	// postal_code vs zip share neither concept nor name: must not match
+	// at a 0.6 threshold.
+	if _, ok := byA["postal_code"]; ok {
+		t.Errorf("postal_code should not match anything: %+v", byA["postal_code"])
+	}
+}
+
+func TestSplitIdent(t *testing.T) {
+	cases := map[string]string{
+		"full_name":  "full name",
+		"fullName":   "full name",
+		"Cust-No":    "cust no",
+		"plain":      "plain",
+		"HTTPServer": "httpserver", // all-caps runs stay joined
+	}
+	for in, want := range cases {
+		if got := splitIdent(in); got != want {
+			t.Errorf("splitIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAgilityMeasures(t *testing.T) {
+	// Totals.
+	if MappingsTotal(10, Mediated) != 10 || MappingsTotal(10, PointToPoint) != 45 {
+		t.Error("mapping totals")
+	}
+	if MappingsTotal(0, Mediated) != 0 {
+		t.Error("zero sources")
+	}
+	// Change impact.
+	if MappingsTouchedOnSourceChange(10, Mediated) != 1 {
+		t.Error("mediated change impact must be 1")
+	}
+	if MappingsTouchedOnSourceChange(10, PointToPoint) != 9 {
+		t.Error("p2p change impact must be n-1")
+	}
+	// Growth impact.
+	if MappingsTouchedOnAddSource(10, Mediated) != 1 || MappingsTouchedOnAddSource(10, PointToPoint) != 10 {
+		t.Error("add-source impact")
+	}
+	// Agility: mediated stays high as n grows; p2p decays.
+	am := AgilityScore(20, Mediated)
+	ap := AgilityScore(20, PointToPoint)
+	if am <= ap {
+		t.Errorf("mediated agility %v must exceed p2p %v", am, ap)
+	}
+	if AgilityScore(0, Mediated) != 1 {
+		t.Error("empty federation is trivially agile")
+	}
+}
+
+func TestCostModelShapes(t *testing.T) {
+	m := DefaultCostModel()
+	// Schema-centric marginal cost grows with n (reconciliation).
+	if m.SchemaCentricMarginal(10, 8) <= m.SchemaCentricMarginal(1, 8) {
+		t.Error("schema-centric marginal must grow")
+	}
+	// Schema-less marginal cost shrinks with n (template reuse).
+	if m.SchemaLessMarginal(16, 3) >= m.SchemaLessMarginal(1, 3) {
+		t.Error("schema-less marginal must shrink")
+	}
+	// Crossover: by source 8 with a handful of apps, schema-less must be
+	// cheaper per added source.
+	if m.SchemaLessMarginal(8, 3) >= m.SchemaCentricMarginal(8, 8) {
+		t.Error("schema-less must win for later sources")
+	}
+	if m.SchemaCentricMarginal(0, 8) != 0 || m.SchemaLessMarginal(0, 3) != 0 {
+		t.Error("zeroth source costs nothing")
+	}
+	// Cumulative helper.
+	total := CumulativeCost(3, func(i int) float64 { return float64(i) })
+	if total != 6 {
+		t.Errorf("cumulative = %v", total)
+	}
+}

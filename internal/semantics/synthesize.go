@@ -1,0 +1,102 @@
+package semantics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// This file turns matcher output into executable mediation: from a set of
+// correspondences between two source tables, synthesize the SQL of a
+// mediated view that unions them under one vocabulary. This is the tooling
+// §1 calls for ("tools that make it easy to bridge the semantic
+// heterogeneity between sources") and §5's "high value model creation"
+// assisted by machines: the matcher proposes, a human reviews the
+// correspondences, and the view writes itself.
+
+// SynthesizeUnionView generates a mediated view that presents tables A and
+// B as one relation. The mediated vocabulary is table A's column names;
+// only columns with an accepted correspondence appear. B-side expressions
+// are CAST when the column kinds differ.
+func SynthesizeUnionView(aSource string, a *schema.Table, bSource string, b *schema.Table,
+	matches []Correspondence) (string, error) {
+	if len(matches) == 0 {
+		return "", fmt.Errorf("semantics: no correspondences to synthesize from")
+	}
+	type pair struct {
+		aCol, bCol schema.Column
+	}
+	var pairs []pair
+	for _, m := range matches {
+		ai := a.ColumnIndex(m.A.Column)
+		bi := b.ColumnIndex(m.B.Column)
+		if ai < 0 || bi < 0 {
+			return "", fmt.Errorf("semantics: correspondence %s -> %s names unknown columns",
+				m.A.String(), m.B.String())
+		}
+		pairs = append(pairs, pair{a.Columns[ai], b.Columns[bi]})
+	}
+
+	var aItems, bItems []string
+	for _, p := range pairs {
+		aItems = append(aItems, fmt.Sprintf("a.%s AS %s", p.aCol.Name, p.aCol.Name))
+		bExpr := "b." + p.bCol.Name
+		if p.bCol.Kind != p.aCol.Kind {
+			bExpr = fmt.Sprintf("CAST(%s AS %s)", bExpr, p.aCol.Kind)
+		}
+		bItems = append(bItems, fmt.Sprintf("%s AS %s", bExpr, p.aCol.Name))
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s.%s a UNION ALL SELECT %s FROM %s.%s b",
+		strings.Join(aItems, ", "), aSource, a.Name,
+		strings.Join(bItems, ", "), bSource, b.Name)
+	return sql, nil
+}
+
+// SynthesizeJoinView generates a mediated view joining tables A and B on
+// the correspondence annotated with the given key concept (both sides must
+// carry that annotation in the registry). Non-key matched columns from both
+// sides appear in the output, A's first; name collisions on the B side get
+// a "b_" prefix.
+func SynthesizeJoinView(aSource string, a *schema.Table, bSource string, b *schema.Table,
+	matches []Correspondence, reg *Registry, keyConcept string) (string, error) {
+	key := canon(keyConcept)
+	var join *Correspondence
+	for i, m := range matches {
+		ca, okA := reg.ConceptOf(m.A)
+		cb, okB := reg.ConceptOf(m.B)
+		if okA && okB && ca == key && cb == key {
+			join = &matches[i]
+			break
+		}
+	}
+	if join == nil {
+		return "", fmt.Errorf("semantics: no correspondence annotated with key concept %q", keyConcept)
+	}
+	items := []string{fmt.Sprintf("a.%s AS %s", join.A.Column, join.A.Column)}
+	seen := map[string]bool{strings.ToLower(join.A.Column): true}
+	for _, c := range a.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			continue
+		}
+		seen[lc] = true
+		items = append(items, fmt.Sprintf("a.%s AS %s", c.Name, c.Name))
+	}
+	for _, c := range b.Columns {
+		if strings.EqualFold(c.Name, join.B.Column) {
+			continue
+		}
+		name := c.Name
+		if seen[strings.ToLower(name)] {
+			name = "b_" + name
+		}
+		seen[strings.ToLower(name)] = true
+		items = append(items, fmt.Sprintf("b.%s AS %s", c.Name, name))
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s.%s a JOIN %s.%s b ON a.%s = b.%s",
+		strings.Join(items, ", "),
+		aSource, a.Name, bSource, b.Name,
+		join.A.Column, join.B.Column)
+	return sql, nil
+}

@@ -1,0 +1,531 @@
+package sqlparse
+
+import (
+	"strings"
+
+	"repro/internal/datum"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	// SQL renders the node back to SQL text. The rendering is
+	// re-parseable and is what the pushdown deparser emits.
+	SQL() string
+}
+
+// Statement is the root of a parsed query.
+type Statement interface {
+	Node
+	stmt()
+}
+
+// --- Statements ---
+
+// Select is a SELECT statement, possibly with UNION ALL branches.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // cross-joined list; JOINs nest inside
+	Where    Expr       // nil if absent
+	GroupBy  []Expr
+	Having   Expr // nil if absent
+	OrderBy  []OrderItem
+	Limit    Expr // nil if absent
+	Offset   Expr // nil if absent
+	// UnionAll chains additional SELECT branches (UNION ALL only).
+	UnionAll *Select
+}
+
+func (*Select) stmt() {}
+
+// SQL renders the statement.
+func (s *Select) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.SQL())
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.SQL())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.SQL())
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		b.WriteString(s.Limit.SQL())
+	}
+	if s.Offset != nil {
+		b.WriteString(" OFFSET ")
+		b.WriteString(s.Offset.SQL())
+	}
+	if s.UnionAll != nil {
+		b.WriteString(" UNION ALL ")
+		b.WriteString(s.UnionAll.SQL())
+	}
+	return b.String()
+}
+
+// SelectItem is one element of the select list.
+type SelectItem struct {
+	// Star is true for `*` or `t.*`; Expr is nil in that case and
+	// TableQual holds the qualifier ("" for bare `*`).
+	Star      bool
+	TableQual string
+	Expr      Expr
+	Alias     string
+}
+
+// SQL renders the select item.
+func (it SelectItem) SQL() string {
+	if it.Star {
+		if it.TableQual != "" {
+			return it.TableQual + ".*"
+		}
+		return "*"
+	}
+	s := it.Expr.SQL()
+	if it.Alias != "" {
+		s += " AS " + it.Alias
+	}
+	return s
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SQL renders the order item.
+func (o OrderItem) SQL() string {
+	if o.Desc {
+		return o.Expr.SQL() + " DESC"
+	}
+	return o.Expr.SQL() + " ASC"
+}
+
+// --- Table references ---
+
+// TableRef is a FROM-clause element.
+type TableRef interface {
+	Node
+	tableRef()
+}
+
+// BaseTable references a named table, optionally qualified by a source
+// ("src.table") and optionally aliased.
+type BaseTable struct {
+	Source string // "" when unqualified
+	Name   string
+	Alias  string
+}
+
+func (*BaseTable) tableRef() {}
+
+// SQL renders the table reference.
+func (t *BaseTable) SQL() string {
+	s := t.Name
+	if t.Source != "" {
+		s = t.Source + "." + t.Name
+	}
+	if t.Alias != "" {
+		s += " AS " + t.Alias
+	}
+	return s
+}
+
+// JoinType enumerates supported join types.
+type JoinType uint8
+
+// Supported join types.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+)
+
+// String returns the SQL keyword for the join type.
+func (j JoinType) String() string {
+	if j == JoinLeft {
+		return "LEFT JOIN"
+	}
+	return "JOIN"
+}
+
+// Join is an explicit JOIN ... ON between two table references.
+type Join struct {
+	Type        JoinType
+	Left, Right TableRef
+	On          Expr
+}
+
+func (*Join) tableRef() {}
+
+// SQL renders the join.
+func (j *Join) SQL() string {
+	return j.Left.SQL() + " " + j.Type.String() + " " + j.Right.SQL() + " ON " + j.On.SQL()
+}
+
+// SubqueryTable is a derived table: (SELECT ...) AS alias.
+type SubqueryTable struct {
+	Query *Select
+	Alias string
+}
+
+func (*SubqueryTable) tableRef() {}
+
+// SQL renders the derived table.
+func (t *SubqueryTable) SQL() string {
+	return "(" + t.Query.SQL() + ") AS " + t.Alias
+}
+
+// --- Expressions ---
+
+// Expr is any scalar expression.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value datum.Datum
+}
+
+func (*Literal) expr() {}
+
+// SQL renders the literal.
+func (l *Literal) SQL() string { return l.Value.String() }
+
+// ColumnRef references a column, optionally qualified by table alias/name.
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+
+// SQL renders the column reference.
+func (c *ColumnRef) SQL() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAnd BinOp = iota
+	OpOr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpConcat
+	OpLike
+)
+
+var binOpNames = map[BinOp]string{
+	OpAnd: "AND", OpOr: "OR", OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpMod: "%", OpConcat: "||", OpLike: "LIKE",
+}
+
+// String returns the SQL spelling of the operator.
+func (o BinOp) String() string { return binOpNames[o] }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op          BinOp
+	Left, Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// SQL renders the expression fully parenthesized, which keeps the deparser
+// trivially correct with respect to precedence.
+func (b *BinaryExpr) SQL() string {
+	return "(" + b.Left.SQL() + " " + b.Op.String() + " " + b.Right.SQL() + ")"
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op    string // "NOT" or "-"
+	Child Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// SQL renders the expression.
+func (u *UnaryExpr) SQL() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.Child.SQL() + ")"
+	}
+	return "(" + u.Op + u.Child.SQL() + ")"
+}
+
+// IsNullExpr is `expr IS [NOT] NULL`.
+type IsNullExpr struct {
+	Child Expr
+	Not   bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// SQL renders the predicate.
+func (e *IsNullExpr) SQL() string {
+	if e.Not {
+		return "(" + e.Child.SQL() + " IS NOT NULL)"
+	}
+	return "(" + e.Child.SQL() + " IS NULL)"
+}
+
+// InExpr is `expr [NOT] IN (list)`.
+type InExpr struct {
+	Child Expr
+	List  []Expr
+	Not   bool
+}
+
+func (*InExpr) expr() {}
+
+// SQL renders the predicate.
+func (e *InExpr) SQL() string {
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.SQL()
+	}
+	op := " IN ("
+	if e.Not {
+		op = " NOT IN ("
+	}
+	return "(" + e.Child.SQL() + op + strings.Join(parts, ", ") + "))"
+}
+
+// InSubquery is `expr [NOT] IN (SELECT ...)`. Like EXISTS, the engine
+// supports it only via mediator pre-evaluation of uncorrelated subqueries.
+type InSubquery struct {
+	Child Expr
+	Query *Select
+	Not   bool
+}
+
+func (*InSubquery) expr() {}
+
+// SQL renders the predicate.
+func (e *InSubquery) SQL() string {
+	op := " IN ("
+	if e.Not {
+		op = " NOT IN ("
+	}
+	return "(" + e.Child.SQL() + op + e.Query.SQL() + "))"
+}
+
+// BetweenExpr is `expr [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Child, Lo, Hi Expr
+	Not           bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// SQL renders the predicate.
+func (e *BetweenExpr) SQL() string {
+	op := " BETWEEN "
+	if e.Not {
+		op = " NOT BETWEEN "
+	}
+	return "(" + e.Child.SQL() + op + e.Lo.SQL() + " AND " + e.Hi.SQL() + ")"
+}
+
+// FuncExpr is a scalar or aggregate function call.
+type FuncExpr struct {
+	Name     string // upper-cased
+	Distinct bool   // COUNT(DISTINCT x)
+	Star     bool   // COUNT(*)
+	Args     []Expr
+}
+
+func (*FuncExpr) expr() {}
+
+// SQL renders the call.
+func (f *FuncExpr) SQL() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.SQL()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return f.Name + "(" + d + strings.Join(parts, ", ") + ")"
+}
+
+// AggFuncs lists the recognized aggregate function names.
+var AggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregate reports whether the call is an aggregate function.
+func (f *FuncExpr) IsAggregate() bool { return AggFuncs[f.Name] }
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr // nil means NULL
+}
+
+// CaseWhen is one WHEN ... THEN ... arm.
+type CaseWhen struct {
+	Cond, Result Expr
+}
+
+func (*CaseExpr) expr() {}
+
+// SQL renders the expression.
+func (c *CaseExpr) SQL() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.Whens {
+		b.WriteString(" WHEN ")
+		b.WriteString(w.Cond.SQL())
+		b.WriteString(" THEN ")
+		b.WriteString(w.Result.SQL())
+	}
+	if c.Else != nil {
+		b.WriteString(" ELSE ")
+		b.WriteString(c.Else.SQL())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// CastExpr is CAST(expr AS type).
+type CastExpr struct {
+	Child Expr
+	Type  datum.Kind
+}
+
+func (*CastExpr) expr() {}
+
+// SQL renders the cast.
+func (c *CastExpr) SQL() string {
+	return "CAST(" + c.Child.SQL() + " AS " + c.Type.String() + ")"
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery). The engine supports it only in
+// mediator-side evaluation, never pushdown.
+type ExistsExpr struct {
+	Query *Select
+	Not   bool
+}
+
+func (*ExistsExpr) expr() {}
+
+// SQL renders the predicate.
+func (e *ExistsExpr) SQL() string {
+	if e.Not {
+		return "(NOT EXISTS (" + e.Query.SQL() + "))"
+	}
+	return "(EXISTS (" + e.Query.SQL() + "))"
+}
+
+// WalkExprs calls fn for e and every expression beneath it, pre-order.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExprs(x.Left, fn)
+		WalkExprs(x.Right, fn)
+	case *UnaryExpr:
+		WalkExprs(x.Child, fn)
+	case *IsNullExpr:
+		WalkExprs(x.Child, fn)
+	case *InExpr:
+		WalkExprs(x.Child, fn)
+		for _, a := range x.List {
+			WalkExprs(a, fn)
+		}
+	case *InSubquery:
+		WalkExprs(x.Child, fn)
+	case *BetweenExpr:
+		WalkExprs(x.Child, fn)
+		WalkExprs(x.Lo, fn)
+		WalkExprs(x.Hi, fn)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			WalkExprs(a, fn)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			WalkExprs(w.Cond, fn)
+			WalkExprs(w.Result, fn)
+		}
+		WalkExprs(x.Else, fn)
+	case *CastExpr:
+		WalkExprs(x.Child, fn)
+	}
+}
+
+// ContainsAggregate reports whether the expression contains an aggregate
+// function call.
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExprs(e, func(x Expr) {
+		if f, ok := x.(*FuncExpr); ok && f.IsAggregate() {
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,756 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/datum"
+)
+
+// ParseError describes a syntax error with its byte offset.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses one SELECT statement and requires the whole input to be
+// consumed.
+func Parse(input string) (*Select, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected %q after end of statement", p.peek().Text)
+	}
+	return sel, nil
+}
+
+// ParseExpr parses a standalone scalar expression (used by view definitions
+// and tests).
+func ParseExpr(input string) (Expr, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected %q after expression", p.peek().Text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token   { return p.toks[p.pos] }
+func (p *parser) atEOF() bool   { return p.peek().Kind == TokEOF }
+func (p *parser) next() Token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) backup()       { p.pos-- }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(m int) { p.pos = m }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.peek().Text)
+	}
+	return nil
+}
+
+// acceptSymbol consumes the symbol if present.
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.Kind == TokSymbol && t.Text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errf("expected %q, found %q", sym, p.peek().Text)
+	}
+	return nil
+}
+
+// parseIdent consumes an identifier; non-reserved use of a keyword is not
+// supported to keep the grammar predictable.
+func (p *parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return "", p.errf("expected identifier, found %q", t.Text)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, tr)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+	}
+	if p.acceptKeyword("OFFSET") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = e
+	}
+
+	if p.acceptKeyword("UNION") {
+		if err := p.expectKeyword("ALL"); err != nil {
+			return nil, p.errf("only UNION ALL is supported")
+		}
+		rest, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		sel.UnionAll = rest
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// `*`
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// `ident.*`
+	if t := p.peek(); t.Kind == TokIdent {
+		mark := p.save()
+		name, _ := p.parseIdent()
+		if p.acceptSymbol(".") && p.acceptSymbol("*") {
+			return SelectItem{Star: true, TableQual: name}, nil
+		}
+		p.restore(mark)
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if t := p.peek(); t.Kind == TokIdent {
+		// Bare alias.
+		p.pos++
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var jt JoinType
+		switch {
+		case p.acceptKeyword("JOIN"):
+			jt = JoinInner
+		case p.acceptKeyword("INNER"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinInner
+		case p.acceptKeyword("LEFT"):
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinLeft
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Join{Type: jt, Left: left, Right: right, On: cond}
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableRef, error) {
+	if p.acceptSymbol("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		p.acceptKeyword("AS")
+		alias, err := p.parseIdent()
+		if err != nil {
+			return nil, fmt.Errorf("sql: derived table requires an alias: %w", err)
+		}
+		return &SubqueryTable{Query: sub, Alias: alias}, nil
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	bt := &BaseTable{Name: name}
+	if p.acceptSymbol(".") {
+		second, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		bt.Source = name
+		bt.Name = second
+	}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		bt.Alias = alias
+	} else if t := p.peek(); t.Kind == TokIdent {
+		p.pos++
+		bt.Alias = t.Text
+	}
+	return bt, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr     := orExpr
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | predicate
+//	predicate:= addExpr (comparison | IS NULL | IN | BETWEEN | LIKE)?
+//	addExpr  := mulExpr ((+|-|'||') mulExpr)*
+//	mulExpr  := unary ((*|/|%) unary)*
+//	unary    := - unary | primary
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		child, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Child: child}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Child: left, Not: not}, nil
+	}
+	not := false
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "NOT" {
+		// Lookahead for NOT IN / NOT BETWEEN / NOT LIKE.
+		if p.pos+1 < len(p.toks) {
+			nt := p.toks[p.pos+1]
+			if nt.Kind == TokKeyword && (nt.Text == "IN" || nt.Text == "BETWEEN" || nt.Text == "LIKE") {
+				p.pos++
+				not = true
+			}
+		}
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if t := p.peek(); t.Kind == TokKeyword && t.Text == "SELECT" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &InSubquery{Child: left, Query: sub, Not: not}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Child: left, List: list, Not: not}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Child: left, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		like := Expr(&BinaryExpr{Op: OpLike, Left: left, Right: pat})
+		if not {
+			like = &UnaryExpr{Op: "NOT", Child: like}
+		}
+		return like, nil
+	}
+	if not {
+		return nil, p.errf("dangling NOT")
+	}
+	// Comparison.
+	ops := map[string]BinOp{"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
+	if t := p.peek(); t.Kind == TokSymbol {
+		if op, ok := ops[t.Text]; ok {
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch {
+		case p.acceptSymbol("+"):
+			op = OpAdd
+		case p.acceptSymbol("-"):
+			op = OpSub
+		case p.acceptSymbol("||"):
+			op = OpConcat
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch {
+		case p.acceptSymbol("*"):
+			op = OpMul
+		case p.acceptSymbol("/"):
+			op = OpDiv
+		case p.acceptSymbol("%"):
+			op = OpMod
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals immediately.
+		if lit, ok := child.(*Literal); ok {
+			switch lit.Value.Kind() {
+			case datum.KindInt:
+				return &Literal{Value: datum.NewInt(-lit.Value.Int())}, nil
+			case datum.KindFloat:
+				return &Literal{Value: datum.NewFloat(-lit.Value.Float())}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", Child: child}, nil
+	}
+	if p.acceptSymbol("+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+var kindNames = map[string]datum.Kind{
+	"INT": datum.KindInt, "FLOAT": datum.KindFloat,
+	"STRING": datum.KindString, "BOOL": datum.KindBool, "TIME": datum.KindTime,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", t.Text)
+		}
+		return &Literal{Value: datum.NewInt(v)}, nil
+	case TokFloat:
+		p.pos++
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q", t.Text)
+		}
+		return &Literal{Value: datum.NewFloat(v)}, nil
+	case TokString:
+		p.pos++
+		return &Literal{Value: datum.NewString(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return &Literal{Value: datum.Null}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Value: datum.NewBool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Value: datum.NewBool(false)}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.pos++
+			return p.parseFuncCall(t.Text)
+		case "CASE":
+			p.pos++
+			return p.parseCase()
+		case "CAST":
+			p.pos++
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			child, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			kt := p.next()
+			kind, ok := kindNames[kt.Text]
+			if !ok {
+				return nil, p.errf("unknown type %q in CAST", kt.Text)
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &CastExpr{Child: child, Type: kind}, nil
+		case "EXISTS":
+			p.pos++
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Query: sub}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		p.pos++
+		// Function call?
+		if p.acceptSymbol("(") {
+			p.backup()
+			return p.parseFuncCall(strings.ToUpper(t.Text))
+		}
+		// Qualified column? Either tbl.col or source.tbl.col; in the
+		// three-part form the qualifier stored is "source.tbl".
+		if p.acceptSymbol(".") {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptSymbol(".") {
+				col2, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				return &ColumnRef{Table: t.Text + "." + col, Column: col2}, nil
+			}
+			return &ColumnRef{Table: t.Text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.Text}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.Text)
+}
+
+// parseFuncCall parses the argument list of a function whose (upper-cased)
+// name is given; the opening paren has not been consumed.
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	f := &FuncExpr{Name: name}
+	if p.acceptSymbol("*") {
+		if name != "COUNT" {
+			return nil, p.errf("%s(*) is not supported", name)
+		}
+		f.Star = true
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		f.Distinct = true
+	}
+	if !p.acceptSymbol(")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, a)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	c := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

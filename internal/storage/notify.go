@@ -1,0 +1,84 @@
+package storage
+
+import "sync"
+
+// ChangeKind classifies a table mutation.
+type ChangeKind uint8
+
+// Change kinds.
+const (
+	ChangeInsert ChangeKind = iota
+	ChangeUpdate
+	ChangeDelete
+	ChangeTruncate
+)
+
+// String renders the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeInsert:
+		return "insert"
+	case ChangeUpdate:
+		return "update"
+	case ChangeDelete:
+		return "delete"
+	case ChangeTruncate:
+		return "truncate"
+	default:
+		return "unknown"
+	}
+}
+
+// Change describes one mutation of a table.
+type Change struct {
+	Table   string
+	Kind    ChangeKind
+	Rows    int   // rows affected
+	Version int64 // table version after the change
+}
+
+// notifier fans table changes out to subscribers. §7 (Rosenthal) observes
+// that EII tools support Read but "will become popular only if" they also
+// help with Notify — "it should be possible to generate Notify methods
+// automatically". Subscribing to a table is exactly that generated Notify.
+type notifier struct {
+	mu   sync.Mutex
+	subs map[int]func(Change)
+	next int
+}
+
+func (n *notifier) subscribe(fn func(Change)) (cancel func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.subs == nil {
+		n.subs = make(map[int]func(Change))
+	}
+	id := n.next
+	n.next++
+	n.subs[id] = fn
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(n.subs, id)
+	}
+}
+
+func (n *notifier) publish(c Change) {
+	n.mu.Lock()
+	fns := make([]func(Change), 0, len(n.subs))
+	for _, fn := range n.subs {
+		fns = append(fns, fn)
+	}
+	n.mu.Unlock()
+	for _, fn := range fns {
+		fn(c)
+	}
+}
+
+// Subscribe registers a callback invoked after every committed mutation of
+// the table. The callback runs synchronously on the mutating goroutine and
+// must not call back into the table's write methods. The returned cancel
+// function removes the subscription.
+func (t *Table) Subscribe(fn func(Change)) (cancel func()) {
+	return t.notify.subscribe(fn)
+}

@@ -1,0 +1,394 @@
+// Package storage implements the in-memory storage engine that backs every
+// simulated data source and the central warehouse: heap tables with
+// schema-checked inserts, hash and ordered secondary indexes, and statistics
+// collection for the optimizer.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/schema"
+)
+
+// Table is a heap table with optional secondary indexes. All methods are
+// safe for concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	schema  *schema.Table
+	rows    []datum.Row
+	indexes map[string]*Index
+	version int64 // bumped on every mutation; used for staleness tracking
+	notify  notifier
+}
+
+// NewTable creates an empty table for the given schema. If the schema
+// declares a primary key a unique hash index named "primary" is created
+// automatically.
+func NewTable(sch *schema.Table) *Table {
+	t := &Table{schema: sch, indexes: make(map[string]*Index)}
+	if len(sch.Key) > 0 {
+		t.indexes["primary"] = newIndex("primary", sch.Key, true)
+	}
+	return t
+}
+
+// Schema returns the table's schema descriptor.
+func (t *Table) Schema() *schema.Table { return t.schema }
+
+// Len returns the current row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Version returns a counter that increases with every mutation.
+func (t *Table) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Insert validates and appends a row, maintaining all indexes. The row is
+// cloned, so the caller may reuse its backing slice.
+func (t *Table) Insert(r datum.Row) error {
+	if err := t.schema.CheckRow(r); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	row := datum.CloneRow(r)
+	pos := len(t.rows)
+	for _, idx := range t.indexes {
+		if err := idx.check(row, t.rows); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+	}
+	t.rows = append(t.rows, row)
+	for _, idx := range t.indexes {
+		idx.add(row, pos)
+	}
+	t.version++
+	ver := t.version
+	t.mu.Unlock()
+	t.notify.publish(Change{Table: t.schema.Name, Kind: ChangeInsert, Rows: 1, Version: ver})
+	return nil
+}
+
+// InsertBatch inserts rows, stopping at the first error.
+func (t *Table) InsertBatch(rows []datum.Row) error {
+	for i, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return fmt.Errorf("storage: batch insert row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Update applies fn to every row matching pred, in place. It returns the
+// number of rows updated. Indexes are rebuilt if any row changed.
+func (t *Table) Update(pred func(datum.Row) bool, fn func(datum.Row) datum.Row) (int, error) {
+	t.mu.Lock()
+	n := 0
+	for i, r := range t.rows {
+		if !pred(r) {
+			continue
+		}
+		nr := fn(datum.CloneRow(r))
+		if err := t.schema.CheckRow(nr); err != nil {
+			t.mu.Unlock()
+			return n, err
+		}
+		t.rows[i] = nr
+		n++
+	}
+	var ver int64
+	if n > 0 {
+		t.rebuildIndexesLocked()
+		t.version++
+		ver = t.version
+	}
+	t.mu.Unlock()
+	if n > 0 {
+		t.notify.publish(Change{Table: t.schema.Name, Kind: ChangeUpdate, Rows: n, Version: ver})
+	}
+	return n, nil
+}
+
+// Delete removes every row matching pred and returns the count removed.
+func (t *Table) Delete(pred func(datum.Row) bool) int {
+	t.mu.Lock()
+	kept := t.rows[:0]
+	n := 0
+	for _, r := range t.rows {
+		if pred(r) {
+			n++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rows = kept
+	var ver int64
+	if n > 0 {
+		t.rebuildIndexesLocked()
+		t.version++
+		ver = t.version
+	}
+	t.mu.Unlock()
+	if n > 0 {
+		t.notify.publish(Change{Table: t.schema.Name, Kind: ChangeDelete, Rows: n, Version: ver})
+	}
+	return n
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	n := len(t.rows)
+	t.rows = nil
+	t.rebuildIndexesLocked()
+	t.version++
+	ver := t.version
+	t.mu.Unlock()
+	t.notify.publish(Change{Table: t.schema.Name, Kind: ChangeTruncate, Rows: n, Version: ver})
+}
+
+func (t *Table) rebuildIndexesLocked() {
+	for name, idx := range t.indexes {
+		ni := newIndex(name, idx.cols, idx.unique)
+		for pos, r := range t.rows {
+			ni.add(r, pos)
+		}
+		t.indexes[name] = ni
+	}
+}
+
+// Scan calls fn for every row until fn returns false. The row passed to fn
+// must not be retained or mutated.
+func (t *Table) Scan(fn func(datum.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a copy of all rows; each row is cloned.
+func (t *Table) Snapshot() []datum.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]datum.Row, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = datum.CloneRow(r)
+	}
+	return out
+}
+
+// CreateIndex builds a secondary index over the named columns. unique
+// enforces key uniqueness on subsequent inserts and fails if existing rows
+// already violate it.
+func (t *Table) CreateIndex(name string, cols []string, unique bool) error {
+	offs := make([]int, len(cols))
+	for i, c := range cols {
+		o := t.schema.ColumnIndex(c)
+		if o < 0 {
+			return fmt.Errorf("storage: table %s has no column %s", t.schema.Name, c)
+		}
+		offs[i] = o
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.indexes[name]; dup {
+		return fmt.Errorf("storage: index %s already exists on %s", name, t.schema.Name)
+	}
+	idx := newIndex(name, offs, unique)
+	for pos, r := range t.rows {
+		if err := idx.check(r, t.rows[:pos]); err != nil {
+			return err
+		}
+		idx.add(r, pos)
+	}
+	t.indexes[name] = idx
+	return nil
+}
+
+// Lookup returns all rows whose indexed columns equal key, using the first
+// index covering exactly those columns; ok is false if no such index exists.
+func (t *Table) Lookup(cols []string, key datum.Row) (rows []datum.Row, ok bool) {
+	offs := make([]int, len(cols))
+	for i, c := range cols {
+		o := t.schema.ColumnIndex(c)
+		if o < 0 {
+			return nil, false
+		}
+		offs[i] = o
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, idx := range t.indexes {
+		if !sameCols(idx.cols, offs) {
+			continue
+		}
+		for _, pos := range idx.find(key) {
+			if datum.RowsEqual(idx.keyOf(t.rows[pos]), key) {
+				rows = append(rows, datum.CloneRow(t.rows[pos]))
+			}
+		}
+		return rows, true
+	}
+	return nil, false
+}
+
+// HasIndexOn reports whether an index exists over exactly the named columns.
+func (t *Table) HasIndexOn(cols []string) bool {
+	offs := make([]int, len(cols))
+	for i, c := range cols {
+		o := t.schema.ColumnIndex(c)
+		if o < 0 {
+			return false
+		}
+		offs[i] = o
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, idx := range t.indexes {
+		if sameCols(idx.cols, offs) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats computes fresh statistics by scanning the table.
+func (t *Table) Stats() *schema.TableStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := &schema.TableStats{
+		Rows: int64(len(t.rows)),
+		Cols: make([]schema.ColStats, len(t.schema.Columns)),
+	}
+	if len(t.rows) == 0 {
+		st.RowWidth = t.schema.RowWidth()
+		for i := range st.Cols {
+			st.Cols[i] = schema.ColStats{Distinct: 0, Min: datum.Null, Max: datum.Null}
+		}
+		return st
+	}
+	width := 0
+	distinct := make([]map[uint64]struct{}, len(t.schema.Columns))
+	nulls := make([]int64, len(t.schema.Columns))
+	mins := make([]datum.Datum, len(t.schema.Columns))
+	maxs := make([]datum.Datum, len(t.schema.Columns))
+	for i := range distinct {
+		distinct[i] = make(map[uint64]struct{})
+		mins[i], maxs[i] = datum.Null, datum.Null
+	}
+	for _, r := range t.rows {
+		width += datum.RowWireSize(r)
+		for i, d := range r {
+			if d.IsNull() {
+				nulls[i]++
+				continue
+			}
+			distinct[i][d.Hash()] = struct{}{}
+			if mins[i].IsNull() || datum.Compare(d, mins[i]) < 0 {
+				mins[i] = d
+			}
+			if maxs[i].IsNull() || datum.Compare(d, maxs[i]) > 0 {
+				maxs[i] = d
+			}
+		}
+	}
+	st.RowWidth = width / len(t.rows)
+	for i := range st.Cols {
+		st.Cols[i] = schema.ColStats{
+			Distinct: int64(len(distinct[i])),
+			NullFrac: float64(nulls[i]) / float64(len(t.rows)),
+			Min:      mins[i],
+			Max:      maxs[i],
+		}
+	}
+	return st
+}
+
+// Index is a hash index (point lookups) with an optional sorted key list
+// for ordered access. Keys are row projections over the index columns.
+type Index struct {
+	name    string
+	cols    []int
+	unique  bool
+	buckets map[uint64][]int // hash -> row positions
+}
+
+func newIndex(name string, cols []int, unique bool) *Index {
+	return &Index{name: name, cols: cols, unique: unique, buckets: make(map[uint64][]int)}
+}
+
+func (idx *Index) keyOf(r datum.Row) datum.Row {
+	k := make(datum.Row, len(idx.cols))
+	for i, c := range idx.cols {
+		k[i] = r[c]
+	}
+	return k
+}
+
+// check enforces uniqueness against the existing heap.
+func (idx *Index) check(r datum.Row, heap []datum.Row) error {
+	if !idx.unique {
+		return nil
+	}
+	key := idx.keyOf(r)
+	h := datum.HashRow(r, idx.cols)
+	for _, pos := range idx.buckets[h] {
+		if pos < len(heap) && datum.RowsEqual(idx.keyOf(heap[pos]), key) {
+			return fmt.Errorf("storage: unique index %s: duplicate key %v", idx.name, key)
+		}
+	}
+	return nil
+}
+
+func (idx *Index) add(r datum.Row, pos int) {
+	h := datum.HashRow(r, idx.cols)
+	idx.buckets[h] = append(idx.buckets[h], pos)
+}
+
+// find returns candidate row positions whose key hashes match; callers must
+// verify true key equality against the heap (hash collisions are possible).
+func (idx *Index) find(key datum.Row) []int {
+	h := uint64(1469598103934665603)
+	for _, d := range key {
+		h ^= d.Hash()
+		h *= 1099511628211
+	}
+	return idx.buckets[h]
+}
+
+// SortRows sorts rows by the given column offsets ascending (helper used by
+// tests and the merge-join path).
+func SortRows(rows []datum.Row, cols []int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, c := range cols {
+			if cmp := datum.Compare(rows[i][c], rows[j][c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datum"
+	"repro/internal/schema"
+)
+
+func custSchema() *schema.Table {
+	return schema.MustTable("customers", []schema.Column{
+		{Name: "id", Kind: datum.KindInt},
+		{Name: "name", Kind: datum.KindString, Nullable: true},
+		{Name: "region", Kind: datum.KindString, Nullable: true},
+	}, 0)
+}
+
+func row(id int64, name, region string) datum.Row {
+	return datum.Row{datum.NewInt(id), datum.NewString(name), datum.NewString(region)}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tab := NewTable(custSchema())
+	if err := tab.InsertBatch([]datum.Row{row(1, "Ann", "west"), row(2, "Bob", "east")}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	var seen []string
+	tab.Scan(func(r datum.Row) bool {
+		seen = append(seen, r[1].Str())
+		return true
+	})
+	if strings.Join(seen, ",") != "Ann,Bob" {
+		t.Errorf("scan order = %v", seen)
+	}
+}
+
+func TestInsertValidatesSchema(t *testing.T) {
+	tab := NewTable(custSchema())
+	if err := tab.Insert(datum.Row{datum.NewString("x"), datum.Null, datum.Null}); err == nil {
+		t.Error("kind mismatch must be rejected")
+	}
+	if err := tab.Insert(datum.Row{datum.NewInt(1)}); err == nil {
+		t.Error("arity mismatch must be rejected")
+	}
+}
+
+func TestPrimaryKeyUniqueness(t *testing.T) {
+	tab := NewTable(custSchema())
+	if err := tab.Insert(row(1, "Ann", "west")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(row(1, "Dup", "east")); err == nil {
+		t.Error("duplicate primary key must be rejected")
+	}
+	if tab.Len() != 1 {
+		t.Error("failed insert must not leave residue")
+	}
+}
+
+func TestInsertClonesRow(t *testing.T) {
+	tab := NewTable(custSchema())
+	r := row(1, "Ann", "west")
+	if err := tab.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	r[1] = datum.NewString("Mutated")
+	snap := tab.Snapshot()
+	if snap[0][1].Str() != "Ann" {
+		t.Error("Insert must clone the caller's row")
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	tab := NewTable(custSchema())
+	_ = tab.InsertBatch([]datum.Row{row(1, "Ann", "west"), row(2, "Bob", "east"), row(3, "Cal", "east")})
+	v0 := tab.Version()
+	n, err := tab.Update(
+		func(r datum.Row) bool { return r[2].Str() == "east" },
+		func(r datum.Row) datum.Row { r[2] = datum.NewString("south"); return r },
+	)
+	if err != nil || n != 2 {
+		t.Fatalf("update n=%d err=%v", n, err)
+	}
+	if tab.Version() <= v0 {
+		t.Error("version must advance on update")
+	}
+	if d := tab.Delete(func(r datum.Row) bool { return r[0].Int() == 1 }); d != 1 {
+		t.Errorf("delete = %d", d)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("len after delete = %d", tab.Len())
+	}
+	// Primary index must still work after rebuild.
+	rows, ok := tab.Lookup([]string{"id"}, datum.Row{datum.NewInt(2)})
+	if !ok || len(rows) != 1 || rows[0][2].Str() != "south" {
+		t.Errorf("lookup after rebuild: ok=%v rows=%v", ok, rows)
+	}
+}
+
+func TestUpdateRejectsBadRow(t *testing.T) {
+	tab := NewTable(custSchema())
+	_ = tab.Insert(row(1, "Ann", "west"))
+	_, err := tab.Update(
+		func(datum.Row) bool { return true },
+		func(r datum.Row) datum.Row { r[0] = datum.Null; return r },
+	)
+	if err == nil {
+		t.Error("update producing NULL key must fail schema check")
+	}
+}
+
+func TestSecondaryIndexAndLookup(t *testing.T) {
+	tab := NewTable(custSchema())
+	_ = tab.InsertBatch([]datum.Row{row(1, "Ann", "west"), row(2, "Bob", "east"), row(3, "Cal", "east")})
+	if err := tab.CreateIndex("by_region", []string{"region"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.HasIndexOn([]string{"region"}) {
+		t.Error("HasIndexOn must see the new index")
+	}
+	rows, ok := tab.Lookup([]string{"region"}, datum.Row{datum.NewString("east")})
+	if !ok || len(rows) != 2 {
+		t.Errorf("lookup east: ok=%v n=%d", ok, len(rows))
+	}
+	if _, ok := tab.Lookup([]string{"name"}, datum.Row{datum.NewString("Ann")}); ok {
+		t.Error("lookup without index must report ok=false")
+	}
+	if err := tab.CreateIndex("by_region", []string{"region"}, false); err == nil {
+		t.Error("duplicate index name must error")
+	}
+	if err := tab.CreateIndex("bad", []string{"nope"}, false); err == nil {
+		t.Error("index on missing column must error")
+	}
+}
+
+func TestUniqueSecondaryIndexOverExistingData(t *testing.T) {
+	tab := NewTable(custSchema())
+	_ = tab.InsertBatch([]datum.Row{row(1, "Ann", "west"), row(2, "Ann", "east")})
+	if err := tab.CreateIndex("uname", []string{"name"}, true); err == nil {
+		t.Error("unique index over duplicate data must fail")
+	}
+	_ = tab.Delete(func(r datum.Row) bool { return r[0].Int() == 2 })
+	if err := tab.CreateIndex("uname", []string{"name"}, true); err != nil {
+		t.Fatalf("unique index after dedup: %v", err)
+	}
+	if err := tab.Insert(row(3, "Ann", "south")); err == nil {
+		t.Error("unique index must reject duplicate insert")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tab := NewTable(custSchema())
+	_ = tab.Insert(row(1, "Ann", "west"))
+	tab.Truncate()
+	if tab.Len() != 0 {
+		t.Error("truncate must empty the table")
+	}
+	if err := tab.Insert(row(1, "Ann", "west")); err != nil {
+		t.Errorf("insert after truncate: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tab := NewTable(custSchema())
+	_ = tab.InsertBatch([]datum.Row{
+		row(1, "Ann", "west"), row(2, "Bob", "east"), row(3, "Cal", "east"),
+	})
+	_ = tab.Insert(datum.Row{datum.NewInt(4), datum.Null, datum.NewString("east")})
+	st := tab.Stats()
+	if st.Rows != 4 {
+		t.Errorf("rows = %d", st.Rows)
+	}
+	if st.Cols[0].Distinct != 4 || st.Cols[2].Distinct != 2 {
+		t.Errorf("distinct: id=%d region=%d", st.Cols[0].Distinct, st.Cols[2].Distinct)
+	}
+	if st.Cols[1].NullFrac != 0.25 {
+		t.Errorf("null frac = %v", st.Cols[1].NullFrac)
+	}
+	if st.Cols[0].Min.Int() != 1 || st.Cols[0].Max.Int() != 4 {
+		t.Error("min/max")
+	}
+	if st.RowWidth <= 0 {
+		t.Error("row width")
+	}
+	empty := NewTable(custSchema()).Stats()
+	if empty.Rows != 0 || empty.RowWidth <= 0 {
+		t.Error("empty table stats")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tab := NewTable(custSchema())
+	_ = tab.InsertBatch([]datum.Row{row(1, "a", "r"), row(2, "b", "r"), row(3, "c", "r")})
+	n := 0
+	tab.Scan(func(datum.Row) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("scan visited %d rows, want 2", n)
+	}
+}
+
+func TestConcurrentInsertAndScan(t *testing.T) {
+	sch := schema.MustTable("t", []schema.Column{{Name: "v", Kind: datum.KindInt}})
+	tab := NewTable(sch)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = tab.Insert(datum.Row{datum.NewInt(int64(g*1000 + i))})
+				tab.Scan(func(datum.Row) bool { return false })
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != 800 {
+		t.Errorf("len = %d, want 800", tab.Len())
+	}
+}
+
+// Property: every row inserted with a distinct key is retrievable by key.
+func TestLookupProperty(t *testing.T) {
+	f := func(keys []int64) bool {
+		tab := NewTable(custSchema())
+		seen := map[int64]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if err := tab.Insert(row(k, "n", "r")); err != nil {
+				return false
+			}
+		}
+		for k := range seen {
+			rows, ok := tab.Lookup([]string{"id"}, datum.Row{datum.NewInt(k)})
+			if !ok || len(rows) != 1 || rows[0][0].Int() != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []datum.Row{row(3, "c", "r"), row(1, "a", "r"), row(2, "b", "r")}
+	SortRows(rows, []int{0})
+	if rows[0][0].Int() != 1 || rows[2][0].Int() != 3 {
+		t.Errorf("sorted order wrong: %v", rows)
+	}
+}

@@ -1,0 +1,197 @@
+// Package warehouse implements the ETL baseline the paper positions EII
+// against (§3 Bitton, §5 Draper): periodically extract source tables in
+// bulk into a co-located store, then answer queries locally. The warehouse
+// pays network cost at refresh time and serves stale-but-fast reads; the
+// EII mediator pays per query and serves live data. Experiment E2 compares
+// the two in one cost currency.
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/netsim"
+	"repro/internal/plan"
+)
+
+// Versioned is implemented by sources whose tables report a mutation
+// counter; the warehouse uses it to measure staleness.
+type Versioned interface {
+	TableVersion(table string) (int64, bool)
+}
+
+// Feed is one extracted table.
+type Feed struct {
+	Source federation.Source
+	Table  string
+	// loadedVersion is the source table version at the last refresh
+	// (-1 before the first refresh).
+	loadedVersion int64
+	// loadedRows is the number of rows at the last refresh.
+	loadedRows int
+}
+
+// Warehouse is a central store fed by bulk extraction.
+type Warehouse struct {
+	mu     sync.Mutex
+	store  *federation.RelationalSource
+	engine *core.Engine
+	feeds  []*Feed
+}
+
+// New creates an empty warehouse. The local store is reachable over a
+// zero-cost link (it is co-located with the query engine).
+func New(name string) (*Warehouse, error) {
+	store := federation.NewRelationalSource(name, federation.FullSQL(), netsim.LocalLink())
+	engine := core.New()
+	if err := engine.Register(store); err != nil {
+		return nil, err
+	}
+	return &Warehouse{store: store, engine: engine}, nil
+}
+
+// Engine exposes the warehouse's local query engine, e.g. for view
+// definitions mirroring the mediated schema.
+func (w *Warehouse) Engine() *core.Engine { return w.engine }
+
+// AddFeed declares that the named source table should be mirrored into the
+// warehouse. The local table keeps the source table's name, so queries
+// written against unqualified table names run unchanged on both the EII
+// mediator and the warehouse.
+func (w *Warehouse) AddFeed(src federation.Source, table string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sch, ok := src.Catalog().Table(table)
+	if !ok {
+		return fmt.Errorf("warehouse: source %s has no table %s", src.Name(), table)
+	}
+	for _, f := range w.feeds {
+		if strings.EqualFold(f.Table, table) {
+			return fmt.Errorf("warehouse: feed for table %s already exists", table)
+		}
+	}
+	if _, err := w.store.CreateTable(sch); err != nil {
+		return err
+	}
+	w.feeds = append(w.feeds, &Feed{Source: src, Table: table, loadedVersion: -1})
+	return nil
+}
+
+// Refresh re-extracts every feed (classic full-reload ETL batch). The
+// network cost lands on each source's link, exactly like an EII scan of
+// the whole table would. It returns the number of rows loaded.
+func (w *Warehouse) Refresh() (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := 0
+	for _, f := range w.feeds {
+		n, err := w.refreshFeed(f)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// RefreshTable re-extracts a single feed.
+func (w *Warehouse) RefreshTable(table string) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, f := range w.feeds {
+		if strings.EqualFold(f.Table, table) {
+			return w.refreshFeed(f)
+		}
+	}
+	return 0, fmt.Errorf("warehouse: no feed for table %s", table)
+}
+
+func (w *Warehouse) refreshFeed(f *Feed) (int, error) {
+	sch, ok := f.Source.Catalog().Table(f.Table)
+	if !ok {
+		return 0, fmt.Errorf("warehouse: source %s dropped table %s", f.Source.Name(), f.Table)
+	}
+	cols := make([]plan.ColMeta, sch.Arity())
+	for i, c := range sch.Columns {
+		cols[i] = plan.ColMeta{Table: f.Table, Name: c.Name, Kind: c.Kind}
+	}
+	rows, err := f.Source.Execute(&plan.Scan{
+		Source: f.Source.Name(), Table: f.Table, Alias: f.Table, Cols: cols,
+	})
+	if err != nil {
+		return 0, err
+	}
+	local, ok := w.store.Table(f.Table)
+	if !ok {
+		return 0, fmt.Errorf("warehouse: local table %s missing", f.Table)
+	}
+	local.Truncate()
+	for _, r := range rows {
+		if err := local.Insert(r); err != nil {
+			return 0, fmt.Errorf("warehouse: loading %s: %w", f.Table, err)
+		}
+	}
+	if v, ok := f.Source.(Versioned); ok {
+		if ver, found := v.TableVersion(f.Table); found {
+			f.loadedVersion = ver
+		}
+	} else {
+		f.loadedVersion = 0
+	}
+	f.loadedRows = len(rows)
+	w.store.RefreshStats()
+	return len(rows), nil
+}
+
+// Staleness reports, per feed, how many source mutations have happened
+// since the last refresh. Feeds never refreshed report -1.
+func (w *Warehouse) Staleness() map[string]int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]int64, len(w.feeds))
+	for _, f := range w.feeds {
+		if f.loadedVersion < 0 {
+			out[f.Table] = -1
+			continue
+		}
+		if v, ok := f.Source.(Versioned); ok {
+			if ver, found := v.TableVersion(f.Table); found {
+				out[f.Table] = ver - f.loadedVersion
+				continue
+			}
+		}
+		out[f.Table] = 0
+	}
+	return out
+}
+
+// TotalStaleness sums the per-feed staleness counters (unrefreshed feeds
+// count as 0 mutations known-missed; they are reported separately).
+func (w *Warehouse) TotalStaleness() int64 {
+	var total int64
+	for _, s := range w.Staleness() {
+		if s > 0 {
+			total += s
+		}
+	}
+	return total
+}
+
+// Query runs SQL against the warehouse's local store.
+func (w *Warehouse) Query(sql string) (*core.Result, error) {
+	return w.engine.Query(sql)
+}
+
+// Feeds returns the mirrored table names, in registration order.
+func (w *Warehouse) Feeds() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, len(w.feeds))
+	for i, f := range w.feeds {
+		out[i] = f.Table
+	}
+	return out
+}
