@@ -1,0 +1,28 @@
+# Tier-1 verification: everything CI (and the next PR) relies on.
+# `make check` must stay green.
+
+GO ?= go
+RACE_PKGS := ./internal/core ./internal/exec ./internal/netsim ./internal/storage
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -9,14 +9,17 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datum"
 	"repro/internal/docstore"
 	"repro/internal/eai"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/linkage"
 	"repro/internal/matview"
+	"repro/internal/netsim"
 	"repro/internal/opt"
 	"repro/internal/search"
 	"repro/internal/semantics"
@@ -361,6 +364,45 @@ func BenchmarkE11Advisor(b *testing.B) {
 	}
 }
 
+// --- E12: fault-tolerant federation ---
+
+const e12Query = `SELECT c.name, i.amount FROM crm.customers c
+	JOIN billing.invoices i ON c.id = i.cust_id WHERE i.amount > 500`
+
+func benchE12(b *testing.B, qo core.QueryOptions, breaker core.BreakerConfig) {
+	fed := mustCRM(b, 120)
+	fed.Engine.SetBreakerConfig(breaker)
+	for i, name := range fed.Engine.Sources() {
+		src, _ := fed.Engine.Source(name)
+		src.Link().SetFaultProfile(&netsim.FaultProfile{Seed: int64(99 + i), FailureRate: 0.1})
+	}
+	failed := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Engine.QueryOpts(e12Query, qo); err != nil {
+			failed++
+		}
+	}
+	b.ReportMetric(float64(failed)/float64(b.N), "failures/op")
+}
+
+func BenchmarkE12FaultToleranceNaive(b *testing.B) {
+	benchE12(b, core.QueryOptions{Parallel: true},
+		core.BreakerConfig{FailureThreshold: -1})
+}
+
+func BenchmarkE12FaultToleranceRetry(b *testing.B) {
+	benchE12(b, core.QueryOptions{Parallel: true,
+		Retry: exec.RetryPolicy{Attempts: 4, BaseBackoff: 2 * time.Millisecond}},
+		core.BreakerConfig{FailureThreshold: -1})
+}
+
+func BenchmarkE12FaultTolerancePartial(b *testing.B) {
+	benchE12(b, core.QueryOptions{Parallel: true, AllowPartial: true,
+		Retry: exec.RetryPolicy{Attempts: 4, BaseBackoff: 2 * time.Millisecond}},
+		core.BreakerConfig{})
+}
+
 // --- Engine micro-benchmarks ---
 
 func BenchmarkMicroParse(b *testing.B) {
@@ -443,7 +485,7 @@ func TestExperimentTablesQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(tables))
 	}
 }

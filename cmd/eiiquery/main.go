@@ -6,9 +6,17 @@
 // Prefix a statement with "explain " to print the optimized plan, the SQL
 // pushed to each source, and the cost estimate instead of rows.
 //
+// Fault-tolerance flags inject failures and exercise the degradation path:
+//
+//	--fail-rate 0.2      every source link drops ~20% of transfers
+//	--retries 4          attempts per remote fetch (capped backoff)
+//	--deadline 100ms     per-query deadline
+//	--partial            answer from the surviving sources, with a warning
+//
 // Usage:
 //
 //	eiiquery "SELECT region, COUNT(*) FROM customer360 GROUP BY region"
+//	eiiquery --fail-rate 0.3 --partial --retries 3 "SELECT * FROM customer360"
 //	eiiquery            # interactive
 package main
 
@@ -21,11 +29,17 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/netsim"
 	"repro/internal/workload"
 )
 
 func main() {
 	customers := flag.Int("customers", 500, "customers in the demo federation")
+	failRate := flag.Float64("fail-rate", 0, "injected per-transfer failure probability on every source link (0..1)")
+	retries := flag.Int("retries", 1, "attempts per remote fetch (>1 enables capped-backoff retry)")
+	deadline := flag.Duration("deadline", 0, "per-query deadline (0: none)")
+	partial := flag.Bool("partial", false, "tolerate source failures: answer from the surviving sources")
 	flag.Parse()
 
 	cfg := workload.DefaultCRM()
@@ -37,9 +51,24 @@ func main() {
 	}
 	engine := fed.Engine
 
+	if *failRate > 0 {
+		for i, name := range engine.Sources() {
+			src, _ := engine.Source(name)
+			src.Link().SetFaultProfile(&netsim.FaultProfile{
+				Seed:        int64(i + 1),
+				FailureRate: *failRate,
+			})
+		}
+		fmt.Fprintf(os.Stderr, "eiiquery: injecting %.0f%% transfer failures on every source link\n", *failRate*100)
+	}
+	qo := core.QueryOptions{AllowPartial: *partial, Deadline: *deadline}
+	if *retries > 1 {
+		qo.Retry = exec.RetryPolicy{Attempts: *retries}
+	}
+
 	if flag.NArg() > 0 {
 		for _, sql := range flag.Args() {
-			if err := runOne(engine, sql); err != nil {
+			if err := runOne(engine, sql, qo); err != nil {
 				fmt.Fprintf(os.Stderr, "eiiquery: %v\n", err)
 				os.Exit(1)
 			}
@@ -64,13 +93,13 @@ func main() {
 		if line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
 			break
 		}
-		if err := runOne(engine, line); err != nil {
+		if err := runOne(engine, line, qo); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
 }
 
-func runOne(engine *core.Engine, sql string) error {
+func runOne(engine *core.Engine, sql string, qo core.QueryOptions) error {
 	if rest, ok := cutPrefixFold(sql, "analyze "); ok {
 		out, err := engine.ExplainAnalyze(rest, core.QueryOptions{})
 		if err != nil {
@@ -88,7 +117,7 @@ func runOne(engine *core.Engine, sql string) error {
 		return nil
 	}
 	engine.ResetMetrics()
-	res, err := engine.Query(sql)
+	res, err := engine.QueryOpts(sql, qo)
 	if err != nil {
 		return err
 	}
@@ -138,4 +167,19 @@ func printResult(res *core.Result) {
 	}
 	fmt.Printf("(%d rows; %s; network: %s)\n",
 		len(res.Rows), res.Elapsed.Round(time.Microsecond), res.Network)
+	if res.Partial {
+		fmt.Printf("WARNING: partial result — sources skipped after failures: %s\n",
+			strings.Join(res.SkippedSources, ", "))
+	}
+	if len(res.ReplicaSources) > 0 {
+		fmt.Printf("note: served from warehouse replica for: %s\n",
+			strings.Join(res.ReplicaSources, ", "))
+	}
+	if len(res.Retries) > 0 {
+		var parts []string
+		for src, n := range res.Retries {
+			parts = append(parts, fmt.Sprintf("%s=%d", src, n))
+		}
+		fmt.Printf("note: retries per source: %s\n", strings.Join(parts, ", "))
+	}
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -27,17 +28,48 @@ import (
 
 // Engine is the mediator. It is safe for concurrent use.
 type Engine struct {
-	mu      sync.RWMutex
-	catalog *catalog.Global
-	sources map[string]federation.Source
+	mu         sync.RWMutex
+	catalog    *catalog.Global
+	sources    map[string]federation.Source
+	breakers   map[string]*breaker
+	breakerCfg BreakerConfig
+	replica    ReplicaProvider
 }
 
 // New creates an empty mediator.
 func New() *Engine {
 	return &Engine{
-		catalog: catalog.NewGlobal(),
-		sources: make(map[string]federation.Source),
+		catalog:  catalog.NewGlobal(),
+		sources:  make(map[string]federation.Source),
+		breakers: make(map[string]*breaker),
 	}
+}
+
+func normalizeName(s string) string { return strings.ToLower(s) }
+
+// ReplicaProvider serves locally-replicated copies of source tables (the
+// warehouse implements this). During degraded execution the engine
+// prefers answering from a fresh-enough replica over dropping the failed
+// source from the result.
+type ReplicaProvider interface {
+	// ReplicaTable returns the replicated rows of source.table, the age
+	// of the replica (time since its last refresh), and whether the
+	// provider has that table at all.
+	ReplicaTable(source, table string) (rows []datum.Row, age time.Duration, ok bool)
+}
+
+// SetReplicaProvider installs (or, with nil, removes) the replica used
+// for degraded reads.
+func (e *Engine) SetReplicaProvider(rp ReplicaProvider) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.replica = rp
+}
+
+func (e *Engine) replicaProvider() ReplicaProvider {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.replica
 }
 
 // Register adds a data source to the federation.
@@ -61,6 +93,7 @@ func (e *Engine) Deregister(name string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	delete(e.sources, strings.ToLower(name))
+	delete(e.breakers, strings.ToLower(name))
 	e.catalog.RemoveSource(name)
 }
 
@@ -105,6 +138,23 @@ type QueryOptions struct {
 	// NoSemiJoin disables the executor's semi-join reduction (shipping
 	// probe-side join keys into filter-capable sources).
 	NoSemiJoin bool
+	// Deadline bounds query execution (wall clock): remote fetches are
+	// abandoned once it passes. Zero means no deadline.
+	Deadline time.Duration
+	// Retry re-runs transiently failed remote fetches with capped
+	// exponential backoff charged in virtual time. Zero: one attempt.
+	Retry exec.RetryPolicy
+	// AllowPartial degrades instead of failing when a source stays down
+	// after retries: the failed source's rows are served from a replica
+	// when one is fresh enough, otherwise dropped, and the Result is
+	// marked Partial with the skipped sources listed.
+	AllowPartial bool
+	// ReplicaMaxAge caps how stale a replica may be to substitute for a
+	// failed source. Zero accepts any age.
+	ReplicaMaxAge time.Duration
+	// OnSourceError, when non-nil, observes every failed fetch attempt
+	// (including ones that are subsequently retried).
+	OnSourceError func(source string, attempt int, err error)
 }
 
 // Result is a completed query.
@@ -121,6 +171,19 @@ type Result struct {
 	Estimate opt.PlanCost
 	// Elapsed is wall-clock execution time (excludes planning).
 	Elapsed time.Duration
+	// Partial is true when AllowPartial dropped one or more failed
+	// sources from the answer.
+	Partial bool
+	// SkippedSources names the sources whose rows are missing from a
+	// partial answer.
+	SkippedSources []string
+	// ReplicaSources names the failed sources whose rows were served
+	// from the replica instead of live.
+	ReplicaSources []string
+	// SourceErrors counts failed fetch attempts per source.
+	SourceErrors map[string]int
+	// Retries counts retry attempts per source.
+	Retries map[string]int
 }
 
 // Query plans and executes a SQL statement with default options: parallel
@@ -162,8 +225,15 @@ func (e *Engine) Plan(sql string, qo QueryOptions) (plan.Node, error) {
 func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 	before := e.linkTotals()
 	start := time.Now()
-	execOpts := exec.Options{Parallel: qo.Parallel, SemiJoin: !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown}
-	it, err := exec.Build(p, e.runtime(), execOpts)
+	ctx := context.Background()
+	if qo.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, qo.Deadline)
+		defer cancel()
+	}
+	rt := &queryRuntime{e: e, ctx: ctx, faults: newQueryFaults()}
+	rt.opts = e.execOptions(qo, rt)
+	it, err := exec.Build(p, rt, rt.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -172,12 +242,7 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 		return nil, err
 	}
 	after := e.linkTotals()
-	var delta netsim.Metrics
-	delta.Add(after)
-	delta.RoundTrips -= before.RoundTrips
-	delta.BytesShipped -= before.BytesShipped
-	delta.WireBytes -= before.WireBytes
-	delta.SimTime -= before.SimTime
+	after.Sub(before)
 
 	cols := p.Columns()
 	res := &Result{
@@ -185,7 +250,7 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 		Kinds:    make([]datum.Kind, len(cols)),
 		Rows:     rows,
 		Plan:     p,
-		Network:  delta,
+		Network:  after,
 		Estimate: opt.Cost(p, e.env()),
 		Elapsed:  time.Since(start),
 	}
@@ -193,6 +258,7 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 		res.Columns[i] = c.Name
 		res.Kinds[i] = c.Kind
 	}
+	rt.faults.fill(res)
 	return res, nil
 }
 
@@ -452,6 +518,12 @@ func (env engineEnv) Link(source string) *netsim.Link {
 		return src.Link()
 	}
 	return nil
+}
+
+// Available implements opt.AvailabilityEnv: a source whose circuit
+// breaker is open is treated as unavailable by the optimizer.
+func (env engineEnv) Available(source string) bool {
+	return env.e.SourceAvailable(source)
 }
 
 func (env engineEnv) Stats(source, table string) *schema.TableStats {

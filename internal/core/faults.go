@@ -1,0 +1,216 @@
+package core
+
+// This file holds the fault-tolerant execution plumbing: the per-query
+// runtime that gates every remote fetch through the source's circuit
+// breaker and the query's deadline, the per-query fault ledger, and the
+// degradation path that substitutes replica reads or empty results for
+// failed sources.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/federation"
+	"repro/internal/plan"
+)
+
+// queryFaults is one query's fault ledger. Remote fetches may run
+// concurrently (Prefetch), so it locks.
+type queryFaults struct {
+	mu       sync.Mutex
+	errors   map[string]int
+	retries  map[string]int
+	skipped  map[string]bool
+	replicas map[string]bool
+}
+
+func newQueryFaults() *queryFaults {
+	return &queryFaults{
+		errors:   make(map[string]int),
+		retries:  make(map[string]int),
+		skipped:  make(map[string]bool),
+		replicas: make(map[string]bool),
+	}
+}
+
+func (f *queryFaults) recordError(source string) {
+	f.mu.Lock()
+	f.errors[source]++
+	f.mu.Unlock()
+}
+
+func (f *queryFaults) recordRetry(source string) {
+	f.mu.Lock()
+	f.retries[source]++
+	f.mu.Unlock()
+}
+
+func (f *queryFaults) recordSkip(source string) {
+	f.mu.Lock()
+	f.skipped[source] = true
+	f.mu.Unlock()
+}
+
+func (f *queryFaults) recordReplica(source string) {
+	f.mu.Lock()
+	f.replicas[source] = true
+	f.mu.Unlock()
+}
+
+// fill copies the ledger into a finished Result.
+func (f *queryFaults) fill(res *Result) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.errors) > 0 {
+		res.SourceErrors = make(map[string]int, len(f.errors))
+		for s, n := range f.errors {
+			res.SourceErrors[s] = n
+		}
+	}
+	if len(f.retries) > 0 {
+		res.Retries = make(map[string]int, len(f.retries))
+		for s, n := range f.retries {
+			res.Retries[s] = n
+		}
+	}
+	for s := range f.skipped {
+		res.SkippedSources = append(res.SkippedSources, s)
+	}
+	sort.Strings(res.SkippedSources)
+	for s := range f.replicas {
+		res.ReplicaSources = append(res.ReplicaSources, s)
+	}
+	sort.Strings(res.ReplicaSources)
+	res.Partial = len(res.SkippedSources) > 0
+}
+
+// queryRuntime is the exec.Runtime of one query execution. RunRemote is
+// the single-attempt primitive; retries, backoff and degradation wrap it
+// via exec.FetchRemote (see execOptions).
+type queryRuntime struct {
+	e      *Engine
+	ctx    context.Context
+	faults *queryFaults
+	opts   exec.Options // set after construction; used by ScanTable
+}
+
+func (rt *queryRuntime) ScanTable(source, table string) (exec.Iterator, error) {
+	// A bare scan outside a Remote ships the whole table; route it
+	// through the same retry/degradation pipeline as placed Remotes.
+	return exec.FetchRemote(rt, rt.opts, source, &plan.Scan{Source: source, Table: table})
+}
+
+func (rt *queryRuntime) RunRemote(source string, subtree plan.Node) (exec.Iterator, error) {
+	src, ok := rt.e.Source(source)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %q", source)
+	}
+	br := rt.e.breakerFor(source)
+	if br != nil && !br.Allow() {
+		return nil, &BreakerOpenError{Source: source}
+	}
+	rows, err := federation.ExecuteWithContext(rt.ctx, src, subtree)
+	if br != nil && !isContextErr(err) {
+		br.Record(err == nil)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: source %s: %w", source, err)
+	}
+	return exec.NewSliceIterator(rows), nil
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// execOptions assembles the exec.Options of one query: retry policy with
+// backoff charged to the failing source's virtual clock, fault ledger
+// hooks, and — when the query tolerates it — the degradation callback.
+func (e *Engine) execOptions(qo QueryOptions, rt *queryRuntime) exec.Options {
+	faults := rt.faults
+	opts := exec.Options{
+		Parallel: qo.Parallel,
+		SemiJoin: !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
+		Retry:    qo.Retry,
+		ChargeBackoff: func(source string, d time.Duration) {
+			if src, ok := e.Source(source); ok {
+				src.Link().ChargeDelay(d)
+			}
+		},
+		OnRetry: faults.recordRetry,
+		OnSourceError: func(source string, attempt int, err error) {
+			faults.recordError(source)
+			if qo.OnSourceError != nil {
+				qo.OnSourceError(source, attempt, err)
+			}
+		},
+	}
+	if qo.AllowPartial {
+		opts.OnRemoteFail = func(source string, subtree plan.Node, err error) (exec.Iterator, bool) {
+			if isContextErr(err) && rt.ctx.Err() != nil {
+				// The whole query's deadline passed; degrading one
+				// fetch will not save it.
+				return nil, false
+			}
+			if rows, ok := e.replicaRows(source, subtree, qo.ReplicaMaxAge); ok {
+				faults.recordReplica(source)
+				return exec.NewSliceIterator(rows), true
+			}
+			faults.recordSkip(source)
+			return exec.NewSliceIterator(nil), true
+		}
+	}
+	return opts
+}
+
+// replicaRuntime binds a pushed-down subtree's scans to the replica
+// provider's copies of the failed source's tables.
+type replicaRuntime struct {
+	rp     ReplicaProvider
+	source string
+	maxAge time.Duration
+}
+
+func (rt *replicaRuntime) ScanTable(source, table string) (exec.Iterator, error) {
+	if source != rt.source {
+		return nil, fmt.Errorf("core: replica fallback for %s scans foreign table %s.%s", rt.source, source, table)
+	}
+	rows, age, ok := rt.rp.ReplicaTable(source, table)
+	if !ok {
+		return nil, fmt.Errorf("core: no replica of %s.%s", source, table)
+	}
+	if rt.maxAge > 0 && age > rt.maxAge {
+		return nil, fmt.Errorf("core: replica of %s.%s is %s old (cap %s)", source, table, age, rt.maxAge)
+	}
+	return exec.NewSliceIterator(rows), nil
+}
+
+func (rt *replicaRuntime) RunRemote(string, plan.Node) (exec.Iterator, error) {
+	return nil, fmt.Errorf("core: nested Remote in replica fallback")
+}
+
+// replicaRows executes the failed source's pushed-down subtree against
+// the replica provider's table copies, when all of them are present and
+// fresh enough.
+func (e *Engine) replicaRows(source string, subtree plan.Node, maxAge time.Duration) ([]datum.Row, bool) {
+	rp := e.replicaProvider()
+	if rp == nil {
+		return nil, false
+	}
+	rt := &replicaRuntime{rp: rp, source: source, maxAge: maxAge}
+	it, err := exec.Build(subtree, rt, exec.Options{})
+	if err != nil {
+		return nil, false
+	}
+	rows, err := exec.Drain(it)
+	if err != nil {
+		return nil, false
+	}
+	return rows, true
+}

@@ -11,6 +11,7 @@
 package docstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -228,7 +229,7 @@ func (s *Store) Search(keywords ...string) []string {
 // names to document field keys (identity when absent). Documents missing a
 // field yield NULL; fields whose value cannot coerce to the column type
 // count as conversion errors but do not abort the read.
-func (s *Store) Impose(sch *schema.Table, mapping map[string]string) ([]datum.Row, int) {
+func (s *Store) Impose(sch *schema.Table, mapping map[string]string) ([]datum.Row, int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ids := make([]string, 0, len(s.docs))
@@ -263,8 +264,10 @@ func (s *Store) Impose(sch *schema.Table, mapping map[string]string) ([]datum.Ro
 		rows = append(rows, row)
 		bytes += datum.RowWireSize(row)
 	}
-	s.link.Transfer(64 + bytes)
-	return rows, errs
+	if _, err := s.link.Transfer(64 + bytes); err != nil {
+		return nil, errs, err
+	}
+	return rows, errs, nil
 }
 
 // AsSource adapts the store into a federation Source exposing one imposed
@@ -290,6 +293,14 @@ func (d *docSource) Capabilities() federation.Caps   { return federation.ScanOnl
 func (d *docSource) Link() *netsim.Link              { return d.store.link }
 
 func (d *docSource) Execute(subtree plan.Node) ([]datum.Row, error) {
+	return d.ExecuteCtx(context.Background(), subtree)
+}
+
+// ExecuteCtx implements federation.ContextSource.
+func (d *docSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	scan, ok := subtree.(*plan.Scan)
 	if !ok {
 		return nil, fmt.Errorf("docstore: source %s can only execute scans, got %s", d.store.name, subtree.Describe())
@@ -297,6 +308,11 @@ func (d *docSource) Execute(subtree plan.Node) ([]datum.Row, error) {
 	if !strings.EqualFold(scan.Table, d.table.Name) {
 		return nil, fmt.Errorf("docstore: source %s has no table %s", d.store.name, scan.Table)
 	}
-	rows, _ := d.store.Impose(d.table, d.mapping)
+	rows, _, err := d.store.Impose(d.table, d.mapping)
+	if err != nil {
+		return nil, err
+	}
 	return rows, nil
 }
+
+var _ federation.ContextSource = (*docSource)(nil)

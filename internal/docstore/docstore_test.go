@@ -109,7 +109,10 @@ func TestImposeSchemaOnRead(t *testing.T) {
 		{Name: "sensor", Kind: datum.KindString, Nullable: true},
 		{Name: "value", Kind: datum.KindInt, Nullable: true},
 	})
-	rows, errs := s.Impose(sch, map[string]string{"value": "reading"})
+	rows, errs, err := s.Impose(sch, map[string]string{"value": "reading"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 || errs != 0 {
 		t.Fatalf("rows=%d errs=%d", len(rows), errs)
 	}
@@ -126,7 +129,10 @@ func TestImposeCoercionErrors(t *testing.T) {
 	s := New("docs", nil)
 	_ = s.Put(doc("x", map[string]datum.Datum{"v": datum.NewString("not-a-number")}, ""))
 	sch := schema.MustTable("t", []schema.Column{{Name: "v", Kind: datum.KindInt, Nullable: true}})
-	rows, errs := s.Impose(sch, nil)
+	rows, errs, err := s.Impose(sch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if errs != 1 || !rows[0][0].IsNull() {
 		t.Errorf("coercion failure must yield NULL + error count: rows=%v errs=%d", rows, errs)
 	}

@@ -85,10 +85,13 @@ func TestJSONThenImposeSchema(t *testing.T) {
 		{Name: "customer", Kind: datum.KindString, Nullable: true},
 		{Name: "total", Kind: datum.KindFloat, Nullable: true},
 	})
-	rows, errs := s.Impose(sch, map[string]string{
+	rows, errs, err := s.Impose(sch, map[string]string{
 		"customer": "customer.name",
 		"total":    "total",
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if errs != 0 || len(rows) != 3 {
 		t.Fatalf("rows=%d errs=%d", len(rows), errs)
 	}

@@ -15,11 +15,13 @@
 package dsa
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/federation"
+	"repro/internal/netsim"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -187,6 +189,12 @@ func (o Available) Check(provider federation.Source) *failure {
 		Source: provider.Name(), Table: tab.Name, Alias: tab.Name, Cols: cols,
 	})
 	if err != nil {
+		// The probe crosses the simulated link, so injected faults and
+		// forced outages (netsim.FaultError) surface here as violations.
+		var fe *netsim.FaultError
+		if errors.As(err, &fe) {
+			return &failure{fmt.Sprintf("source unavailable (%s): %s", fe.Kind, fe.Detail)}
+		}
 		return &failure{fmt.Sprintf("probe failed: %v", err)}
 	}
 	elapsed := provider.Link().Metrics().SimTime - before

@@ -124,6 +124,28 @@ func TestAvailabilityBound(t *testing.T) {
 	}
 }
 
+func TestAvailabilityViolationOnInjectedOutage(t *testing.T) {
+	// An injected outage on the provider's link must surface as a DSA
+	// availability violation: the probe goes through the same
+	// failure-aware transfer path as real queries.
+	src := providerFixture(t)
+	a := &Agreement{Name: "x", Provider: "crm",
+		Obligations: []Obligation{Available{Table: "customers", MaxLatency: time.Second}}}
+	m := NewMonitor(src)
+	if v := m.Check(a); len(v) != 0 {
+		t.Fatalf("healthy provider violated: %v", v)
+	}
+	src.Link().SetDown(true)
+	v := m.Check(a)
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "source unavailable (outage)") {
+		t.Fatalf("violations = %v", v)
+	}
+	src.Link().SetDown(false)
+	if v := m.Check(a); len(v) != 0 {
+		t.Fatalf("recovered provider still violated: %v", v)
+	}
+}
+
 func TestUnreachableProvider(t *testing.T) {
 	m := NewMonitor()
 	v := m.Check(agreement(MinRows{Table: "customers", Min: 1}))

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/datum"
 	"repro/internal/plan"
@@ -39,6 +40,22 @@ type Options struct {
 	SemiJoin bool
 	// MaxSemiJoinKeys caps the shipped key list; 0 means 512.
 	MaxSemiJoinKeys int
+	// Retry controls re-fetching of Remote subtrees after transient
+	// failures (see FetchRemote). Zero value: single attempt.
+	Retry RetryPolicy
+	// ChargeBackoff, when non-nil, is called with each retry's backoff
+	// wait so the engine can charge it to the source's virtual clock.
+	ChargeBackoff func(source string, d time.Duration)
+	// OnRetry, when non-nil, observes each retry attempt per source.
+	OnRetry func(source string)
+	// OnSourceError, when non-nil, observes every failed fetch attempt
+	// (including ones that will be retried).
+	OnSourceError func(source string, attempt int, err error)
+	// OnRemoteFail, when non-nil, is consulted after retries are
+	// exhausted; returning ok=true substitutes the iterator (replica
+	// fallback or an empty result for partial-tolerant queries) instead
+	// of failing the query.
+	OnRemoteFail func(source string, subtree plan.Node, err error) (Iterator, bool)
 }
 
 func (o Options) maxKeys() int {
@@ -72,10 +89,10 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
 	case *plan.Remote:
 		if opts.Parallel {
 			return Prefetch(func() (Iterator, error) {
-				return rt.RunRemote(x.Source, x.Child)
+				return FetchRemote(rt, opts, x.Source, x.Child)
 			}), nil
 		}
-		return rt.RunRemote(x.Source, x.Child)
+		return FetchRemote(rt, opts, x.Source, x.Child)
 
 	case *plan.Filter:
 		in, err := Build(x.Input, rt, opts)
@@ -381,7 +398,7 @@ func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, bool, error)
 		reduced = &plan.Filter{Input: remote.Child,
 			Cond: &sqlparse.InExpr{Child: reduceRef, List: keys}}
 	}
-	reducedIt, err := rt.RunRemote(remote.Source, reduced)
+	reducedIt, err := FetchRemote(rt, opts, remote.Source, reduced)
 	if err != nil {
 		return nil, false, err
 	}

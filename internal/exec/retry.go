@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// RetryPolicy controls how remote fetches are retried. The zero value
+// performs a single attempt. Backoff is charged in *virtual* time (via
+// Options.ChargeBackoff), so retried benchmarks stay fast while the
+// latency cost still shows up in the query's network accounting.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per fetch; values <= 1 mean
+	// no retry.
+	Attempts int
+	// BaseBackoff is the wait before the second attempt; it doubles on
+	// each further retry. Zero defaults to 10ms.
+	BaseBackoff time.Duration
+	// CapBackoff bounds the exponential growth. Zero defaults to 1s.
+	CapBackoff time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts <= 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// Backoff returns the wait before the given retry (1 = first retry),
+// capped exponential on the base.
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	cap := p.CapBackoff
+	if cap <= 0 {
+		cap = time.Second
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= cap {
+			return cap
+		}
+	}
+	if d > cap {
+		return cap
+	}
+	return d
+}
+
+// temporary matches netsim.FaultError and any other transient error type.
+type temporary interface{ Temporary() bool }
+
+// Retryable reports whether an error from a remote fetch is worth
+// retrying: something in its chain declares itself Temporary. Planner
+// errors, capability violations and tripped circuit breakers are
+// permanent for the duration of the query and fail fast.
+func Retryable(err error) bool {
+	for err != nil {
+		if t, ok := err.(temporary); ok {
+			return t.Temporary()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// FetchRemote runs a pushed-down subtree at a source through the retry
+// and degradation pipeline: retry transient failures per opts.Retry with
+// capped exponential backoff, then — if the fetch still fails — offer the
+// failure to opts.OnRemoteFail, which may substitute an alternative
+// iterator (a replica read, or an empty result for partial-tolerant
+// queries). All Remote dispatches funnel through here so every fetch in a
+// plan gets the same fault handling.
+func FetchRemote(rt Runtime, opts Options, source string, subtree plan.Node) (Iterator, error) {
+	attempts := opts.Retry.attempts()
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if opts.ChargeBackoff != nil {
+				opts.ChargeBackoff(source, opts.Retry.Backoff(attempt-1))
+			}
+			if opts.OnRetry != nil {
+				opts.OnRetry(source)
+			}
+		}
+		var it Iterator
+		it, err = rt.RunRemote(source, subtree)
+		if err == nil {
+			return it, nil
+		}
+		if opts.OnSourceError != nil {
+			opts.OnSourceError(source, attempt, err)
+		}
+		if !Retryable(err) {
+			break
+		}
+	}
+	if opts.OnRemoteFail != nil {
+		if alt, ok := opts.OnRemoteFail(source, subtree, err); ok {
+			return alt, nil
+		}
+	}
+	return nil, err
+}

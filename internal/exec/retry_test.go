@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/netsim"
+	"repro/internal/plan"
+)
+
+// flakyRuntime fails the first failN RunRemote calls with a temporary
+// fault, then succeeds.
+type flakyRuntime struct {
+	failN int
+	calls int
+	rows  []datum.Row
+	err   error
+}
+
+func (rt *flakyRuntime) ScanTable(source, table string) (Iterator, error) {
+	return nil, fmt.Errorf("no tables")
+}
+
+func (rt *flakyRuntime) RunRemote(source string, subtree plan.Node) (Iterator, error) {
+	rt.calls++
+	if rt.calls <= rt.failN {
+		if rt.err != nil {
+			return nil, rt.err
+		}
+		return nil, &netsim.FaultError{Kind: netsim.FaultFlaky, Detail: "injected"}
+	}
+	return NewSliceIterator(rt.rows), nil
+}
+
+func remoteScan() plan.Node {
+	return &plan.Remote{Source: "s", Child: &plan.Scan{
+		Source: "s", Table: "t",
+		Cols: []plan.ColMeta{{Name: "x", Kind: datum.KindInt}},
+	}}
+}
+
+func TestRetryableUnwraps(t *testing.T) {
+	fe := &netsim.FaultError{Kind: netsim.FaultFlaky, Detail: "x"}
+	if !Retryable(fe) {
+		t.Error("FaultError must be retryable")
+	}
+	if !Retryable(fmt.Errorf("source crm: %w", fe)) {
+		t.Error("wrapped FaultError must be retryable")
+	}
+	if Retryable(errors.New("syntax error")) {
+		t.Error("plain errors must not be retryable")
+	}
+}
+
+func TestBackoffCappedExponential(t *testing.T) {
+	p := RetryPolicy{Attempts: 6, BaseBackoff: 10 * time.Millisecond, CapBackoff: 50 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestFetchRemoteRetriesTransientFailures(t *testing.T) {
+	rt := &flakyRuntime{failN: 2, rows: []datum.Row{{datum.NewInt(1)}}}
+	var charged time.Duration
+	var retries int
+	opts := Options{
+		Retry:         RetryPolicy{Attempts: 4, BaseBackoff: 5 * time.Millisecond},
+		ChargeBackoff: func(source string, d time.Duration) { charged += d },
+		OnRetry:       func(source string) { retries++ },
+	}
+	it, err := Build(remoteScan(), rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Drain(it)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+	if rt.calls != 3 || retries != 2 {
+		t.Errorf("calls=%d retries=%d, want 3 and 2", rt.calls, retries)
+	}
+	if charged != 5*time.Millisecond+10*time.Millisecond {
+		t.Errorf("backoff charged = %v", charged)
+	}
+}
+
+func TestFetchRemoteDoesNotRetryPermanentErrors(t *testing.T) {
+	rt := &flakyRuntime{failN: 10, err: errors.New("capability violation")}
+	opts := Options{Retry: RetryPolicy{Attempts: 5}}
+	if _, err := Build(remoteScan(), rt, opts); err == nil {
+		t.Fatal("want error")
+	}
+	if rt.calls != 1 {
+		t.Errorf("permanent error retried %d times", rt.calls-1)
+	}
+}
+
+func TestFetchRemoteFallbackAfterExhaustion(t *testing.T) {
+	rt := &flakyRuntime{failN: 10}
+	var failedSource string
+	opts := Options{
+		Retry: RetryPolicy{Attempts: 2},
+		OnRemoteFail: func(source string, subtree plan.Node, err error) (Iterator, bool) {
+			failedSource = source
+			return NewSliceIterator(nil), true
+		},
+	}
+	it, err := Build(remoteScan(), rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Drain(it)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+	if rt.calls != 2 || failedSource != "s" {
+		t.Errorf("calls=%d failedSource=%q", rt.calls, failedSource)
+	}
+}

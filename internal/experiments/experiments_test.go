@@ -228,12 +228,52 @@ func TestE11AllGuidelinesMatch(t *testing.T) {
 	}
 }
 
+func TestE12FaultToleranceShape(t *testing.T) {
+	tab, err := RunE12(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in triples per failure rate: naive, retry, retry+brk+partial.
+	success := func(row []string) float64 {
+		return cell(t, strings.TrimSuffix(row[2], "%"))
+	}
+	complete := func(row []string) float64 {
+		return cell(t, strings.TrimSuffix(row[5], "%"))
+	}
+	for i := 0; i+2 < len(tab.Rows); i += 3 {
+		naive, retry, degraded := tab.Rows[i], tab.Rows[i+1], tab.Rows[i+2]
+		if naive[0] == "0%" {
+			// Fault-free baseline: everything succeeds completely.
+			for _, row := range [][]string{naive, retry, degraded} {
+				if success(row) != 100 || complete(row) != 100 {
+					t.Errorf("fault-free row degraded: %v", row)
+				}
+			}
+			continue
+		}
+		if success(retry) < success(naive) {
+			t.Errorf("%s: retry success %v below naive %v", naive[0], success(retry), success(naive))
+		}
+		if success(degraded) != 100 {
+			t.Errorf("%s: partial mode success = %v, want 100", naive[0], success(degraded))
+		}
+		if naive[0] == "10%" {
+			if success(retry) < 99 {
+				t.Errorf("10%% failures: retry success = %v, want >= 99", success(retry))
+			}
+			if success(naive) >= 99 {
+				t.Errorf("10%% failures: naive success = %v, should be measurably lower", success(naive))
+			}
+		}
+	}
+}
+
 func TestAllRunsAndRenders(t *testing.T) {
 	tabs, err := All(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 11 {
+	if len(tabs) != 12 {
 		t.Fatalf("experiments = %d", len(tabs))
 	}
 	for _, tab := range tabs {

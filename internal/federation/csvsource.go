@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"strconv"
@@ -157,6 +158,14 @@ func parseCSVField(rec []string, col int, kind datum.Kind) (datum.Datum, error) 
 
 // Execute implements Source.
 func (s *CSVSource) Execute(subtree plan.Node) ([]datum.Row, error) {
+	return s.ExecuteCtx(context.Background(), subtree)
+}
+
+// ExecuteCtx implements ContextSource.
+func (s *CSVSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := validateSubtree(s.name, s.Capabilities(), subtree); err != nil {
 		return nil, err
 	}
@@ -170,7 +179,13 @@ func (s *CSVSource) Execute(subtree plan.Node) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return shipResult(s.link, rows), nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return shipResult(s.link, rows)
 }
 
-var _ Source = (*CSVSource)(nil)
+var (
+	_ Source        = (*CSVSource)(nil)
+	_ ContextSource = (*CSVSource)(nil)
+)

@@ -259,6 +259,44 @@ func TestDeparse(t *testing.T) {
 	}
 }
 
+func TestDeparseLeftJoinKeepsRightFilterInOn(t *testing.T) {
+	// Regression: a filter under the right input of a LEFT JOIN must stay
+	// in the ON clause. Hoisted into the outer WHERE it would reject the
+	// NULL-padded rows and silently turn the join into an inner join.
+	cols := custCols()
+	scanA := scanNode("crm", "customers", "a", cols)
+	scanB := scanNode("crm", "customers", "b", cols)
+	rightPred, _ := sqlparse.ParseExpr("b.region = 'east'")
+	onCond, _ := sqlparse.ParseExpr("a.id = b.id")
+	join := plan.NewJoin(sqlparse.JoinLeft, scanA,
+		&plan.Filter{Input: scanB, Cond: rightPred}, onCond)
+	sql, err := Deparse(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sql, "WHERE") {
+		t.Errorf("right-side predicate escaped to WHERE: %q", sql)
+	}
+	if !strings.Contains(sql, "LEFT JOIN") || !strings.Contains(sql, "b.region = 'east'") {
+		t.Errorf("deparse = %q", sql)
+	}
+	if _, err := sqlparse.Parse(sql); err != nil {
+		t.Errorf("deparsed SQL does not re-parse: %v\n%s", err, sql)
+	}
+	// A left-side predicate may still hoist to WHERE: it filters preserved
+	// rows the same way before or after the join.
+	leftPred, _ := sqlparse.ParseExpr("a.region = 'west'")
+	join2 := plan.NewJoin(sqlparse.JoinLeft,
+		&plan.Filter{Input: scanA, Cond: leftPred}, scanB, onCond)
+	sql2, err := Deparse(join2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql2, "WHERE") || !strings.Contains(sql2, "a.region = 'west'") {
+		t.Errorf("left-side predicate should hoist to WHERE: %q", sql2)
+	}
+}
+
 func TestDeparseAggregateAndJoin(t *testing.T) {
 	cols := custCols()
 	scanA := scanNode("crm", "customers", "a", cols)

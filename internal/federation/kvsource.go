@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -97,6 +98,14 @@ func (s *KVSource) RefreshStats() {
 
 // Execute implements Source: only bare scans are accepted.
 func (s *KVSource) Execute(subtree plan.Node) ([]datum.Row, error) {
+	return s.ExecuteCtx(context.Background(), subtree)
+}
+
+// ExecuteCtx implements ContextSource.
+func (s *KVSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	scan, ok := subtree.(*plan.Scan)
 	if !ok {
 		return nil, fmt.Errorf("federation: kv source %s can only execute table scans, got %s", s.name, subtree.Describe())
@@ -108,7 +117,7 @@ func (s *KVSource) Execute(subtree plan.Node) ([]datum.Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("federation: source %s has no table %s", s.name, scan.Table)
 	}
-	return shipResult(s.link, t.Snapshot()), nil
+	return shipResult(s.link, t.Snapshot())
 }
 
 // Lookup answers a point read by primary key, charging the link only for
@@ -127,7 +136,7 @@ func (s *KVSource) Lookup(table string, key datum.Row) ([]datum.Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("federation: source %s table %s has no primary index", s.name, table)
 	}
-	return shipResult(s.link, rows), nil
+	return shipResult(s.link, rows)
 }
 
 // Insert implements Updatable.
@@ -136,7 +145,9 @@ func (s *KVSource) Insert(table string, row datum.Row) error {
 	if !ok {
 		return fmt.Errorf("federation: source %s has no table %s", s.name, table)
 	}
-	s.link.Transfer(requestOverheadBytes + datum.RowWireSize(row))
+	if _, err := s.link.Transfer(requestOverheadBytes + datum.RowWireSize(row)); err != nil {
+		return err
+	}
 	return t.Insert(row)
 }
 
@@ -146,7 +157,9 @@ func (s *KVSource) Update(table string, pred func(datum.Row) bool, fn func(datum
 	if !ok {
 		return 0, fmt.Errorf("federation: source %s has no table %s", s.name, table)
 	}
-	s.link.Transfer(requestOverheadBytes)
+	if _, err := s.link.Transfer(requestOverheadBytes); err != nil {
+		return 0, err
+	}
 	return t.Update(pred, fn)
 }
 
@@ -156,12 +169,15 @@ func (s *KVSource) Delete(table string, pred func(datum.Row) bool) (int, error) 
 	if !ok {
 		return 0, fmt.Errorf("federation: source %s has no table %s", s.name, table)
 	}
-	s.link.Transfer(requestOverheadBytes)
+	if _, err := s.link.Transfer(requestOverheadBytes); err != nil {
+		return 0, err
+	}
 	return t.Delete(pred), nil
 }
 
 var (
-	_ Source    = (*KVSource)(nil)
-	_ Updatable = (*KVSource)(nil)
-	_ Notifying = (*KVSource)(nil)
+	_ Source        = (*KVSource)(nil)
+	_ ContextSource = (*KVSource)(nil)
+	_ Updatable     = (*KVSource)(nil)
+	_ Notifying     = (*KVSource)(nil)
 )

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -111,6 +112,15 @@ func (s *RelationalSource) RefreshStats() {
 
 // Execute implements Source.
 func (s *RelationalSource) Execute(subtree plan.Node) ([]datum.Row, error) {
+	return s.ExecuteCtx(context.Background(), subtree)
+}
+
+// ExecuteCtx implements ContextSource: the fetch is abandoned (before
+// shipping) once the context's deadline passes or it is cancelled.
+func (s *RelationalSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := validateSubtree(s.name, s.caps, subtree); err != nil {
 		return nil, err
 	}
@@ -124,7 +134,10 @@ func (s *RelationalSource) Execute(subtree plan.Node) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return shipResult(s.link, rows), nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return shipResult(s.link, rows)
 }
 
 // Insert implements Updatable.
@@ -134,7 +147,9 @@ func (s *RelationalSource) Insert(table string, row datum.Row) error {
 		return fmt.Errorf("federation: source %s has no table %s", s.name, table)
 	}
 	// Writes cross the same link as reads.
-	s.link.Transfer(requestOverheadBytes + datum.RowWireSize(row))
+	if _, err := s.link.Transfer(requestOverheadBytes + datum.RowWireSize(row)); err != nil {
+		return err
+	}
 	return t.Insert(row)
 }
 
@@ -144,7 +159,9 @@ func (s *RelationalSource) Update(table string, pred func(datum.Row) bool, fn fu
 	if !ok {
 		return 0, fmt.Errorf("federation: source %s has no table %s", s.name, table)
 	}
-	s.link.Transfer(requestOverheadBytes)
+	if _, err := s.link.Transfer(requestOverheadBytes); err != nil {
+		return 0, err
+	}
 	return t.Update(pred, fn)
 }
 
@@ -154,12 +171,15 @@ func (s *RelationalSource) Delete(table string, pred func(datum.Row) bool) (int,
 	if !ok {
 		return 0, fmt.Errorf("federation: source %s has no table %s", s.name, table)
 	}
-	s.link.Transfer(requestOverheadBytes)
+	if _, err := s.link.Transfer(requestOverheadBytes); err != nil {
+		return 0, err
+	}
 	return t.Delete(pred), nil
 }
 
 var (
-	_ Source    = (*RelationalSource)(nil)
-	_ Updatable = (*RelationalSource)(nil)
-	_ Notifying = (*RelationalSource)(nil)
+	_ Source        = (*RelationalSource)(nil)
+	_ ContextSource = (*RelationalSource)(nil)
+	_ Updatable     = (*RelationalSource)(nil)
+	_ Notifying     = (*RelationalSource)(nil)
 )

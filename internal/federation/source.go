@@ -6,6 +6,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -84,6 +85,28 @@ type Source interface {
 	Execute(subtree plan.Node) ([]datum.Row, error)
 }
 
+// ContextSource is implemented by sources whose Execute honors a
+// context: a query deadline or cancellation aborts the remote fetch
+// before (or instead of) charging the link. ExecuteWithContext falls back
+// to plain Execute for sources that do not implement it.
+type ContextSource interface {
+	ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.Row, error)
+}
+
+// ExecuteWithContext runs a pushed-down subtree through the source's
+// context-aware path when available.
+func ExecuteWithContext(ctx context.Context, src Source, subtree plan.Node) ([]datum.Row, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cs, ok := src.(ContextSource); ok {
+			return cs.ExecuteCtx(ctx, subtree)
+		}
+	}
+	return src.Execute(subtree)
+}
+
 // Updatable is implemented by sources that accept writes (used by the EAI
 // layer and the examples; EII itself is read-only, which is §4's point).
 type Updatable interface {
@@ -103,14 +126,17 @@ type Notifying interface {
 const requestOverheadBytes = 256
 
 // shipResult charges the link for one round trip carrying rows and returns
-// the rows unchanged.
-func shipResult(link *netsim.Link, rows []datum.Row) []datum.Row {
+// the rows unchanged. A failed round trip (injected fault, outage) loses
+// the payload: the caller gets the link's error and no rows.
+func shipResult(link *netsim.Link, rows []datum.Row) ([]datum.Row, error) {
 	bytes := requestOverheadBytes
 	for _, r := range rows {
 		bytes += datum.RowWireSize(r)
 	}
-	link.Transfer(bytes)
-	return rows
+	if _, err := link.Transfer(bytes); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // Deparse renders a pushed-down subtree as the SQL text a real wrapper
@@ -170,12 +196,21 @@ func deparseNode(n plan.Node) (*sqlparse.Select, error) {
 		if cond == nil {
 			cond = &sqlparse.Literal{Value: datum.NewBool(true)}
 		}
+		rightWhere := r.Where
+		if x.Type != sqlparse.JoinInner && rightWhere != nil {
+			// For outer joins a right-side predicate must stay in the ON
+			// clause: hoisting it into the outer WHERE would discard rows
+			// with a NULL-padded right side, silently turning the LEFT
+			// JOIN into an inner join on pushdown.
+			cond = mergeWhere(cond, rightWhere)
+			rightWhere = nil
+		}
 		join := &sqlparse.Join{Type: x.Type, Left: l.From[0], Right: r.From[0], On: cond}
 		out := &sqlparse.Select{
 			Items: []sqlparse.SelectItem{{Star: true}},
 			From:  []sqlparse.TableRef{join},
 		}
-		out.Where = mergeWhere(l.Where, r.Where)
+		out.Where = mergeWhere(l.Where, rightWhere)
 		return out, nil
 	case *plan.Aggregate:
 		sub, err := deparseNode(x.Input)

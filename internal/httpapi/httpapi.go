@@ -7,7 +7,7 @@
 //	POST /query    {"sql": "..."}            -> rows + network accounting
 //	POST /explain  {"sql": "..."}            -> optimized plan + pushdown SQL
 //	GET  /catalog                            -> sources, tables, views
-//	GET  /healthz                            -> ok
+//	GET  /healthz                            -> per-source circuit-breaker states
 package httpapi
 
 import (
@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datum"
+	"repro/internal/exec"
 )
 
 // QueryRequest is the body of /query and /explain.
@@ -25,6 +26,12 @@ type QueryRequest struct {
 	SQL string `json:"sql"`
 	// Naive runs the query without any optimization (baseline mode).
 	Naive bool `json:"naive,omitempty"`
+	// AllowPartial answers from the surviving sources when one is down.
+	AllowPartial bool `json:"allowPartial,omitempty"`
+	// RetryAttempts is the total tries per remote fetch (0/1: no retry).
+	RetryAttempts int `json:"retryAttempts,omitempty"`
+	// DeadlineMS bounds query execution in milliseconds.
+	DeadlineMS int `json:"deadlineMs,omitempty"`
 }
 
 // QueryResponse is the body returned by /query.
@@ -38,6 +45,24 @@ type QueryResponse struct {
 		SimTime      string `json:"simTime"`
 	} `json:"network"`
 	Elapsed string `json:"elapsed"`
+	// Partial is true when failed sources were dropped from the answer.
+	Partial bool `json:"partial,omitempty"`
+	// SkippedSources names the sources missing from a partial answer.
+	SkippedSources []string `json:"skippedSources,omitempty"`
+	// ReplicaSources names failed sources answered from a replica.
+	ReplicaSources []string `json:"replicaSources,omitempty"`
+	// SourceErrors counts failed fetch attempts per source.
+	SourceErrors map[string]int `json:"sourceErrors,omitempty"`
+	// Retries counts retry attempts per source.
+	Retries map[string]int `json:"retries,omitempty"`
+}
+
+// HealthResponse is the body returned by /healthz.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok", or "degraded" when a breaker is not closed
+	// Sources maps each registered source to its circuit-breaker state
+	// (closed / open / half-open).
+	Sources map[string]string `json:"sources"`
 }
 
 // ExplainResponse is the body returned by /explain.
@@ -79,8 +104,14 @@ type errorBody struct {
 func NewHandler(engine *core.Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		resp := HealthResponse{Status: "ok", Sources: make(map[string]string)}
+		for name, state := range engine.BreakerStates() {
+			resp.Sources[name] = string(state)
+			if state != core.BreakerClosed {
+				resp.Status = "degraded"
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := readQueryRequest(w, r)
@@ -90,6 +121,13 @@ func NewHandler(engine *core.Engine) http.Handler {
 		qo := core.QueryOptions{Parallel: true}
 		if req.Naive {
 			qo = naiveOptions()
+		}
+		qo.AllowPartial = req.AllowPartial
+		if req.RetryAttempts > 1 {
+			qo.Retry = exec.RetryPolicy{Attempts: req.RetryAttempts}
+		}
+		if req.DeadlineMS > 0 {
+			qo.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 		}
 		res, err := engine.QueryOpts(req.SQL, qo)
 		if err != nil {
@@ -161,6 +199,11 @@ func toQueryResponse(res *core.Result) QueryResponse {
 	out.Network.WireBytes = res.Network.WireBytes
 	out.Network.SimTime = res.Network.SimTime.String()
 	out.Elapsed = res.Elapsed.Round(time.Microsecond).String()
+	out.Partial = res.Partial
+	out.SkippedSources = res.SkippedSources
+	out.ReplicaSources = res.ReplicaSources
+	out.SourceErrors = res.SourceErrors
+	out.Retries = res.Retries
 	return out
 }
 

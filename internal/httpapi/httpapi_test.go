@@ -7,7 +7,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -169,8 +171,72 @@ func TestHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("status = %d", resp.StatusCode)
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || len(hr.Sources) != 3 || hr.Sources["crm"] != "closed" {
+		t.Errorf("health = %+v", hr)
+	}
+}
+
+func TestDegradedQueryAndBreakerHealth(t *testing.T) {
+	cfg := workload.DefaultCRM()
+	cfg.Customers = 60
+	fed, err := workload.BuildCRM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed.Engine.SetBreakerConfig(core.BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Hour})
+	srv := httptest.NewServer(NewHandler(fed.Engine))
+	defer srv.Close()
+
+	billing, _ := fed.Engine.Source("billing")
+	billing.Link().SetDown(true)
+
+	resp, body := post(t, srv.URL+"/query", QueryRequest{SQL: "SELECT cust_id FROM billing.invoices"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("downed source without AllowPartial: status = %d, %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, srv.URL+"/query", QueryRequest{
+		SQL: "SELECT cust_id FROM billing.invoices", AllowPartial: true, RetryAttempts: 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial query: status = %d, %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Partial || len(qr.SkippedSources) != 1 || qr.SkippedSources[0] != "billing" {
+		t.Errorf("partial response = %+v", qr)
+	}
+	if len(qr.Rows) != 0 {
+		t.Errorf("rows from a downed source: %d", len(qr.Rows))
+	}
+	if qr.SourceErrors["billing"] == 0 {
+		t.Errorf("source errors not reported: %+v", qr.SourceErrors)
+	}
+
+	// The failures above tripped billing's breaker (threshold 2); the
+	// health endpoint must now report the federation degraded.
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var hr HealthResponse
+	if err := json.NewDecoder(r.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "degraded" || hr.Sources["billing"] != "open" {
+		t.Errorf("health after outage = %+v", hr)
+	}
+	if hr.Sources["crm"] != "closed" {
+		t.Errorf("healthy source reported %q", hr.Sources["crm"])
 	}
 }

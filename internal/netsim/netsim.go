@@ -12,9 +12,66 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
+
+// FaultKind classifies an injected transfer failure.
+type FaultKind string
+
+// Fault kinds.
+const (
+	// FaultOutage is a scheduled or forced outage: every transfer fails
+	// until the outage lifts.
+	FaultOutage FaultKind = "outage"
+	// FaultTimeout is an injected timeout: the link charges a latency
+	// spike and then gives up on the round trip.
+	FaultTimeout FaultKind = "timeout"
+	// FaultFlaky is a transient per-round-trip failure (dropped
+	// connection, 5xx from the wrapper, ...).
+	FaultFlaky FaultKind = "flaky"
+)
+
+// FaultError is the error a failed Transfer returns. All injected faults
+// are Temporary: a retry may succeed once the fault condition passes.
+type FaultError struct {
+	Kind   FaultKind
+	Detail string
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("netsim: transfer failed (%s): %s", e.Kind, e.Detail)
+}
+
+// Temporary marks the failure as retryable.
+func (e *FaultError) Temporary() bool { return true }
+
+// FaultProfile configures deterministic, seedable fault injection on a
+// link. The zero value injects nothing.
+type FaultProfile struct {
+	// Seed seeds the per-link fault RNG, making every failure sequence
+	// reproducible.
+	Seed int64
+	// FailureRate is the per-round-trip probability of a transient
+	// failure (FaultFlaky).
+	FailureRate float64
+	// TimeoutRate is the per-round-trip probability of an injected
+	// timeout (FaultTimeout): the link charges SpikeLatency and fails.
+	TimeoutRate float64
+	// SpikeLatency is the extra virtual time a timed-out round trip
+	// costs before failing; zero defaults to 10x the link latency.
+	SpikeLatency time.Duration
+	// OutageAfter/OutageUntil schedule an outage window on the link's
+	// virtual clock: transfers starting at SimTime in [OutageAfter,
+	// OutageUntil) fail with FaultOutage. Zero values disable the window.
+	OutageAfter time.Duration
+	OutageUntil time.Duration
+	// FailFirst makes the first N transfers fail (flaky-then-recover
+	// mode: the source comes up slowly but works after a few retries).
+	FailFirst int
+}
 
 // Link models one mediator<->source connection.
 type Link struct {
@@ -35,7 +92,11 @@ type Link struct {
 	// MaxSleep caps one blocking transfer; zero means 50ms.
 	MaxSleep time.Duration
 
-	metrics Metrics
+	fault     *FaultProfile
+	rng       *rand.Rand
+	down      bool
+	transfers int64
+	metrics   Metrics
 }
 
 // Metrics accumulates transfer accounting for a link or a whole federation.
@@ -44,6 +105,7 @@ type Metrics struct {
 	BytesShipped int64         // logical bytes before serialization inflation
 	WireBytes    int64         // bytes after inflation; what the link carried
 	SimTime      time.Duration // virtual time spent on the link
+	Failures     int64         // round trips that failed (injected or forced)
 }
 
 // Add accumulates other into m.
@@ -52,12 +114,26 @@ func (m *Metrics) Add(other Metrics) {
 	m.BytesShipped += other.BytesShipped
 	m.WireBytes += other.WireBytes
 	m.SimTime += other.SimTime
+	m.Failures += other.Failures
+}
+
+// Sub subtracts other from m (for before/after deltas).
+func (m *Metrics) Sub(other Metrics) {
+	m.RoundTrips -= other.RoundTrips
+	m.BytesShipped -= other.BytesShipped
+	m.WireBytes -= other.WireBytes
+	m.SimTime -= other.SimTime
+	m.Failures -= other.Failures
 }
 
 // String renders the metrics compactly.
 func (m Metrics) String() string {
-	return fmt.Sprintf("trips=%d shipped=%dB wire=%dB time=%s",
+	s := fmt.Sprintf("trips=%d shipped=%dB wire=%dB time=%s",
 		m.RoundTrips, m.BytesShipped, m.WireBytes, m.SimTime)
+	if m.Failures > 0 {
+		s += fmt.Sprintf(" failures=%d", m.Failures)
+	}
+	return s
 }
 
 // NewLink builds a link. Non-positive bandwidth or serialization factors
@@ -76,12 +152,103 @@ func NewLink(latency time.Duration, bytesPerSecond, serializationFactor float64)
 // warehouse's local scans).
 func LocalLink() *Link { return NewLink(0, 0, 0) }
 
+// SetFaultProfile installs (or, with nil, removes) fault injection on the
+// link. The profile is copied; the failure sequence is determined entirely
+// by the profile's seed and the order of transfers.
+func (l *Link) SetFaultProfile(p *FaultProfile) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p == nil {
+		l.fault, l.rng = nil, nil
+		return
+	}
+	cp := *p
+	l.fault = &cp
+	l.rng = rand.New(rand.NewSource(cp.Seed))
+	l.transfers = 0
+}
+
+// SetDown forces (or lifts) an outage on the link, independent of any
+// fault profile. Every transfer fails while the link is down.
+func (l *Link) SetDown(down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = down
+}
+
+// Down reports whether the link is in a forced outage.
+func (l *Link) Down() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
+
+// ChargeDelay adds pure waiting time (e.g. retry backoff) to the link's
+// virtual clock without moving any bytes.
+func (l *Link) ChargeDelay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	l.mu.Lock()
+	l.metrics.SimTime += d
+	l.mu.Unlock()
+}
+
+// injectFault decides (under l.mu) whether this round trip fails and
+// returns the failure plus the virtual time it still cost.
+func (l *Link) injectFault() (*FaultError, time.Duration) {
+	if l.down {
+		return &FaultError{Kind: FaultOutage, Detail: "link forced down"}, l.Latency
+	}
+	p := l.fault
+	if p == nil {
+		return nil, 0
+	}
+	if p.FailFirst > 0 && l.transfers <= int64(p.FailFirst) {
+		return &FaultError{Kind: FaultFlaky,
+			Detail: fmt.Sprintf("warm-up failure %d/%d", l.transfers, p.FailFirst)}, l.Latency
+	}
+	if p.OutageUntil > p.OutageAfter &&
+		l.metrics.SimTime >= p.OutageAfter && l.metrics.SimTime < p.OutageUntil {
+		return &FaultError{Kind: FaultOutage,
+			Detail: fmt.Sprintf("scheduled outage [%s,%s)", p.OutageAfter, p.OutageUntil)}, l.Latency
+	}
+	if p.TimeoutRate > 0 && l.rng.Float64() < p.TimeoutRate {
+		spike := p.SpikeLatency
+		if spike <= 0 {
+			spike = 10 * l.Latency
+		}
+		return &FaultError{Kind: FaultTimeout,
+			Detail: fmt.Sprintf("no response within %s", l.Latency+spike)}, l.Latency + spike
+	}
+	if p.FailureRate > 0 && l.rng.Float64() < p.FailureRate {
+		return &FaultError{Kind: FaultFlaky, Detail: "connection dropped"}, l.Latency
+	}
+	return nil, 0
+}
+
 // Transfer charges one round trip carrying the given logical payload and
 // returns the virtual time it took. With RealSleep set it also blocks for
 // that duration (capped), so concurrent transfers over different links
 // overlap in wall-clock time the way real federated fetches do.
-func (l *Link) Transfer(logicalBytes int) time.Duration {
+//
+// When fault injection is configured (SetFaultProfile / SetDown), a round
+// trip may fail: the link charges the latency it still cost (plus the
+// spike for timeouts), counts the failure, and returns a *FaultError. No
+// payload bytes are accounted for a failed trip.
+func (l *Link) Transfer(logicalBytes int) (time.Duration, error) {
 	l.mu.Lock()
+	l.transfers++
+	if ferr, cost := l.injectFault(); ferr != nil {
+		l.metrics.RoundTrips++
+		l.metrics.Failures++
+		l.metrics.SimTime += cost
+		sleep := l.RealSleep
+		maxSleep := l.MaxSleep
+		l.mu.Unlock()
+		l.maybeSleep(sleep, maxSleep, cost)
+		return cost, ferr
+	}
 	wire := int64(float64(logicalBytes) * l.SerializationFactor)
 	d := l.Latency + time.Duration(float64(wire)/l.BytesPerSecond*float64(time.Second))
 	l.metrics.RoundTrips++
@@ -91,17 +258,21 @@ func (l *Link) Transfer(logicalBytes int) time.Duration {
 	sleep := l.RealSleep
 	maxSleep := l.MaxSleep
 	l.mu.Unlock()
-	if sleep {
-		if maxSleep <= 0 {
-			maxSleep = 50 * time.Millisecond
-		}
-		if d > maxSleep {
-			time.Sleep(maxSleep)
-		} else {
-			time.Sleep(d)
-		}
+	l.maybeSleep(sleep, maxSleep, d)
+	return d, nil
+}
+
+func (l *Link) maybeSleep(sleep bool, maxSleep, d time.Duration) {
+	if !sleep {
+		return
 	}
-	return d
+	if maxSleep <= 0 {
+		maxSleep = 50 * time.Millisecond
+	}
+	if d > maxSleep {
+		d = maxSleep
+	}
+	time.Sleep(d)
 }
 
 // TransferCost prices a hypothetical transfer without recording it; the

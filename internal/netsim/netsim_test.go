@@ -9,7 +9,10 @@ import (
 
 func TestTransferAccounting(t *testing.T) {
 	l := NewLink(10*time.Millisecond, 1000, 1) // 1000 B/s
-	d := l.Transfer(500)
+	d, err := l.Transfer(500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 10*time.Millisecond + 500*time.Millisecond
 	if d != want {
 		t.Errorf("transfer time = %v, want %v", d, want)
@@ -49,7 +52,7 @@ func TestDefaults(t *testing.T) {
 		t.Error("defaults not applied")
 	}
 	ll := LocalLink()
-	if d := ll.Transfer(1 << 20); d > time.Millisecond*2 {
+	if d, _ := ll.Transfer(1 << 20); d > time.Millisecond*2 {
 		t.Errorf("local link should be near-free, got %v", d)
 	}
 }
@@ -69,6 +72,109 @@ func TestResetAndAdd(t *testing.T) {
 	}
 	if !strings.Contains(total.String(), "trips=3") {
 		t.Error("String rendering")
+	}
+}
+
+func TestForcedOutageFailsTransfers(t *testing.T) {
+	l := NewLink(time.Millisecond, 1000, 1)
+	l.SetDown(true)
+	if !l.Down() {
+		t.Fatal("link should report down")
+	}
+	_, err := l.Transfer(100)
+	fe, ok := err.(*FaultError)
+	if !ok || fe.Kind != FaultOutage {
+		t.Fatalf("want outage FaultError, got %v", err)
+	}
+	if !fe.Temporary() {
+		t.Error("injected faults must be Temporary")
+	}
+	m := l.Metrics()
+	if m.Failures != 1 || m.BytesShipped != 0 || m.SimTime != time.Millisecond {
+		t.Errorf("failed trip accounting = %+v", m)
+	}
+	l.SetDown(false)
+	if _, err := l.Transfer(100); err != nil {
+		t.Fatalf("after outage lifts: %v", err)
+	}
+}
+
+func TestFaultProfileDeterministic(t *testing.T) {
+	run := func() []bool {
+		l := NewLink(time.Millisecond, 1e6, 1)
+		l.SetFaultProfile(&FaultProfile{Seed: 42, FailureRate: 0.3})
+		out := make([]bool, 50)
+		for i := range out {
+			_, err := l.Transfer(10)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence not deterministic at trip %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("failure rate 0.3 produced %d/%d failures", fails, len(a))
+	}
+}
+
+func TestFailFirstThenRecover(t *testing.T) {
+	l := NewLink(time.Millisecond, 1e6, 1)
+	l.SetFaultProfile(&FaultProfile{FailFirst: 3})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Transfer(10); err == nil {
+			t.Fatalf("warm-up trip %d should fail", i)
+		}
+	}
+	if _, err := l.Transfer(10); err != nil {
+		t.Fatalf("trip after warm-up should succeed: %v", err)
+	}
+}
+
+func TestScheduledOutageWindow(t *testing.T) {
+	// 1ms latency per trip; outage scheduled for virtual time [2ms, 4ms).
+	l := NewLink(time.Millisecond, 1e9, 1)
+	l.SetFaultProfile(&FaultProfile{OutageAfter: 2 * time.Millisecond, OutageUntil: 4 * time.Millisecond})
+	var seq []bool
+	for i := 0; i < 6; i++ {
+		_, err := l.Transfer(1)
+		seq = append(seq, err == nil)
+	}
+	// Trips at SimTime 0,1ms succeed; trips at 2ms,3ms fail; then recover.
+	want := []bool{true, true, false, false, true, true}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("outage window sequence = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestTimeoutChargesSpike(t *testing.T) {
+	l := NewLink(time.Millisecond, 1e9, 1)
+	l.SetFaultProfile(&FaultProfile{Seed: 1, TimeoutRate: 1, SpikeLatency: 7 * time.Millisecond})
+	d, err := l.Transfer(10)
+	fe, ok := err.(*FaultError)
+	if !ok || fe.Kind != FaultTimeout {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if d != 8*time.Millisecond {
+		t.Errorf("timeout cost = %v, want latency+spike = 8ms", d)
+	}
+}
+
+func TestChargeDelay(t *testing.T) {
+	l := NewLink(0, 1e9, 1)
+	l.ChargeDelay(5 * time.Millisecond)
+	l.ChargeDelay(-time.Millisecond) // ignored
+	if m := l.Metrics(); m.SimTime != 5*time.Millisecond || m.RoundTrips != 0 {
+		t.Errorf("ChargeDelay accounting = %+v", m)
 	}
 }
 

@@ -5,6 +5,22 @@ import (
 	"repro/internal/sqlparse"
 )
 
+// AvailabilityEnv is optionally implemented by planning environments that
+// track source health (circuit breakers). The optimizer plans no
+// cooperative fetches — semi-join key shipping — against a source that is
+// currently unavailable, since the reduced fetch would only fail and force
+// a second, full fetch after recovery.
+type AvailabilityEnv interface {
+	Available(source string) bool
+}
+
+func sourceAvailable(env Env, source string) bool {
+	if a, ok := env.(AvailabilityEnv); ok {
+		return a.Available(source)
+	}
+	return true
+}
+
 // placeRemotes wraps maximal single-source, capability-compatible subtrees
 // in Remote nodes so they execute at the source. Everything outside a
 // Remote runs at the mediator; bare scans that end up outside still ship
@@ -13,7 +29,7 @@ import (
 func placeRemotes(n plan.Node, env Env, opts Options) plan.Node {
 	out, src := place(n, env, opts)
 	if src != "" {
-		allowKeys := env != nil && env.Caps(src).PushFilter
+		allowKeys := env != nil && env.Caps(src).PushFilter && sourceAvailable(env, src)
 		return &plan.Remote{Source: src, Child: out, AllowKeyFilter: allowKeys}
 	}
 	return out
@@ -76,7 +92,7 @@ func place(n plan.Node, env Env, opts Options) (plan.Node, string) {
 			newKids[i] = demoteToScanShipping(newKids[i], s)
 			continue
 		}
-		allowKeys := env != nil && env.Caps(s).PushFilter
+		allowKeys := env != nil && env.Caps(s).PushFilter && sourceAvailable(env, s)
 		newKids[i] = &plan.Remote{Source: s, Child: newKids[i], AllowKeyFilter: allowKeys}
 	}
 	return n.WithChildren(newKids), ""

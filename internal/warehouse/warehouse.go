@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/datum"
 	"repro/internal/federation"
 	"repro/internal/netsim"
 	"repro/internal/plan"
@@ -32,6 +34,9 @@ type Feed struct {
 	loadedVersion int64
 	// loadedRows is the number of rows at the last refresh.
 	loadedRows int
+	// refreshedAt is the wall-clock time of the last refresh (zero
+	// before the first).
+	refreshedAt time.Time
 }
 
 // Warehouse is a central store fed by bulk extraction.
@@ -142,9 +147,35 @@ func (w *Warehouse) refreshFeed(f *Feed) (int, error) {
 		f.loadedVersion = 0
 	}
 	f.loadedRows = len(rows)
+	f.refreshedAt = time.Now()
 	w.store.RefreshStats()
 	return len(rows), nil
 }
+
+// ReplicaTable implements core.ReplicaProvider: when the mediator loses a
+// source, a warehouse mirroring that source's tables can answer in its
+// stead with bounded staleness. It returns the replicated rows, the age
+// of the replica, and whether a refreshed feed for source.table exists.
+func (w *Warehouse) ReplicaTable(source, table string) ([]datum.Row, time.Duration, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, f := range w.feeds {
+		if !strings.EqualFold(f.Source.Name(), source) || !strings.EqualFold(f.Table, table) {
+			continue
+		}
+		if f.refreshedAt.IsZero() {
+			return nil, 0, false // never refreshed: nothing to serve
+		}
+		local, ok := w.store.Table(f.Table)
+		if !ok {
+			return nil, 0, false
+		}
+		return local.Snapshot(), time.Since(f.refreshedAt), true
+	}
+	return nil, 0, false
+}
+
+var _ core.ReplicaProvider = (*Warehouse)(nil)
 
 // Staleness reports, per feed, how many source mutations have happened
 // since the last refresh. Feeds never refreshed report -1.

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datum"
 	"repro/internal/federation"
 	"repro/internal/netsim"
@@ -143,5 +144,54 @@ func TestWarehouseViewsMirrorMediatedSchema(t *testing.T) {
 	}
 	if r.Rows[0][0].Int() != 2 {
 		t.Errorf("view count = %v", r.Rows[0][0])
+	}
+}
+
+func TestWarehouseAsReplicaProviderForEngine(t *testing.T) {
+	src := crmSource(t)
+	e := core.New()
+	if err := e.Register(src); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := New("dw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddFeed(src, "customers"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the first refresh there is no replica to serve.
+	if _, _, ok := w.ReplicaTable("crm", "customers"); ok {
+		t.Fatal("unrefreshed feed served as replica")
+	}
+	if _, err := w.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rows, age, ok := w.ReplicaTable("CRM", "customers")
+	if !ok || len(rows) != 3 {
+		t.Fatalf("replica rows=%d ok=%v", len(rows), ok)
+	}
+	if age < 0 || age > time.Minute {
+		t.Errorf("replica age = %s", age)
+	}
+	if _, _, ok := w.ReplicaTable("crm", "ghost"); ok {
+		t.Error("unknown table served as replica")
+	}
+
+	// The engine degrades onto the warehouse copy when the source is down.
+	e.SetReplicaProvider(w)
+	src.Link().SetDown(true)
+	res, err := e.QueryOpts("SELECT name FROM crm.customers WHERE id >= 2",
+		core.QueryOptions{AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(res.Rows))
+	}
+	if len(res.ReplicaSources) != 1 || res.ReplicaSources[0] != "crm" {
+		t.Errorf("ReplicaSources = %v", res.ReplicaSources)
 	}
 }
