@@ -4,9 +4,9 @@
 GO ?= go
 RACE_PKGS := ./internal/core ./internal/exec ./internal/netsim ./internal/storage
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-smoke
 
-check: fmt vet build test race
+check: fmt vet build test race bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -26,3 +26,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# A fixed-iteration pass over the plan-cache benchmarks: cheap enough for
+# every `make check`, and it keeps the benchmark code itself compiling and
+# running (a broken bench otherwise goes unnoticed until someone runs the
+# full suite).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache' -benchtime 25x .

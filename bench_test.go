@@ -8,6 +8,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -403,6 +404,52 @@ func BenchmarkE12FaultTolerancePartial(b *testing.B) {
 		core.BreakerConfig{})
 }
 
+// --- E13: plan caching under templated concurrent load ---
+
+// e13BenchSQL mirrors the E13 experiment's templated portal workload: the
+// same point-lookup shape through the mediated view with rotating
+// constants.
+func e13BenchSQL(i int) string {
+	return fmt.Sprintf(
+		"SELECT name, amount, status FROM customer360 WHERE id = %d AND amount > %d",
+		1+i%97, 100+50*(i%9))
+}
+
+func benchE13(b *testing.B, clients int, noCache bool) {
+	fed := mustCRM(b, 120)
+	engine := fed.Engine
+	qo := core.QueryOptions{NoPlanCache: noCache}
+	var idx int64
+	// RunParallel spawns GOMAXPROCS×p goroutines; SetParallelism turns the
+	// sub-benchmark into an n-concurrent-client run.
+	b.SetParallelism(clients)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&idx, 1)
+			if _, err := engine.QueryOpts(e13BenchSQL(int(i)), qo); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if !noCache {
+		b.ReportMetric(engine.PlanCacheStats().HitRate()*100, "hit%")
+	}
+}
+
+func BenchmarkE13PlanCacheCompileEveryTime(b *testing.B) {
+	for _, c := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("clients=%d", c), func(b *testing.B) { benchE13(b, c, true) })
+	}
+}
+
+func BenchmarkE13PlanCacheCached(b *testing.B) {
+	for _, c := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("clients=%d", c), func(b *testing.B) { benchE13(b, c, false) })
+	}
+}
+
 // --- Engine micro-benchmarks ---
 
 func BenchmarkMicroParse(b *testing.B) {
@@ -485,7 +532,7 @@ func TestExperimentTablesQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(tables))
 	}
 }

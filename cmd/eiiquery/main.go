@@ -13,6 +13,14 @@
 //	--deadline 100ms     per-query deadline
 //	--partial            answer from the surviving sources, with a warning
 //
+// Statements may contain ? or $n placeholders; bind values with repeated
+// --param flags (typed: integers, floats, and strings are recognized), or
+// interactively with \prepare and \exec:
+//
+//	eiiquery --param west --param 800 "SELECT name FROM customer360 WHERE region = ? AND amount > ?"
+//	eii> \prepare SELECT name FROM customer360 WHERE region = $1
+//	eii> \exec west
+//
 // Usage:
 //
 //	eiiquery "SELECT region, COUNT(*) FROM customer360 GROUP BY region"
@@ -25,10 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datum"
 	"repro/internal/exec"
 	"repro/internal/netsim"
 	"repro/internal/workload"
@@ -40,6 +50,11 @@ func main() {
 	retries := flag.Int("retries", 1, "attempts per remote fetch (>1 enables capped-backoff retry)")
 	deadline := flag.Duration("deadline", 0, "per-query deadline (0: none)")
 	partial := flag.Bool("partial", false, "tolerate source failures: answer from the surviving sources")
+	var params []datum.Datum
+	flag.Func("param", "bind a placeholder value, in order (repeatable)", func(s string) error {
+		params = append(params, parseParam(s))
+		return nil
+	})
 	flag.Parse()
 
 	cfg := workload.DefaultCRM()
@@ -68,7 +83,7 @@ func main() {
 
 	if flag.NArg() > 0 {
 		for _, sql := range flag.Args() {
-			if err := runOne(engine, sql, qo); err != nil {
+			if err := runOne(engine, sql, qo, params); err != nil {
 				fmt.Fprintf(os.Stderr, "eiiquery: %v\n", err)
 				os.Exit(1)
 			}
@@ -79,7 +94,8 @@ func main() {
 	fmt.Println("eiiquery — federated SQL over the demo CRM federation")
 	fmt.Printf("sources: %s; mediated views: %s\n",
 		strings.Join(engine.Sources(), ", "), strings.Join(engine.Catalog().ViewNames(), ", "))
-	fmt.Println(`type SQL (or "explain <sql>", or "\q" to quit)`)
+	fmt.Println(`type SQL (or "explain <sql>", "\prepare <sql>", "\exec <values...>", "\q" to quit)`)
+	var prepared *core.PreparedStatement
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("eii> ")
@@ -93,13 +109,53 @@ func main() {
 		if line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
 			break
 		}
-		if err := runOne(engine, line, qo); err != nil {
+		if rest, ok := cutPrefixFold(line, `\prepare `); ok {
+			ps, err := engine.PrepareOpts(rest, qo)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			prepared = ps
+			fmt.Printf("prepared (%d params): %s\n", ps.NumParams(), ps.SQL())
+			continue
+		}
+		if rest, ok := cutPrefixFold(line, `\exec`); ok {
+			if prepared == nil {
+				fmt.Fprintln(os.Stderr, `error: no prepared statement (use \prepare first)`)
+				continue
+			}
+			var vals []datum.Datum
+			for _, f := range strings.Fields(rest) {
+				vals = append(vals, parseParam(f))
+			}
+			engine.ResetMetrics()
+			res, err := prepared.Execute(vals...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			printResult(res)
+			continue
+		}
+		if err := runOne(engine, line, qo, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
 }
 
-func runOne(engine *core.Engine, sql string, qo core.QueryOptions) error {
+// parseParam types a command-line parameter: integer, then float, then
+// bare string.
+func parseParam(s string) datum.Datum {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return datum.NewInt(n)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return datum.NewFloat(f)
+	}
+	return datum.NewString(strings.Trim(s, `'"`))
+}
+
+func runOne(engine *core.Engine, sql string, qo core.QueryOptions, params []datum.Datum) error {
 	if rest, ok := cutPrefixFold(sql, "analyze "); ok {
 		out, err := engine.ExplainAnalyze(rest, core.QueryOptions{})
 		if err != nil {
@@ -117,9 +173,22 @@ func runOne(engine *core.Engine, sql string, qo core.QueryOptions) error {
 		return nil
 	}
 	engine.ResetMetrics()
-	res, err := engine.QueryOpts(sql, qo)
-	if err != nil {
-		return err
+	var res *core.Result
+	if len(params) > 0 {
+		ps, err := engine.PrepareOpts(sql, qo)
+		if err != nil {
+			return err
+		}
+		res, err = ps.Execute(params...)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		res, err = engine.QueryOpts(sql, qo)
+		if err != nil {
+			return err
+		}
 	}
 	printResult(res)
 	return nil
@@ -165,8 +234,13 @@ func printResult(res *core.Result) {
 	for _, row := range cells {
 		line(row)
 	}
-	fmt.Printf("(%d rows; %s; network: %s)\n",
-		len(res.Rows), res.Elapsed.Round(time.Microsecond), res.Network)
+	cache := "plan compiled"
+	if res.CacheHit {
+		cache = "plan cached"
+	}
+	fmt.Printf("(%d rows; plan %s [%s]; exec %s; network: %s)\n",
+		len(res.Rows), res.PlanTime.Round(time.Microsecond), cache,
+		res.Elapsed.Round(time.Microsecond), res.Network)
 	if res.Partial {
 		fmt.Printf("WARNING: partial result — sources skipped after failures: %s\n",
 			strings.Join(res.SkippedSources, ", "))

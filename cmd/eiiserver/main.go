@@ -32,9 +32,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("eiiserver: building federation: %v", err)
 	}
+	// Per-request log: plan-cache outcome and the planning-vs-execution
+	// time split, so cache effectiveness is visible from the console.
+	logQuery := func(e httpapi.RequestLogEntry) {
+		if e.Err != nil {
+			log.Printf("query error: %v (sql=%q)", e.Err, e.SQL)
+			return
+		}
+		outcome := "miss"
+		if e.CacheHit {
+			outcome = "hit"
+		}
+		log.Printf("query cache=%s plan=%s exec=%s rows=%d sql=%q",
+			outcome, e.PlanTime.Round(time.Microsecond), e.ExecTime.Round(time.Microsecond), e.Rows, e.SQL)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewHandler(fed.Engine),
+		Handler:           httpapi.NewHandlerLogged(fed.Engine, logQuery),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("eiiserver: federating %v on %s\n", fed.Engine.Sources(), *addr)

@@ -2,6 +2,14 @@
 // catalog per registered source (its tables and statistics) plus the global
 // mediated catalog of virtual views (GAV mappings from the mediated schema
 // to source schemas).
+//
+// The global catalog is monotonically versioned and copy-on-write: every
+// mutation (source registration, view definition, explicit Bump) installs a
+// fresh immutable Snapshot under the next version number. Planning takes
+// one Snapshot and resolves every name against it, so a query in flight
+// sees a consistent schema no matter what registrations race with it, and
+// the plan cache can key compiled plans by the version they were built
+// against.
 package catalog
 
 import (
@@ -9,14 +17,17 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/schema"
 	"repro/internal/sqlparse"
 )
 
-// SourceCatalog describes one data source's exported tables.
+// SourceCatalog describes one data source's exported tables. It is safe
+// for concurrent use: wrappers refresh statistics while queries plan.
 type SourceCatalog struct {
 	Name   string
+	mu     sync.RWMutex
 	tables map[string]*schema.Table
 	stats  map[string]*schema.TableStats
 }
@@ -33,36 +44,46 @@ func NewSourceCatalog(name string) *SourceCatalog {
 // AddTable registers a table. Re-adding a name replaces the entry.
 func (c *SourceCatalog) AddTable(t *schema.Table, stats *schema.TableStats) {
 	key := strings.ToLower(t.Name)
-	c.tables[key] = t
 	if stats == nil {
 		stats = schema.DefaultStats(t, 1000)
 	}
+	c.mu.Lock()
+	c.tables[key] = t
 	c.stats[key] = stats
+	c.mu.Unlock()
 }
 
 // Table looks up a table by name, case-insensitively.
 func (c *SourceCatalog) Table(name string) (*schema.Table, bool) {
+	c.mu.RLock()
 	t, ok := c.tables[strings.ToLower(name)]
+	c.mu.RUnlock()
 	return t, ok
 }
 
 // Stats returns the statistics recorded for the table.
 func (c *SourceCatalog) Stats(name string) (*schema.TableStats, bool) {
+	c.mu.RLock()
 	s, ok := c.stats[strings.ToLower(name)]
+	c.mu.RUnlock()
 	return s, ok
 }
 
 // SetStats replaces the statistics for a table.
 func (c *SourceCatalog) SetStats(name string, s *schema.TableStats) {
+	c.mu.Lock()
 	c.stats[strings.ToLower(name)] = s
+	c.mu.Unlock()
 }
 
 // TableNames returns the sorted table names.
 func (c *SourceCatalog) TableNames() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.tables))
 	for _, t := range c.tables {
 		names = append(names, t.Name)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -76,121 +97,69 @@ type View struct {
 	SQL string
 }
 
-// Global is the mediator's catalog: all registered sources plus the
-// mediated views. It is safe for concurrent use.
-type Global struct {
-	mu      sync.RWMutex
+// Reader is the read-only name-resolution surface the planner builds
+// against. Both the live Global catalog and an immutable Snapshot satisfy
+// it; the engine always plans against a Snapshot.
+type Reader interface {
+	// Resolve maps a (possibly source-qualified) table name to a view or
+	// a source table.
+	Resolve(source, name string) (Resolution, error)
+	// Version is the catalog version the resolution is made against.
+	Version() uint64
+}
+
+// Snapshot is one immutable version of the global catalog. All methods are
+// lock-free reads; a Snapshot never changes after publication. (The
+// per-source SourceCatalog contents — table statistics — are shared across
+// snapshots and individually locked; schema membership is what the
+// snapshot freezes.)
+type Snapshot struct {
+	version uint64
 	sources map[string]*SourceCatalog
 	views   map[string]*View
 }
 
-// NewGlobal creates an empty global catalog.
-func NewGlobal() *Global {
-	return &Global{
-		sources: make(map[string]*SourceCatalog),
-		views:   make(map[string]*View),
-	}
-}
-
-// AddSource registers a source catalog; the name must be unique.
-func (g *Global) AddSource(sc *SourceCatalog) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	key := strings.ToLower(sc.Name)
-	if _, dup := g.sources[key]; dup {
-		return fmt.Errorf("catalog: source %s already registered", sc.Name)
-	}
-	g.sources[key] = sc
-	return nil
-}
-
-// RemoveSource drops a source catalog.
-func (g *Global) RemoveSource(name string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	delete(g.sources, strings.ToLower(name))
-}
+// Version returns the monotonically increasing catalog version.
+func (s *Snapshot) Version() uint64 { return s.version }
 
 // Source returns the catalog for a source.
-func (g *Global) Source(name string) (*SourceCatalog, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	sc, ok := g.sources[strings.ToLower(name)]
+func (s *Snapshot) Source(name string) (*SourceCatalog, bool) {
+	sc, ok := s.sources[strings.ToLower(name)]
 	return sc, ok
 }
 
 // SourceNames returns the sorted registered source names.
-func (g *Global) SourceNames() []string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	names := make([]string, 0, len(g.sources))
-	for _, sc := range g.sources {
+func (s *Snapshot) SourceNames() []string {
+	names := make([]string, 0, len(s.sources))
+	for _, sc := range s.sources {
 		names = append(names, sc.Name)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// DefineView parses and registers a mediated view. The definition may
-// reference source tables and previously defined views.
-func (g *Global) DefineView(name, querySQL string) error {
-	q, err := sqlparse.Parse(querySQL)
-	if err != nil {
-		return fmt.Errorf("catalog: view %s: %w", name, err)
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	key := strings.ToLower(name)
-	if _, dup := g.views[key]; dup {
-		return fmt.Errorf("catalog: view %s already defined", name)
-	}
-	g.views[key] = &View{Name: name, Query: q, SQL: querySQL}
-	return nil
-}
-
-// DropView removes a view definition.
-func (g *Global) DropView(name string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	delete(g.views, strings.ToLower(name))
-}
-
 // View looks up a view by name.
-func (g *Global) View(name string) (*View, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	v, ok := g.views[strings.ToLower(name)]
+func (s *Snapshot) View(name string) (*View, bool) {
+	v, ok := s.views[strings.ToLower(name)]
 	return v, ok
 }
 
 // ViewNames returns the sorted view names.
-func (g *Global) ViewNames() []string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	names := make([]string, 0, len(g.views))
-	for _, v := range g.views {
+func (s *Snapshot) ViewNames() []string {
+	names := make([]string, 0, len(s.views))
+	for _, v := range s.views {
 		names = append(names, v.Name)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// Resolution is the result of resolving a table reference.
-type Resolution struct {
-	// Exactly one of View or (Source, Table) is set.
-	View   *View
-	Source string
-	Table  *schema.Table
-}
-
 // Resolve maps a (possibly source-qualified) table name to a view or a
 // source table. Unqualified names resolve to a view first, then to a
 // uniquely named source table; ambiguity is an error.
-func (g *Global) Resolve(source, name string) (Resolution, error) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+func (s *Snapshot) Resolve(source, name string) (Resolution, error) {
 	if source != "" {
-		sc, ok := g.sources[strings.ToLower(source)]
+		sc, ok := s.sources[strings.ToLower(source)]
 		if !ok {
 			return Resolution{}, fmt.Errorf("catalog: unknown source %q", source)
 		}
@@ -200,12 +169,12 @@ func (g *Global) Resolve(source, name string) (Resolution, error) {
 		}
 		return Resolution{Source: sc.Name, Table: t}, nil
 	}
-	if v, ok := g.views[strings.ToLower(name)]; ok {
+	if v, ok := s.views[strings.ToLower(name)]; ok {
 		return Resolution{View: v}, nil
 	}
 	var found Resolution
 	matches := 0
-	for _, sc := range g.sources {
+	for _, sc := range s.sources {
 		if t, ok := sc.Table(name); ok {
 			found = Resolution{Source: sc.Name, Table: t}
 			matches++
@@ -219,4 +188,137 @@ func (g *Global) Resolve(source, name string) (Resolution, error) {
 	default:
 		return Resolution{}, fmt.Errorf("catalog: table %q is ambiguous across sources; qualify it as source.table", name)
 	}
+}
+
+// Global is the mediator's catalog: all registered sources plus the
+// mediated views. It is safe for concurrent use; readers never block
+// writers (they read the current immutable snapshot).
+type Global struct {
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[Snapshot]
+}
+
+// NewGlobal creates an empty global catalog at version 1.
+func NewGlobal() *Global {
+	g := &Global{}
+	g.snap.Store(&Snapshot{
+		version: 1,
+		sources: make(map[string]*SourceCatalog),
+		views:   make(map[string]*View),
+	})
+	return g
+}
+
+// Snapshot returns the current immutable catalog version. Planning one
+// query takes one snapshot and uses it throughout.
+func (g *Global) Snapshot() *Snapshot { return g.snap.Load() }
+
+// Version returns the current catalog version.
+func (g *Global) Version() uint64 { return g.snap.Load().version }
+
+// mutate clones the current snapshot, applies fn to the clone, and
+// installs it under the next version. Callers hold no locks.
+func (g *Global) mutate(fn func(*Snapshot) error) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur := g.snap.Load()
+	next := &Snapshot{
+		version: cur.version + 1,
+		sources: make(map[string]*SourceCatalog, len(cur.sources)+1),
+		views:   make(map[string]*View, len(cur.views)+1),
+	}
+	for k, v := range cur.sources {
+		next.sources[k] = v
+	}
+	for k, v := range cur.views {
+		next.views[k] = v
+	}
+	if err := fn(next); err != nil {
+		return err
+	}
+	g.snap.Store(next)
+	return nil
+}
+
+// Bump advances the catalog version without changing catalog contents.
+// Anything that invalidates compiled plans but lives outside the catalog
+// proper — correlation tables, materialized-view routing, source
+// availability reconfiguration — calls this so version-keyed plan caches
+// cannot serve stale plans.
+func (g *Global) Bump() uint64 {
+	_ = g.mutate(func(*Snapshot) error { return nil })
+	return g.Version()
+}
+
+// AddSource registers a source catalog; the name must be unique.
+func (g *Global) AddSource(sc *SourceCatalog) error {
+	return g.mutate(func(s *Snapshot) error {
+		key := strings.ToLower(sc.Name)
+		if _, dup := s.sources[key]; dup {
+			return fmt.Errorf("catalog: source %s already registered", sc.Name)
+		}
+		s.sources[key] = sc
+		return nil
+	})
+}
+
+// RemoveSource drops a source catalog.
+func (g *Global) RemoveSource(name string) {
+	_ = g.mutate(func(s *Snapshot) error {
+		delete(s.sources, strings.ToLower(name))
+		return nil
+	})
+}
+
+// Source returns the catalog for a source.
+func (g *Global) Source(name string) (*SourceCatalog, bool) {
+	return g.Snapshot().Source(name)
+}
+
+// SourceNames returns the sorted registered source names.
+func (g *Global) SourceNames() []string { return g.Snapshot().SourceNames() }
+
+// DefineView parses and registers a mediated view. The definition may
+// reference source tables and previously defined views.
+func (g *Global) DefineView(name, querySQL string) error {
+	q, err := sqlparse.Parse(querySQL)
+	if err != nil {
+		return fmt.Errorf("catalog: view %s: %w", name, err)
+	}
+	return g.mutate(func(s *Snapshot) error {
+		key := strings.ToLower(name)
+		if _, dup := s.views[key]; dup {
+			return fmt.Errorf("catalog: view %s already defined", name)
+		}
+		s.views[key] = &View{Name: name, Query: q, SQL: querySQL}
+		return nil
+	})
+}
+
+// DropView removes a view definition.
+func (g *Global) DropView(name string) {
+	_ = g.mutate(func(s *Snapshot) error {
+		delete(s.views, strings.ToLower(name))
+		return nil
+	})
+}
+
+// View looks up a view by name.
+func (g *Global) View(name string) (*View, bool) { return g.Snapshot().View(name) }
+
+// ViewNames returns the sorted view names.
+func (g *Global) ViewNames() []string { return g.Snapshot().ViewNames() }
+
+// Resolution is the result of resolving a table reference.
+type Resolution struct {
+	// Exactly one of View or (Source, Table) is set.
+	View   *View
+	Source string
+	Table  *schema.Table
+}
+
+// Resolve resolves against the current snapshot. Prefer taking a Snapshot
+// once per query.
+func (g *Global) Resolve(source, name string) (Resolution, error) {
+	return g.Snapshot().Resolve(source, name)
 }

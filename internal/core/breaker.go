@@ -129,9 +129,12 @@ func (b *breaker) State() BreakerState {
 // breaker state. A negative FailureThreshold disables breakers entirely.
 func (e *Engine) SetBreakerConfig(cfg BreakerConfig) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.breakerCfg = cfg
 	e.breakers = make(map[string]*breaker)
+	e.mu.Unlock()
+	// Resetting breakers changes source availability, which changes how
+	// plans place remote work; retire plans compiled under the old state.
+	e.BumpCatalog()
 }
 
 // breakerFor returns (creating if needed) the breaker of a source, or nil

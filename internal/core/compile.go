@@ -1,0 +1,273 @@
+package core
+
+// This file holds the compilation pipeline: the single path every query
+// takes from SQL text to an optimized plan, the plan cache that memoizes
+// it, and prepared statements — compile once, execute many times with
+// different bound constants.
+//
+// The pipeline is pure given three inputs: the statement text, the catalog
+// snapshot, and the plan-shaping options. The cache key captures all three
+// (plus the source-availability mask, which changes plan placement without
+// touching the catalog), so a cached plan is exactly the plan a fresh
+// compile would produce.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/plancache"
+	"repro/internal/sqlparse"
+)
+
+// compiledPlan is one plan-cache entry: an immutable optimized plan
+// template (it may contain unbound parameters) plus what's needed to bind
+// and account for it.
+type compiledPlan struct {
+	tmpl    plan.Node
+	nParams int
+}
+
+// compile runs the planning pipeline over one catalog snapshot:
+// rewrite-EXISTS (pre-evaluating subqueries), view unfolding, and
+// cost-based optimization. The select statement may be mutated by the
+// rewrite phase; callers hand over ownership.
+func (e *Engine) compile(sel *sqlparse.Select, qo QueryOptions, snap *catalog.Snapshot) (plan.Node, error) {
+	if err := e.rewriteExists(sel, qo, 0); err != nil {
+		return nil, err
+	}
+	logical, err := plan.Build(snap, sel)
+	if err != nil {
+		return nil, err
+	}
+	optOpts := qo.Optimizer
+	if qo.NoSemiJoin {
+		optOpts.NoSemiJoin = true
+	}
+	return opt.Optimize(logical, e.env(), optOpts), nil
+}
+
+// optionsFingerprint encodes the plan-shaping options into a cache-key
+// component. Execution-only options (parallelism, retries, deadlines,
+// partial-result policy) deliberately do not appear: they tune how a plan
+// runs, not which plan is built.
+func optionsFingerprint(qo QueryOptions) string {
+	bits := []bool{
+		qo.Optimizer.NoFilterPushdown,
+		qo.Optimizer.NoProjectionPrune,
+		qo.Optimizer.NoJoinReorder,
+		qo.Optimizer.NoRemotePushdown,
+		qo.Optimizer.NoSemiJoin,
+		qo.NoSemiJoin,
+	}
+	var b strings.Builder
+	for _, bit := range bits {
+		if bit {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// availabilityMask encodes which sources are currently reachable (circuit
+// breaker not open). The optimizer routes around unavailable sources, so
+// plans compiled under different masks are not interchangeable; keying on
+// the mask also lets a breaker's timed open→half-open transition surface
+// as a cache miss rather than a stale plan.
+func (e *Engine) availabilityMask() string {
+	// One lock acquisition for the whole mask: this runs on every cached
+	// query, so it must not re-lock per source the way Sources() +
+	// SourceAvailable() would.
+	e.mu.RLock()
+	names := make([]string, 0, len(e.sources))
+	for k := range e.sources {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	breakers := make([]*breaker, len(names))
+	for i, n := range names {
+		breakers[i] = e.breakers[n]
+	}
+	e.mu.RUnlock()
+
+	var b strings.Builder
+	for _, br := range breakers {
+		if br == nil || br.State() != BreakerOpen {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// planKey builds the cache key for a normalized statement under the
+// current options and environment.
+func (e *Engine) planKey(normSQL string, version uint64, qo QueryOptions) plancache.Key {
+	return plancache.Key{
+		SQL:            normSQL,
+		CatalogVersion: version,
+		Options:        optionsFingerprint(qo),
+		Availability:   e.availabilityMask(),
+	}
+}
+
+// PlanCacheStats returns the plan cache's effectiveness counters.
+func (e *Engine) PlanCacheStats() plancache.Stats { return e.plans.Stats() }
+
+// InvalidatePlans drops every cached plan and returns how many were
+// removed. Normal catalog changes invalidate automatically (the version is
+// part of the cache key); this is for out-of-band changes the engine
+// cannot see, such as directly mutated source catalogs.
+func (e *Engine) InvalidatePlans() int { return e.plans.Purge() }
+
+// BumpCatalog advances the catalog version and drops plans compiled
+// against older versions. Subsystems that change planning inputs living
+// outside the catalog proper (correlation tables, materialized-view
+// routing, breaker reconfiguration) call this so version-keyed consumers
+// can't serve stale plans.
+func (e *Engine) BumpCatalog() uint64 {
+	v := e.catalog.Bump()
+	e.plans.InvalidateOlder(v)
+	return v
+}
+
+// invalidateStalePlans removes cache entries older than the current
+// catalog version; called after every catalog mutation.
+func (e *Engine) invalidateStalePlans() {
+	e.plans.InvalidateOlder(e.catalog.Version())
+}
+
+// PreparedStatement is a statement compiled ahead of execution. Its plan
+// is cached in the engine's plan cache; Execute binds parameter values
+// into the cached template and runs it. When the catalog version or source
+// availability changes between executions, the next Execute transparently
+// recompiles (a cache miss under the new key) — a prepared statement never
+// runs against a stale schema.
+type PreparedStatement struct {
+	e  *Engine
+	qo QueryOptions
+	// text is the normalized statement text (the cache key's SQL).
+	text string
+	// nParams is how many parameter values Execute requires.
+	nParams int
+	// cacheable is false when the statement contains EXISTS / IN
+	// (SELECT ...) subqueries, which are pre-evaluated against live data
+	// at compile time; such statements recompile on every Execute.
+	cacheable bool
+}
+
+// Prepare compiles a statement with default options (parallel fetch, all
+// optimizations). The statement may contain `?` or `$n` placeholders.
+func (e *Engine) Prepare(sql string) (*PreparedStatement, error) {
+	return e.PrepareOpts(sql, QueryOptions{Parallel: true})
+}
+
+// PrepareOpts compiles a statement for repeated execution. Compilation
+// errors (syntax, unknown tables or columns) surface here, not at Execute.
+func (e *Engine) PrepareOpts(sql string, qo QueryOptions) (*PreparedStatement, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	nParams := sqlparse.MaxParamIndex(sel)
+	cacheable := true
+	sqlparse.WalkSelectExprs(sel, func(x sqlparse.Expr) {
+		switch x.(type) {
+		case *sqlparse.ExistsExpr, *sqlparse.InSubquery:
+			cacheable = false
+		}
+	})
+	ps := &PreparedStatement{
+		e:         e,
+		qo:        qo,
+		text:      sel.SQL(),
+		nParams:   nParams,
+		cacheable: cacheable,
+	}
+	if cacheable {
+		// Compile eagerly so Prepare validates the statement; the plan
+		// lands in the cache for the first Execute. EXISTS statements
+		// skip this: compiling them runs subqueries.
+		snap := e.catalog.Snapshot()
+		if _, _, err := e.cachedTemplate(ps.text, qo, snap); err != nil {
+			return nil, err
+		}
+	}
+	return ps, nil
+}
+
+// NumParams returns how many parameter values Execute requires.
+func (ps *PreparedStatement) NumParams() int { return ps.nParams }
+
+// SQL returns the normalized statement text.
+func (ps *PreparedStatement) SQL() string { return ps.text }
+
+// cachedTemplate returns the compiled plan template for a normalized
+// statement, consulting the plan cache first. The bool reports whether it
+// was a cache hit.
+func (e *Engine) cachedTemplate(normSQL string, qo QueryOptions, snap *catalog.Snapshot) (plan.Node, bool, error) {
+	key := e.planKey(normSQL, snap.Version(), qo)
+	if v, ok := e.plans.Get(key); ok {
+		return v.(*compiledPlan).tmpl, true, nil
+	}
+	sel, err := sqlparse.Parse(normSQL)
+	if err != nil {
+		return nil, false, err
+	}
+	tmpl, err := e.compile(sel, qo, snap)
+	if err != nil {
+		return nil, false, err
+	}
+	e.plans.Put(key, &compiledPlan{tmpl: tmpl, nParams: sqlparse.MaxParamIndex(sel)})
+	return tmpl, false, nil
+}
+
+// Execute binds parameter values ($1 = params[0], ...) and runs the
+// statement, recompiling first if the catalog changed since the plan was
+// cached.
+func (ps *PreparedStatement) Execute(params ...datum.Datum) (*Result, error) {
+	if len(params) < ps.nParams {
+		return nil, fmt.Errorf("core: statement requires %d parameters, got %d", ps.nParams, len(params))
+	}
+	planStart := time.Now()
+	e := ps.e
+	snap := e.catalog.Snapshot()
+
+	var tmpl plan.Node
+	var hit bool
+	var err error
+	if ps.cacheable && !ps.qo.NoPlanCache {
+		tmpl, hit, err = e.cachedTemplate(ps.text, ps.qo, snap)
+	} else {
+		var sel *sqlparse.Select
+		sel, err = sqlparse.Parse(ps.text)
+		if err == nil {
+			tmpl, err = e.compile(sel, ps.qo, snap)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	bound, err := plan.BindParams(tmpl, params)
+	if err != nil {
+		return nil, err
+	}
+	planTime := time.Since(planStart)
+
+	res, err := e.Execute(bound, ps.qo)
+	if err != nil {
+		return nil, err
+	}
+	res.PlanTime = planTime
+	res.CacheHit = hit
+	res.CatalogVersion = snap.Version()
+	return res, nil
+}

@@ -54,6 +54,9 @@ func (e *Engine) DefineCorrelation(name string, ix *linkage.JoinIndex) error {
 		}
 	}
 	src.RefreshStats()
+	// The correlation table was added to an existing source catalog
+	// in place; bump so version-keyed plan caches see the change.
+	e.BumpCatalog()
 	return nil
 }
 
@@ -72,6 +75,7 @@ func (e *Engine) DropCorrelation(name string) error {
 		return fmt.Errorf("core: unknown correlation %s", name)
 	}
 	tab.Truncate()
+	e.BumpCatalog()
 	return nil
 }
 

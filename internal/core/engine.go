@@ -21,6 +21,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/opt"
 	"repro/internal/plan"
+	"repro/internal/plancache"
 	"repro/internal/schema"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
@@ -34,7 +35,11 @@ type Engine struct {
 	breakers   map[string]*breaker
 	breakerCfg BreakerConfig
 	replica    ReplicaProvider
+	plans      *plancache.Cache
 }
+
+// DefaultPlanCacheSize is the number of compiled plans the engine retains.
+const DefaultPlanCacheSize = 1024
 
 // New creates an empty mediator.
 func New() *Engine {
@@ -42,6 +47,7 @@ func New() *Engine {
 		catalog:  catalog.NewGlobal(),
 		sources:  make(map[string]federation.Source),
 		breakers: make(map[string]*breaker),
+		plans:    plancache.New(DefaultPlanCacheSize),
 	}
 }
 
@@ -84,6 +90,7 @@ func (e *Engine) Register(src federation.Source) error {
 		return err
 	}
 	e.sources[key] = src
+	e.invalidateStalePlans()
 	return nil
 }
 
@@ -95,6 +102,7 @@ func (e *Engine) Deregister(name string) {
 	delete(e.sources, strings.ToLower(name))
 	delete(e.breakers, strings.ToLower(name))
 	e.catalog.RemoveSource(name)
+	e.invalidateStalePlans()
 }
 
 // Source returns a registered source.
@@ -103,6 +111,19 @@ func (e *Engine) Source(name string) (federation.Source, bool) {
 	defer e.mu.RUnlock()
 	s, ok := e.sources[strings.ToLower(name)]
 	return s, ok
+}
+
+// sourcesSnapshot copies the source map once so an execution resolves
+// sources without further locking and without seeing mid-query
+// registration churn.
+func (e *Engine) sourcesSnapshot() map[string]federation.Source {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	snap := make(map[string]federation.Source, len(e.sources))
+	for k, v := range e.sources {
+		snap[k] = v
+	}
+	return snap
 }
 
 // Sources lists registered source names, sorted.
@@ -123,11 +144,18 @@ func (e *Engine) Catalog() *catalog.Global { return e.catalog }
 // DefineView registers a mediated view. Views are the GAV mappings of the
 // mediated schema: queries written against them are unfolded onto sources.
 func (e *Engine) DefineView(name, sql string) error {
-	return e.catalog.DefineView(name, sql)
+	if err := e.catalog.DefineView(name, sql); err != nil {
+		return err
+	}
+	e.invalidateStalePlans()
+	return nil
 }
 
 // DropView removes a view.
-func (e *Engine) DropView(name string) { e.catalog.DropView(name) }
+func (e *Engine) DropView(name string) {
+	e.catalog.DropView(name)
+	e.invalidateStalePlans()
+}
 
 // QueryOptions tunes planning and execution of one query.
 type QueryOptions struct {
@@ -155,6 +183,10 @@ type QueryOptions struct {
 	// OnSourceError, when non-nil, observes every failed fetch attempt
 	// (including ones that are subsequently retried).
 	OnSourceError func(source string, attempt int, err error)
+	// NoPlanCache bypasses the plan cache: the statement is compiled
+	// fresh and the compiled plan is not stored. Baselines and
+	// plan-debugging use this.
+	NoPlanCache bool
 }
 
 // Result is a completed query.
@@ -171,6 +203,15 @@ type Result struct {
 	Estimate opt.PlanCost
 	// Elapsed is wall-clock execution time (excludes planning).
 	Elapsed time.Duration
+	// PlanTime is how long planning took: parse, normalize, cache
+	// lookup, compile on a miss, and parameter binding.
+	PlanTime time.Duration
+	// CacheHit is true when the plan came from the plan cache rather
+	// than a fresh compile.
+	CacheHit bool
+	// CatalogVersion is the catalog snapshot version the query planned
+	// against.
+	CatalogVersion uint64
 	// Partial is true when AllowPartial dropped one or more failed
 	// sources from the answer.
 	Partial bool
@@ -193,32 +234,67 @@ func (e *Engine) Query(sql string) (*Result, error) {
 }
 
 // QueryOpts plans and executes a SQL statement.
+//
+// Planning goes through the plan cache: the statement is normalized by
+// extracting predicate constants into parameters, the cache is consulted
+// under the current catalog version, and on a hit the constants are bound
+// back into the cached template — repeated queries differing only in
+// constants compile once. Statements the cache cannot serve safely
+// (explicit placeholders, EXISTS / IN-subqueries) and queries with
+// NoPlanCache set compile fresh.
 func (e *Engine) QueryOpts(sql string, qo QueryOptions) (*Result, error) {
-	p, err := e.Plan(sql, qo)
+	planStart := time.Now()
+	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(p, qo)
+	snap := e.catalog.Snapshot()
+
+	var p plan.Node
+	var hit bool
+	cached := false
+	if !qo.NoPlanCache {
+		// Normalization mutates the statement (literals become $n), so
+		// it only runs when the cache path will bind them back.
+		if params, cacheable := sqlparse.ExtractParams(sel); cacheable {
+			tmpl, h, err := e.cachedTemplate(sel.SQL(), qo, snap)
+			if err != nil {
+				return nil, err
+			}
+			hit = h
+			p, err = plan.BindParams(tmpl, params)
+			if err != nil {
+				return nil, err
+			}
+			cached = true
+		}
+	}
+	if !cached {
+		p, err = e.compile(sel, qo, snap)
+		if err != nil {
+			return nil, err
+		}
+	}
+	planTime := time.Since(planStart)
+
+	res, err := e.Execute(p, qo)
+	if err != nil {
+		return nil, err
+	}
+	res.PlanTime = planTime
+	res.CacheHit = hit
+	res.CatalogVersion = snap.Version()
+	return res, nil
 }
 
 // Plan parses, reformulates and optimizes a statement without running it.
+// It always compiles fresh (no cache) against one catalog snapshot.
 func (e *Engine) Plan(sql string, qo QueryOptions) (plan.Node, error) {
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.rewriteExists(sel, qo, 0); err != nil {
-		return nil, err
-	}
-	logical, err := plan.Build(e.catalog, sel)
-	if err != nil {
-		return nil, err
-	}
-	optOpts := qo.Optimizer
-	if qo.NoSemiJoin {
-		optOpts.NoSemiJoin = true
-	}
-	return opt.Optimize(logical, e.env(), optOpts), nil
+	return e.compile(sel, qo, e.catalog.Snapshot())
 }
 
 // Execute runs an optimized plan.
@@ -231,7 +307,10 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, qo.Deadline)
 		defer cancel()
 	}
-	rt := &queryRuntime{e: e, ctx: ctx, faults: newQueryFaults()}
+	// One immutable view of the federation for the whole execution: a
+	// source registered or dropped mid-query cannot change which sources
+	// this query talks to.
+	rt := &queryRuntime{e: e, ctx: ctx, faults: newQueryFaults(), sources: e.sourcesSnapshot()}
 	rt.opts = e.execOptions(qo, rt)
 	it, err := exec.Build(p, rt, rt.opts)
 	if err != nil {
@@ -373,11 +452,11 @@ func (e *Engine) rewriteExists(sel *sqlparse.Select, qo QueryOptions, depth int)
 		}
 	}
 	var err error
-	sel.Where, err = rewriteExprTree(sel.Where, rewrite)
+	sel.Where, err = sqlparse.Rewrite(sel.Where, rewrite)
 	if err != nil {
 		return err
 	}
-	sel.Having, err = rewriteExprTree(sel.Having, rewrite)
+	sel.Having, err = sqlparse.Rewrite(sel.Having, rewrite)
 	if err != nil {
 		return err
 	}
@@ -392,93 +471,6 @@ func (e *Engine) rewriteExists(sel *sqlparse.Select, qo QueryOptions, depth int)
 		return e.rewriteExists(sel.UnionAll, qo, depth+1)
 	}
 	return nil
-}
-
-// rewriteExprTree applies fn to every node in the expression bottom-up,
-// rebuilding the tree.
-func rewriteExprTree(e sqlparse.Expr, fn func(sqlparse.Expr) (sqlparse.Expr, error)) (sqlparse.Expr, error) {
-	if e == nil {
-		return nil, nil
-	}
-	var err error
-	switch x := e.(type) {
-	case *sqlparse.BinaryExpr:
-		n := &sqlparse.BinaryExpr{Op: x.Op}
-		if n.Left, err = rewriteExprTree(x.Left, fn); err != nil {
-			return nil, err
-		}
-		if n.Right, err = rewriteExprTree(x.Right, fn); err != nil {
-			return nil, err
-		}
-		return fn(n)
-	case *sqlparse.UnaryExpr:
-		n := &sqlparse.UnaryExpr{Op: x.Op}
-		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
-			return nil, err
-		}
-		return fn(n)
-	case *sqlparse.IsNullExpr:
-		n := &sqlparse.IsNullExpr{Not: x.Not}
-		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
-			return nil, err
-		}
-		return fn(n)
-	case *sqlparse.InExpr:
-		n := &sqlparse.InExpr{Not: x.Not}
-		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
-			return nil, err
-		}
-		n.List = make([]sqlparse.Expr, len(x.List))
-		for i, a := range x.List {
-			if n.List[i], err = rewriteExprTree(a, fn); err != nil {
-				return nil, err
-			}
-		}
-		return fn(n)
-	case *sqlparse.InSubquery:
-		n := &sqlparse.InSubquery{Query: x.Query, Not: x.Not}
-		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
-			return nil, err
-		}
-		return fn(n)
-	case *sqlparse.BetweenExpr:
-		n := &sqlparse.BetweenExpr{Not: x.Not}
-		if n.Child, err = rewriteExprTree(x.Child, fn); err != nil {
-			return nil, err
-		}
-		if n.Lo, err = rewriteExprTree(x.Lo, fn); err != nil {
-			return nil, err
-		}
-		if n.Hi, err = rewriteExprTree(x.Hi, fn); err != nil {
-			return nil, err
-		}
-		return fn(n)
-	case *sqlparse.FuncExpr:
-		n := &sqlparse.FuncExpr{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
-		n.Args = make([]sqlparse.Expr, len(x.Args))
-		for i, a := range x.Args {
-			if n.Args[i], err = rewriteExprTree(a, fn); err != nil {
-				return nil, err
-			}
-		}
-		return fn(n)
-	case *sqlparse.CaseExpr:
-		n := &sqlparse.CaseExpr{Whens: make([]sqlparse.CaseWhen, len(x.Whens))}
-		for i, w := range x.Whens {
-			if n.Whens[i].Cond, err = rewriteExprTree(w.Cond, fn); err != nil {
-				return nil, err
-			}
-			if n.Whens[i].Result, err = rewriteExprTree(w.Result, fn); err != nil {
-				return nil, err
-			}
-		}
-		if n.Else, err = rewriteExprTree(x.Else, fn); err != nil {
-			return nil, err
-		}
-		return fn(n)
-	default:
-		return fn(e)
-	}
 }
 
 // --- exec.Runtime and opt.Env plumbing ---

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -98,6 +99,9 @@ type queryRuntime struct {
 	ctx    context.Context
 	faults *queryFaults
 	opts   exec.Options // set after construction; used by ScanTable
+	// sources is the immutable source map captured when the execution
+	// started; all remote fetches of this query resolve against it.
+	sources map[string]federation.Source
 }
 
 func (rt *queryRuntime) ScanTable(source, table string) (exec.Iterator, error) {
@@ -107,7 +111,7 @@ func (rt *queryRuntime) ScanTable(source, table string) (exec.Iterator, error) {
 }
 
 func (rt *queryRuntime) RunRemote(source string, subtree plan.Node) (exec.Iterator, error) {
-	src, ok := rt.e.Source(source)
+	src, ok := rt.sources[strings.ToLower(source)]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", source)
 	}

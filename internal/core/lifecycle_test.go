@@ -1,0 +1,277 @@
+package core
+
+// Tests for the query lifecycle: prepared statements, the transparent
+// plan cache, snapshot-consistent planning, and invalidation on every
+// path that changes planning inputs.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/federation"
+	"repro/internal/netsim"
+	"repro/internal/opt"
+	"repro/internal/schema"
+)
+
+func TestPreparedStatementBindsParams(t *testing.T) {
+	e := newFederation(t)
+	ps, err := e.Prepare(`SELECT name FROM customer360 WHERE region = $1 AND amount > $2 ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumParams() != 2 {
+		t.Fatalf("NumParams = %d, want 2", ps.NumParams())
+	}
+	res, err := ps.Execute(datum.NewString("west"), datum.NewFloat(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results(t, res); got != "Ann" {
+		t.Fatalf("west/60 rows = %q, want Ann", got)
+	}
+	// Same statement, different constants — the plan is reused, only the
+	// bound values change.
+	res2, err := ps.Execute(datum.NewString("east"), datum.NewFloat(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.CacheHit {
+		t.Fatal("second Execute should hit the plan cache")
+	}
+	if got := results(t, res2); got != "Bob|Cal" {
+		t.Fatalf("east/10 rows = %q, want Bob|Cal", got)
+	}
+}
+
+func TestPreparedStatementQuestionMarks(t *testing.T) {
+	e := newFederation(t)
+	ps, err := e.Prepare(`SELECT name FROM crm.customers WHERE region = ? AND id < ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ps.Execute(datum.NewString("east"), datum.NewInt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results(t, res); got != "Bob" {
+		t.Fatalf("rows = %q, want Bob", got)
+	}
+}
+
+func TestPreparedStatementArityAndErrors(t *testing.T) {
+	e := newFederation(t)
+	if _, err := e.Prepare("SELECT nope FROM nowhere"); err == nil {
+		t.Fatal("Prepare should surface planning errors")
+	}
+	ps, err := e.Prepare("SELECT name FROM crm.customers WHERE id = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Execute(); err == nil {
+		t.Fatal("Execute with missing params should error")
+	}
+}
+
+// TestPreparedStatementReplansOnViewChange is the mid-flight DDL
+// regression test: a prepared statement must pick up a view redefinition
+// between executions rather than serve the plan compiled against the old
+// catalog.
+func TestPreparedStatementReplansOnViewChange(t *testing.T) {
+	e := newFederation(t)
+	if err := e.DefineView("hot", "SELECT name FROM crm.customers WHERE region = 'west'"); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := e.Prepare("SELECT name FROM hot ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ps.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results(t, res); got != "Ann|Dee" {
+		t.Fatalf("initial rows = %q, want Ann|Dee", got)
+	}
+	v1 := res.CatalogVersion
+
+	// Redefine the view mid-flight.
+	e.DropView("hot")
+	if err := e.DefineView("hot", "SELECT name FROM crm.customers WHERE region = 'east'"); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := ps.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHit {
+		t.Fatal("execution after view change must not hit the old plan")
+	}
+	if res2.CatalogVersion <= v1 {
+		t.Fatalf("catalog version did not advance: %d -> %d", v1, res2.CatalogVersion)
+	}
+	if got := results(t, res2); got != "Bob|Cal" {
+		t.Fatalf("rows after redefinition = %q, want Bob|Cal (east)", got)
+	}
+}
+
+func TestQueryTransparentPlanCache(t *testing.T) {
+	e := newFederation(t)
+	q := func(region string, amount float64) string {
+		return fmt.Sprintf("SELECT name FROM customer360 WHERE region = '%s' AND amount > %g ORDER BY name", region, amount)
+	}
+	r1, err := e.Query(q("west", 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first execution cannot be a cache hit")
+	}
+	// Different constants, same shape: must hit.
+	r2, err := e.Query(q("east", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("same-shape query with different constants should hit the cache")
+	}
+	if got := results(t, r2); got != "Bob|Cal" {
+		t.Fatalf("cached-plan rows = %q, want Bob|Cal", got)
+	}
+	// The cached plan must produce exactly what a fresh compile does.
+	r3, err := e.QueryOpts(q("east", 10), QueryOptions{Parallel: true, NoPlanCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Fatal("NoPlanCache execution reported a cache hit")
+	}
+	if results(t, r2) != results(t, r3) {
+		t.Fatalf("cached %q != uncached %q", results(t, r2), results(t, r3))
+	}
+	st := e.PlanCacheStats()
+	if st.Hits < 1 || st.Misses < 1 {
+		t.Fatalf("stats = %+v, want at least one hit and one miss", st)
+	}
+}
+
+func TestQueryCacheDistinguishesOptimizerOptions(t *testing.T) {
+	e := newFederation(t)
+	const sql = "SELECT name FROM crm.customers WHERE region = 'west' ORDER BY name"
+	if _, err := e.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	// A different optimizer configuration must not reuse the plan.
+	r, err := e.QueryOpts(sql, QueryOptions{Optimizer: opt.Options{NoJoinReorder: true, NoFilterPushdown: true}, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Fatal("ablated optimizer options reused the optimized plan")
+	}
+}
+
+func TestUncacheableStatementsBypassCache(t *testing.T) {
+	e := newFederation(t)
+	// EXISTS pre-evaluates a subquery against live data; the outer plan
+	// must never be cached (the pre-evaluated answer is baked into it).
+	// The inner subquery runs through QueryOpts and MAY cache — that one
+	// is recompiled-from-live-data each time, so it is safe.
+	const sql = "SELECT name FROM crm.customers WHERE EXISTS (SELECT cust_id FROM billing.invoices WHERE status = 'open')"
+	r, err := e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Fatal("EXISTS statement reported a cache hit")
+	}
+	entriesAfterFirst := e.PlanCacheStats().Entries
+	r, err = e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Fatal("EXISTS statement reported a cache hit on rerun")
+	}
+	if got := e.PlanCacheStats().Entries; got != entriesAfterFirst {
+		t.Fatalf("rerun grew the cache %d -> %d; outer EXISTS plan was cached", entriesAfterFirst, got)
+	}
+}
+
+func TestCorrelationAndBreakerConfigInvalidatePlans(t *testing.T) {
+	e := newFederation(t)
+	if _, err := e.Query("SELECT name FROM crm.customers WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	v := e.Catalog().Version()
+	e.SetBreakerConfig(BreakerConfig{FailureThreshold: 5})
+	if e.Catalog().Version() <= v {
+		t.Fatal("SetBreakerConfig did not bump the catalog version")
+	}
+	r, err := e.Query("SELECT name FROM crm.customers WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Fatal("plan survived a breaker reconfiguration")
+	}
+}
+
+// TestConcurrentQueriesVsCatalogChurn runs queries while sources and views
+// register and deregister. Every query must either succeed or fail with a
+// planning error — never race, panic, or observe a half-mutated catalog.
+// Run with -race.
+func TestConcurrentQueriesVsCatalogChurn(t *testing.T) {
+	e := newFederation(t)
+	var wg sync.WaitGroup
+
+	// Readers: hammer cached and uncached paths.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				sql := fmt.Sprintf("SELECT name FROM customer360 WHERE amount > %d", i%7*10)
+				if _, err := e.QueryOpts(sql, QueryOptions{Parallel: w%2 == 0}); err != nil {
+					// Planning errors are legal while the catalog churns
+					// (a view may be mid-redefinition); crashes are not.
+					continue
+				}
+			}
+		}(w)
+	}
+
+	// View churner.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			_ = e.DefineView("churn", "SELECT name FROM crm.customers")
+			e.DropView("churn")
+		}
+	}()
+
+	// Source churner.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			s := federation.NewRelationalSource("flaky", federation.FullSQL(),
+				netsim.NewLink(0, 1e6, 1))
+			if _, err := s.CreateTable(schema.MustTable("blips", []schema.Column{
+				{Name: "id", Kind: datum.KindInt},
+			})); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := e.Register(s); err != nil {
+				continue
+			}
+			e.Deregister("flaky")
+		}
+	}()
+
+	wg.Wait()
+}

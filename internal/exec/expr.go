@@ -29,6 +29,11 @@ func Compile(e sqlparse.Expr, cols []plan.ColMeta) (EvalFunc, error) {
 		v := x.Value
 		return func(datum.Row) (datum.Datum, error) { return v, nil }, nil
 
+	case *sqlparse.Param:
+		// Parameters must be bound (plan.BindParams) before execution;
+		// reaching one here means a prepared plan was executed raw.
+		return nil, fmt.Errorf("exec: unbound parameter $%d; bind values before executing", x.Index)
+
 	case *sqlparse.ColumnRef:
 		idx, err := plan.ResolveColumn(cols, x)
 		if err != nil {

@@ -4,34 +4,56 @@
 //
 // Endpoints:
 //
-//	POST /query    {"sql": "..."}            -> rows + network accounting
-//	POST /explain  {"sql": "..."}            -> optimized plan + pushdown SQL
-//	GET  /catalog                            -> sources, tables, views
-//	GET  /healthz                            -> per-source circuit-breaker states
+//	POST /query    {"sql": "...", "params": [...]}  -> rows + network accounting
+//	POST /prepare  {"sql": "..."}                   -> statement handle for /query {"id": ...}
+//	POST /explain  {"sql": "..."}                   -> optimized plan + pushdown SQL
+//	GET  /catalog                                   -> sources, tables, views
+//	GET  /healthz                                   -> breaker states + plan-cache stats
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datum"
 	"repro/internal/exec"
+	"repro/internal/plancache"
 )
 
 // QueryRequest is the body of /query and /explain.
 type QueryRequest struct {
+	// SQL is the statement text; it may contain ? or $n placeholders
+	// bound by Params. Mutually exclusive with ID.
 	SQL string `json:"sql"`
+	// ID executes a statement previously registered via /prepare.
+	ID string `json:"id,omitempty"`
+	// Params binds placeholder values ($1 = params[0], ...). JSON
+	// numbers with no fractional part bind as integers.
+	Params []any `json:"params,omitempty"`
 	// Naive runs the query without any optimization (baseline mode).
 	Naive bool `json:"naive,omitempty"`
+	// NoPlanCache compiles fresh, bypassing the plan cache.
+	NoPlanCache bool `json:"noPlanCache,omitempty"`
 	// AllowPartial answers from the surviving sources when one is down.
 	AllowPartial bool `json:"allowPartial,omitempty"`
 	// RetryAttempts is the total tries per remote fetch (0/1: no retry).
 	RetryAttempts int `json:"retryAttempts,omitempty"`
 	// DeadlineMS bounds query execution in milliseconds.
 	DeadlineMS int `json:"deadlineMs,omitempty"`
+}
+
+// PrepareResponse is the body returned by /prepare.
+type PrepareResponse struct {
+	// ID is the statement handle to pass back in QueryRequest.ID.
+	ID string `json:"id"`
+	// SQL is the normalized statement text.
+	SQL string `json:"sql"`
+	// NumParams is how many parameter values execution requires.
+	NumParams int `json:"numParams"`
 }
 
 // QueryResponse is the body returned by /query.
@@ -55,6 +77,12 @@ type QueryResponse struct {
 	SourceErrors map[string]int `json:"sourceErrors,omitempty"`
 	// Retries counts retry attempts per source.
 	Retries map[string]int `json:"retries,omitempty"`
+	// PlanTime is how long planning took (cache lookup + compile + bind).
+	PlanTime string `json:"planTime"`
+	// CacheHit is true when the plan came from the plan cache.
+	CacheHit bool `json:"cacheHit"`
+	// CatalogVersion is the catalog version the query planned against.
+	CatalogVersion uint64 `json:"catalogVersion"`
 }
 
 // HealthResponse is the body returned by /healthz.
@@ -63,6 +91,22 @@ type HealthResponse struct {
 	// Sources maps each registered source to its circuit-breaker state
 	// (closed / open / half-open).
 	Sources map[string]string `json:"sources"`
+	// PlanCache reports the plan cache's effectiveness counters.
+	PlanCache plancache.Stats `json:"planCache"`
+	// CatalogVersion is the current catalog version.
+	CatalogVersion uint64 `json:"catalogVersion"`
+}
+
+// RequestLogEntry describes one completed /query request for the server's
+// access log: what ran, whether planning was served from the cache, and
+// how the time split between planning and execution.
+type RequestLogEntry struct {
+	SQL      string
+	CacheHit bool
+	PlanTime time.Duration
+	ExecTime time.Duration
+	Rows     int
+	Err      error
 }
 
 // ExplainResponse is the body returned by /explain.
@@ -102,9 +146,21 @@ type errorBody struct {
 
 // NewHandler builds the HTTP API over a mediator.
 func NewHandler(engine *core.Engine) http.Handler {
+	return NewHandlerLogged(engine, nil)
+}
+
+// NewHandlerLogged builds the HTTP API with a per-request log callback;
+// logFn (when non-nil) observes every /query request after it completes.
+func NewHandlerLogged(engine *core.Engine, logFn func(RequestLogEntry)) http.Handler {
+	h := &handler{engine: engine, logFn: logFn, stmts: make(map[string]*core.PreparedStatement)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		resp := HealthResponse{Status: "ok", Sources: make(map[string]string)}
+		resp := HealthResponse{
+			Status:         "ok",
+			Sources:        make(map[string]string),
+			PlanCache:      engine.PlanCacheStats(),
+			CatalogVersion: engine.Catalog().Version(),
+		}
 		for name, state := range engine.BreakerStates() {
 			resp.Sources[name] = string(state)
 			if state != core.BreakerClosed {
@@ -113,23 +169,38 @@ func NewHandler(engine *core.Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("/prepare", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := readQueryRequest(w, r)
+		if !ok {
+			return
+		}
+		ps, err := engine.PrepareOpts(req.SQL, queryOptions(req))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		id := h.register(ps)
+		writeJSON(w, http.StatusOK, PrepareResponse{ID: id, SQL: ps.SQL(), NumParams: ps.NumParams()})
+	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := readQueryRequest(w, r)
 		if !ok {
 			return
 		}
-		qo := core.QueryOptions{Parallel: true}
-		if req.Naive {
-			qo = naiveOptions()
+		res, err := h.runQuery(req)
+		if h.logFn != nil {
+			entry := RequestLogEntry{SQL: req.SQL, Err: err}
+			if req.SQL == "" {
+				entry.SQL = "stmt:" + req.ID
+			}
+			if res != nil {
+				entry.CacheHit = res.CacheHit
+				entry.PlanTime = res.PlanTime
+				entry.ExecTime = res.Elapsed
+				entry.Rows = len(res.Rows)
+			}
+			h.logFn(entry)
 		}
-		qo.AllowPartial = req.AllowPartial
-		if req.RetryAttempts > 1 {
-			qo.Retry = exec.RetryPolicy{Attempts: req.RetryAttempts}
-		}
-		if req.DeadlineMS > 0 {
-			qo.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
-		}
-		res, err := engine.QueryOpts(req.SQL, qo)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -158,6 +229,108 @@ func NewHandler(engine *core.Engine) http.Handler {
 	return mux
 }
 
+// handler carries the mutable server state: the prepared-statement
+// registry and the optional request log.
+type handler struct {
+	engine *core.Engine
+	logFn  func(RequestLogEntry)
+
+	mu     sync.Mutex
+	stmts  map[string]*core.PreparedStatement
+	nextID int
+}
+
+func (h *handler) register(ps *core.PreparedStatement) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID++
+	id := fmt.Sprintf("stmt-%d", h.nextID)
+	h.stmts[id] = ps
+	return id
+}
+
+func (h *handler) lookup(id string) (*core.PreparedStatement, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ps, ok := h.stmts[id]
+	return ps, ok
+}
+
+// runQuery executes one /query request: a registered statement handle, a
+// parameterized ad-hoc statement, or plain SQL through the transparent
+// cache.
+func (h *handler) runQuery(req QueryRequest) (*core.Result, error) {
+	params, err := paramsToDatums(req.Params)
+	if err != nil {
+		return nil, err
+	}
+	if req.ID != "" {
+		if req.SQL != "" {
+			return nil, fmt.Errorf("pass sql or id, not both")
+		}
+		ps, ok := h.lookup(req.ID)
+		if !ok {
+			return nil, fmt.Errorf("unknown statement %q (prepare it first)", req.ID)
+		}
+		return ps.Execute(params...)
+	}
+	qo := queryOptions(req)
+	if len(params) > 0 {
+		ps, err := h.engine.PrepareOpts(req.SQL, qo)
+		if err != nil {
+			return nil, err
+		}
+		return ps.Execute(params...)
+	}
+	return h.engine.QueryOpts(req.SQL, qo)
+}
+
+// queryOptions maps request knobs to engine options.
+func queryOptions(req QueryRequest) core.QueryOptions {
+	qo := core.QueryOptions{Parallel: true}
+	if req.Naive {
+		qo = naiveOptions()
+	}
+	qo.NoPlanCache = req.NoPlanCache
+	qo.AllowPartial = req.AllowPartial
+	if req.RetryAttempts > 1 {
+		qo.Retry = exec.RetryPolicy{Attempts: req.RetryAttempts}
+	}
+	if req.DeadlineMS > 0 {
+		qo.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	return qo
+}
+
+// paramsToDatums converts JSON parameter values to datums. Numbers decode
+// via json.Number so 5 binds as an integer and 5.5 as a float.
+func paramsToDatums(vals []any) ([]datum.Datum, error) {
+	out := make([]datum.Datum, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			out[i] = datum.Null
+		case bool:
+			out[i] = datum.NewBool(x)
+		case string:
+			out[i] = datum.NewString(x)
+		case json.Number:
+			if n, err := x.Int64(); err == nil {
+				out[i] = datum.NewInt(n)
+			} else if f, err := x.Float64(); err == nil {
+				out[i] = datum.NewFloat(f)
+			} else {
+				return nil, fmt.Errorf("param %d: bad number %q", i+1, x.String())
+			}
+		case float64: // decoder without UseNumber
+			out[i] = datum.NewFloat(x)
+		default:
+			return nil, fmt.Errorf("param %d: unsupported type %T", i+1, v)
+		}
+	}
+	return out, nil
+}
+
 func naiveOptions() core.QueryOptions {
 	qo := core.QueryOptions{NoSemiJoin: true}
 	qo.Optimizer.NoFilterPushdown = true
@@ -174,11 +347,12 @@ func readQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, boo
 		return req, false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.UseNumber()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return req, false
 	}
-	if req.SQL == "" {
+	if req.SQL == "" && req.ID == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
 		return req, false
 	}
@@ -199,6 +373,9 @@ func toQueryResponse(res *core.Result) QueryResponse {
 	out.Network.WireBytes = res.Network.WireBytes
 	out.Network.SimTime = res.Network.SimTime.String()
 	out.Elapsed = res.Elapsed.Round(time.Microsecond).String()
+	out.PlanTime = res.PlanTime.Round(time.Microsecond).String()
+	out.CacheHit = res.CacheHit
+	out.CatalogVersion = res.CatalogVersion
 	out.Partial = res.Partial
 	out.SkippedSources = res.SkippedSources
 	out.ReplicaSources = res.ReplicaSources

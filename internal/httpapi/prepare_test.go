@@ -1,0 +1,117 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestPrepareAndExecuteByID(t *testing.T) {
+	srv := server(t)
+	resp, body := post(t, srv.URL+"/prepare", QueryRequest{
+		SQL: "SELECT name FROM crm.customers WHERE region = $1 AND id <= $2 ORDER BY name",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare status = %d: %s", resp.StatusCode, body)
+	}
+	var pr PrepareResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.NumParams != 2 || pr.ID == "" {
+		t.Fatalf("prepare response = %+v", pr)
+	}
+
+	run := func(region string, maxID int) QueryResponse {
+		resp, body := post(t, srv.URL+"/query", QueryRequest{
+			ID:     pr.ID,
+			Params: []any{region, maxID},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status = %d: %s", resp.StatusCode, body)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr
+	}
+	first := run("west", 1000)
+	second := run("east", 1000)
+	if !second.CacheHit {
+		t.Fatal("second execution should report a plan-cache hit")
+	}
+	if len(first.Rows) == 0 || len(second.Rows) == 0 {
+		t.Fatalf("empty results: west=%d east=%d", len(first.Rows), len(second.Rows))
+	}
+	if first.CatalogVersion == 0 {
+		t.Fatal("missing catalog version")
+	}
+}
+
+func TestParameterizedAdHocQuery(t *testing.T) {
+	srv := server(t)
+	resp, body := post(t, srv.URL+"/query", QueryRequest{
+		SQL:    "SELECT COUNT(*) AS n FROM crm.customers WHERE region = ?",
+		Params: []any{"west"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 {
+		t.Fatalf("rows = %v", qr.Rows)
+	}
+	// Integers must bind as integers: compare against the inline query.
+	resp2, body2 := post(t, srv.URL+"/query", QueryRequest{
+		SQL:    "SELECT name FROM crm.customers WHERE id = ?",
+		Params: []any{1},
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("int param status = %d: %s", resp2.StatusCode, body2)
+	}
+}
+
+func TestQueryErrorsOnMissingStatement(t *testing.T) {
+	srv := server(t)
+	resp, _ := post(t, srv.URL+"/query", QueryRequest{ID: "stmt-999"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(t, srv.URL+"/query", QueryRequest{
+		SQL:    "SELECT name FROM crm.customers WHERE id = $1 AND region = $2",
+		Params: []any{1},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing param: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthzReportsPlanCache(t *testing.T) {
+	srv := server(t)
+	// Same-shape queries: first misses, second hits.
+	for i := 1; i <= 2; i++ {
+		post(t, srv.URL+"/query", QueryRequest{
+			SQL: fmt.Sprintf("SELECT name FROM crm.customers WHERE id = %d", i),
+		})
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.PlanCache.Hits < 1 || hr.PlanCache.Misses < 1 {
+		t.Fatalf("plan cache stats = %+v, want at least one hit and one miss", hr.PlanCache)
+	}
+	if hr.CatalogVersion == 0 {
+		t.Fatal("missing catalog version")
+	}
+}

@@ -73,14 +73,18 @@ func (m *Manager) Materialize(name, sql string) (*MatView, error) {
 		m.mu.Unlock()
 		return nil, err
 	}
+	// Materialization changes how reads of this view may be routed;
+	// advance the catalog version so cached plans are retired.
+	m.engine.BumpCatalog()
 	return v, nil
 }
 
 // Drop removes a materialized view.
 func (m *Manager) Drop(name string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	delete(m.views, strings.ToLower(name))
+	m.mu.Unlock()
+	m.engine.BumpCatalog()
 }
 
 // View returns a materialized view by name.

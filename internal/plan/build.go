@@ -12,17 +12,19 @@ import (
 // maxViewDepth bounds view-unfolding recursion to catch cyclic definitions.
 const maxViewDepth = 32
 
-// Build turns a parsed SELECT into a logical plan against the global
-// catalog. View references are unfolded in place — this is the query
-// reformulation step the paper describes: a query over the mediated schema
-// becomes a query over source tables.
-func Build(g *catalog.Global, sel *sqlparse.Select) (Node, error) {
-	b := &builder{catalog: g}
+// Build turns a parsed SELECT into a logical plan against a catalog
+// reader — normally an immutable catalog.Snapshot, so one query resolves
+// every name against a single consistent schema version. View references
+// are unfolded in place — this is the query reformulation step the paper
+// describes: a query over the mediated schema becomes a query over source
+// tables.
+func Build(cat catalog.Reader, sel *sqlparse.Select) (Node, error) {
+	b := &builder{catalog: cat}
 	return b.buildSelect(sel, 0)
 }
 
 type builder struct {
-	catalog *catalog.Global
+	catalog catalog.Reader
 	anon    int // counter for generated aliases
 }
 

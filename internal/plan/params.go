@@ -1,0 +1,232 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/sqlparse"
+)
+
+// This file implements parameter binding over compiled plans. A plan built
+// from a statement with placeholders is a template: it carries
+// *sqlparse.Param leaves where constants will go. BindParams instantiates
+// the template with one execution's values, producing a plan the executor
+// (and the pushdown deparser) sees as fully constant. The template is
+// never mutated, so a cached plan can be bound concurrently by any number
+// of executions.
+
+// walkNodeExprs calls fn for every expression tree held by the node
+// itself (not its children).
+func walkNodeExprs(n Node, fn func(sqlparse.Expr)) {
+	switch x := n.(type) {
+	case *Filter:
+		fn(x.Cond)
+	case *Project:
+		for _, e := range x.Exprs {
+			fn(e)
+		}
+	case *Join:
+		if x.Cond != nil {
+			fn(x.Cond)
+		}
+	case *Aggregate:
+		for _, g := range x.GroupBy {
+			fn(g)
+		}
+		for _, sp := range x.Aggs {
+			if sp.Arg != nil {
+				fn(sp.Arg)
+			}
+		}
+	case *Sort:
+		for _, k := range x.Keys {
+			fn(k.Expr)
+		}
+	}
+}
+
+// MaxParam returns the highest placeholder index appearing in the plan (0
+// when the plan is fully constant). Executing the plan requires exactly
+// that many bound values.
+func MaxParam(n Node) int {
+	max := 0
+	Walk(n, func(x Node) {
+		walkNodeExprs(x, func(e sqlparse.Expr) {
+			sqlparse.WalkExprs(e, func(sub sqlparse.Expr) {
+				if p, ok := sub.(*sqlparse.Param); ok && p.Index > max {
+					max = p.Index
+				}
+			})
+		})
+	})
+	return max
+}
+
+// exprHasParam reports whether the expression contains a placeholder.
+func exprHasParam(e sqlparse.Expr) bool {
+	found := false
+	sqlparse.WalkExprs(e, func(sub sqlparse.Expr) {
+		if _, ok := sub.(*sqlparse.Param); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// BindParams returns a copy of the plan with every placeholder replaced by
+// its value (params[i] binds $i+1). Subtrees without placeholders are
+// shared with the input plan, so binding a mostly-constant plan is cheap.
+// Binding fails when the plan references a parameter index beyond
+// len(params); surplus values are ignored.
+func BindParams(n Node, params []datum.Datum) (Node, error) {
+	bindExpr := func(e sqlparse.Expr) (sqlparse.Expr, error) {
+		if e == nil || !exprHasParam(e) {
+			return e, nil
+		}
+		return sqlparse.Rewrite(e, func(x sqlparse.Expr) (sqlparse.Expr, error) {
+			p, ok := x.(*sqlparse.Param)
+			if !ok {
+				return x, nil
+			}
+			if p.Index < 1 || p.Index > len(params) {
+				return nil, fmt.Errorf("plan: statement requires parameter $%d but %d values are bound", p.Index, len(params))
+			}
+			return &sqlparse.Literal{Value: params[p.Index-1]}, nil
+		})
+	}
+	return bindNode(n, bindExpr)
+}
+
+func bindNode(n Node, bindExpr func(sqlparse.Expr) (sqlparse.Expr, error)) (Node, error) {
+	// Recurse into children first, tracking whether anything changed.
+	kids := n.Children()
+	newKids := make([]Node, len(kids))
+	kidsChanged := false
+	for i, k := range kids {
+		nk, err := bindNode(k, bindExpr)
+		if err != nil {
+			return nil, err
+		}
+		newKids[i] = nk
+		if nk != k {
+			kidsChanged = true
+		}
+	}
+
+	switch x := n.(type) {
+	case *Filter:
+		cond, err := bindExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if !kidsChanged && cond == x.Cond {
+			return n, nil
+		}
+		return &Filter{Input: newKids[0], Cond: cond}, nil
+
+	case *Project:
+		changed := kidsChanged
+		exprs := x.Exprs
+		for i, e := range x.Exprs {
+			ne, err := bindExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			if ne != e {
+				if !changed || &exprs[0] == &x.Exprs[0] {
+					exprs = append([]sqlparse.Expr(nil), x.Exprs...)
+				}
+				exprs[i] = ne
+				changed = true
+			}
+		}
+		if !changed {
+			return n, nil
+		}
+		return &Project{Input: newKids[0], Exprs: exprs, Cols: x.Cols}, nil
+
+	case *Join:
+		cond, err := bindExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if !kidsChanged && cond == x.Cond {
+			return n, nil
+		}
+		// Preserve output columns and the semi-join hint verbatim:
+		// binding must not re-derive plan properties.
+		nj := &Join{Type: x.Type, Left: newKids[0], Right: newKids[1], Cond: cond, SemiJoin: x.SemiJoin, cols: x.cols}
+		return nj, nil
+
+	case *Aggregate:
+		changed := kidsChanged
+		groupBy := x.GroupBy
+		for i, g := range x.GroupBy {
+			ng, err := bindExpr(g)
+			if err != nil {
+				return nil, err
+			}
+			if ng != g {
+				if !changed || &groupBy[0] == &x.GroupBy[0] {
+					groupBy = append([]sqlparse.Expr(nil), x.GroupBy...)
+				}
+				groupBy[i] = ng
+				changed = true
+			}
+		}
+		aggs := x.Aggs
+		aggsCloned := false
+		for i, sp := range x.Aggs {
+			if sp.Arg == nil {
+				continue
+			}
+			na, err := bindExpr(sp.Arg)
+			if err != nil {
+				return nil, err
+			}
+			if na != sp.Arg {
+				if !aggsCloned {
+					aggs = append([]AggSpec(nil), x.Aggs...)
+					aggsCloned = true
+				}
+				aggs[i].Arg = na
+				changed = true
+			}
+		}
+		if !changed {
+			return n, nil
+		}
+		// Keep the original output column names: downstream column
+		// references were resolved against the unbound rendering.
+		return &Aggregate{Input: newKids[0], GroupBy: groupBy, Aggs: aggs, cols: x.cols}, nil
+
+	case *Sort:
+		changed := kidsChanged
+		keys := x.Keys
+		for i, k := range x.Keys {
+			ne, err := bindExpr(k.Expr)
+			if err != nil {
+				return nil, err
+			}
+			if ne != k.Expr {
+				if !changed || &keys[0] == &x.Keys[0] {
+					keys = append([]SortKey(nil), x.Keys...)
+				}
+				keys[i].Expr = ne
+				changed = true
+			}
+		}
+		if !changed {
+			return n, nil
+		}
+		return &Sort{Input: newKids[0], Keys: keys}, nil
+
+	default:
+		// Scan, Limit, Distinct, Union, Remote: no expressions of their
+		// own; rebuild only if a child changed.
+		if !kidsChanged {
+			return n, nil
+		}
+		return n.WithChildren(newKids), nil
+	}
+}

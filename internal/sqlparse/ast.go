@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"strconv"
 	"strings"
 
 	"repro/internal/datum"
@@ -231,6 +232,20 @@ func (*Literal) expr() {}
 
 // SQL renders the literal.
 func (l *Literal) SQL() string { return l.Value.String() }
+
+// Param is a placeholder literal (`?` or `$n`) whose value binds at
+// execute time, not plan time. Index is 1-based; `?` placeholders are
+// numbered left to right by the parser. A plan containing unbound Params
+// cannot execute — see plan.BindParams.
+type Param struct {
+	Index int
+}
+
+func (*Param) expr() {}
+
+// SQL renders the placeholder in its explicit `$n` form, which re-parses
+// to the same index regardless of surrounding placeholders.
+func (p *Param) SQL() string { return "$" + strconv.Itoa(p.Index) }
 
 // ColumnRef references a column, optionally qualified by table alias/name.
 type ColumnRef struct {

@@ -22,6 +22,7 @@ const (
 	TokFloat
 	TokString
 	TokSymbol // punctuation and operators: ( ) , . * + - / = <> < <= > >= ||
+	TokParam  // a placeholder: `?` (Text "") or `$n` (Text holds the digits)
 )
 
 // Token is one lexical token with its source position (1-based).
@@ -139,6 +140,16 @@ func Lex(input string) ([]Token, error) {
 			} else {
 				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
 			}
+		case c == '?':
+			toks = append(toks, Token{Kind: TokParam, Pos: i})
+			i++
+		case c == '$' && i+1 < n && isDigit(input[i+1]):
+			start := i
+			i++
+			for i < n && isDigit(input[i]) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokParam, Text: input[start+1 : i], Pos: start})
 		case c == '"':
 			// Quoted identifier.
 			start := i

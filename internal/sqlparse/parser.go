@@ -57,6 +57,8 @@ func ParseExpr(input string) (Expr, error) {
 type parser struct {
 	toks []Token
 	pos  int
+	// nextParam auto-numbers `?` placeholders left to right (1-based).
+	nextParam int
 }
 
 func (p *parser) peek() Token   { return p.toks[p.pos] }
@@ -592,6 +594,17 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case TokString:
 		p.pos++
 		return &Literal{Value: datum.NewString(t.Text)}, nil
+	case TokParam:
+		p.pos++
+		if t.Text == "" { // `?`: auto-number
+			p.nextParam++
+			return &Param{Index: p.nextParam}, nil
+		}
+		idx, err := strconv.Atoi(t.Text)
+		if err != nil || idx < 1 {
+			return nil, p.errf("bad parameter placeholder $%s", t.Text)
+		}
+		return &Param{Index: idx}, nil
 	case TokKeyword:
 		switch t.Text {
 		case "NULL":
