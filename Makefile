@@ -27,9 +27,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# A fixed-iteration pass over the plan-cache benchmarks: cheap enough for
-# every `make check`, and it keeps the benchmark code itself compiling and
-# running (a broken bench otherwise goes unnoticed until someone runs the
-# full suite).
+# A fixed-iteration pass over the plan-cache and vectorized-execution
+# benchmarks: cheap enough for every `make check`, it keeps the benchmark
+# code itself compiling and running (a broken bench otherwise goes
+# unnoticed until someone runs the full suite), and it leaves
+# machine-readable BENCH_E13.json / BENCH_E14.json artifacts.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache' -benchtime 25x .
+	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized' \
+		-benchtime 10x -benchmem -json . \
+		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json

@@ -450,6 +450,72 @@ func BenchmarkE13PlanCacheCached(b *testing.B) {
 	}
 }
 
+// --- E14: vectorized batches and morsel-driven parallelism ---
+
+const e14JoinQuery = `SELECT c.region, c.name, i.amount FROM crm.customers c
+	JOIN billing.invoices i ON c.id = i.cust_id WHERE i.amount > 120`
+
+const e14AggQuery = `SELECT region, status, COUNT(*) AS n, SUM(amount) AS total
+	FROM customer360 GROUP BY region, status`
+
+const e14FanOutQuery = `SELECT c.region, COUNT(*) AS n, SUM(i.amount) AS total
+	FROM crm.customers c
+	JOIN billing.invoices i ON c.id = i.cust_id
+	JOIN support.tickets tk ON tk.cust_id = c.id
+	GROUP BY c.region`
+
+// benchE14Batch sweeps the execution batch size with parallelism pinned
+// to 1, isolating vectorization: batch=1 is the old row-at-a-time
+// Volcano loop, batch=1024 the vectorized default. Pushdown is disabled
+// so every operator runs in the mediator's interpreter — the loop the
+// batch size governs.
+func benchE14Batch(b *testing.B, sql string) {
+	fed := mustCRM(b, 4000)
+	engine := fed.Engine
+	for _, batch := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			qo := core.QueryOptions{BatchSize: batch, Parallelism: 1,
+				Optimizer: opt.Options{NoRemotePushdown: true}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.QueryOpts(sql, qo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE14VectorizedBatchJoin(b *testing.B) { benchE14Batch(b, e14JoinQuery) }
+
+func BenchmarkE14VectorizedBatchAgg(b *testing.B) { benchE14Batch(b, e14AggQuery) }
+
+// BenchmarkE14VectorizedParallelFanOut sweeps the worker cap over the
+// E7-style three-source fan-out with really-sleeping links: degree 1 is
+// fully sequential, higher degrees overlap fetches and run mediator
+// operators on morsels.
+func BenchmarkE14VectorizedParallelFanOut(b *testing.B) {
+	fed := mustCRM(b, 4000)
+	engine := fed.Engine
+	for _, name := range engine.Sources() {
+		src, _ := engine.Source(name)
+		src.Link().RealSleep = true
+		src.Link().MaxSleep = 50 * time.Millisecond
+	}
+	for _, par := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			qo := core.QueryOptions{Parallel: par > 1, Parallelism: par, NoSemiJoin: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.QueryOpts(e14FanOutQuery, qo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Engine micro-benchmarks ---
 
 func BenchmarkMicroParse(b *testing.B) {
@@ -532,7 +598,7 @@ func TestExperimentTablesQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(tables))
 	}
 }

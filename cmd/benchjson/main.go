@@ -1,0 +1,180 @@
+// Command benchjson turns a `go test -bench -json` stream (stdin) into
+// per-group JSON result files, so `make bench-smoke` leaves machine-readable
+// artifacts (BENCH_E13.json, BENCH_E14.json) next to EXPERIMENTS.md instead
+// of scroll-back.
+//
+// Each argument is GROUP=FILE: every benchmark whose name contains GROUP is
+// collected into FILE. Benchmarks matching no group are dropped.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'E13|E14' -benchmem -json . | \
+//	    go run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the go test -json envelope (the fields we need).
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"nsPerOp"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson GROUP=FILE [GROUP=FILE...] < go-test-json-stream")
+		os.Exit(2)
+	}
+	groups := make(map[string]string, len(os.Args)-1)
+	for _, arg := range os.Args[1:] {
+		g, f, ok := strings.Cut(arg, "=")
+		if !ok || g == "" || f == "" {
+			fmt.Fprintf(os.Stderr, "benchjson: bad argument %q (want GROUP=FILE)\n", arg)
+			os.Exit(2)
+		}
+		groups[g] = f
+	}
+
+	byFile := make(map[string][]result)
+	collect := func(line string) {
+		r, ok := parseBenchLine(strings.TrimSpace(line))
+		if !ok {
+			return
+		}
+		for g, file := range groups {
+			if strings.Contains(r.Name, g) {
+				byFile[file] = append(byFile[file], r)
+			}
+		}
+	}
+	// The harness writes a benchmark's name and its result as separate
+	// Output events (the name is printed before the runs, the numbers
+	// after), so reassemble the raw stream into lines before parsing.
+	var pending strings.Builder
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // interleaved non-JSON output
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		pending.WriteString(ev.Output)
+		for {
+			s := pending.String()
+			i := strings.IndexByte(s, '\n')
+			if i < 0 {
+				break
+			}
+			collect(s[:i])
+			pending.Reset()
+			pending.WriteString(s[i+1:])
+		}
+	}
+	collect(pending.String())
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		out, err := json.MarshalIndent(byFile[f], "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(f, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: wrote %d results to %s\n", len(byFile[f]), f)
+	}
+	for g, f := range groups {
+		if _, ok := byFile[f]; !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: no benchmarks matched group %q\n", g)
+		}
+	}
+}
+
+// parseBenchLine parses a benchmark result line:
+//
+//	BenchmarkName-8   25   1234 ns/op   56 B/op   7 allocs/op   99.1 hit%
+func parseBenchLine(s string) (result, bool) {
+	if !strings.HasPrefix(s, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(s)
+	if len(fields) < 4 || fields[2] != "ns/op" && !isNsOp(fields) {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{
+		Name:       strings.TrimSuffix(fields[0], benchSuffix(fields[0])),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			r.Metrics[unit] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, r.NsPerOp > 0
+}
+
+func isNsOp(fields []string) bool {
+	for _, f := range fields {
+		if f == "ns/op" {
+			return true
+		}
+	}
+	return false
+}
+
+// benchSuffix returns the trailing "-<GOMAXPROCS>" decoration, if any.
+func benchSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}

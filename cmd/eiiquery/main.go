@@ -50,6 +50,8 @@ func main() {
 	retries := flag.Int("retries", 1, "attempts per remote fetch (>1 enables capped-backoff retry)")
 	deadline := flag.Duration("deadline", 0, "per-query deadline (0: none)")
 	partial := flag.Bool("partial", false, "tolerate source failures: answer from the surviving sources")
+	parallelism := flag.Int("parallelism", 0, "intra-query worker cap (0: GOMAXPROCS, 1: sequential)")
+	batchSize := flag.Int("batch", 0, "rows per execution batch (0: default 1024, 1: row-at-a-time)")
 	var params []datum.Datum
 	flag.Func("param", "bind a placeholder value, in order (repeatable)", func(s string) error {
 		params = append(params, parseParam(s))
@@ -76,7 +78,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "eiiquery: injecting %.0f%% transfer failures on every source link\n", *failRate*100)
 	}
-	qo := core.QueryOptions{AllowPartial: *partial, Deadline: *deadline}
+	qo := core.QueryOptions{
+		AllowPartial: *partial, Deadline: *deadline,
+		Parallelism: *parallelism, BatchSize: *batchSize,
+	}
 	if *retries > 1 {
 		qo.Retry = exec.RetryPolicy{Attempts: *retries}
 	}
@@ -238,9 +243,10 @@ func printResult(res *core.Result) {
 	if res.CacheHit {
 		cache = "plan cached"
 	}
-	fmt.Printf("(%d rows; plan %s [%s]; exec %s; network: %s)\n",
+	fmt.Printf("(%d rows; plan %s [%s]; exec %s [%d batches, parallelism %d]; network: %s)\n",
 		len(res.Rows), res.PlanTime.Round(time.Microsecond), cache,
-		res.Elapsed.Round(time.Microsecond), res.Network)
+		res.Elapsed.Round(time.Microsecond), res.BatchesProcessed, res.ExecParallelism,
+		res.Network)
 	if res.Partial {
 		fmt.Printf("WARNING: partial result — sources skipped after failures: %s\n",
 			strings.Join(res.SkippedSources, ", "))

@@ -163,6 +163,15 @@ type QueryOptions struct {
 	Optimizer opt.Options
 	// Parallel fetches remote inputs concurrently.
 	Parallel bool
+	// Parallelism caps the intra-query (morsel-driven) worker pool per
+	// operator: 0 uses GOMAXPROCS, 1 forces sequential execution. Values
+	// above 1 also imply Parallel (remote prefetch), since a query asking
+	// for intra-operator parallelism wants inter-source overlap too.
+	Parallelism int
+	// BatchSize overrides the executor's rows-per-batch (0 = default
+	// 1024; 1 degenerates to row-at-a-time execution). Mainly for the
+	// vectorization experiments.
+	BatchSize int
 	// NoSemiJoin disables the executor's semi-join reduction (shipping
 	// probe-side join keys into filter-capable sources).
 	NoSemiJoin bool
@@ -225,6 +234,11 @@ type Result struct {
 	SourceErrors map[string]int
 	// Retries counts retry attempts per source.
 	Retries map[string]int
+	// ExecParallelism is the widest worker pool any operator actually ran
+	// with (1 when execution was fully sequential).
+	ExecParallelism int
+	// BatchesProcessed counts the batches produced across all operators.
+	BatchesProcessed int64
 }
 
 // Query plans and executes a SQL statement with default options: parallel
@@ -312,11 +326,13 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 	// this query talks to.
 	rt := &queryRuntime{e: e, ctx: ctx, faults: newQueryFaults(), sources: e.sourcesSnapshot()}
 	rt.opts = e.execOptions(qo, rt)
-	it, err := exec.Build(p, rt, rt.opts)
+	stats := &exec.ExecStats{}
+	rt.opts.Stats = stats
+	it, err := exec.BuildBatch(p, rt, rt.opts)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Drain(it)
+	rows, err := exec.DrainBatches(it)
 	if err != nil {
 		return nil, err
 	}
@@ -332,6 +348,9 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 		Network:  after,
 		Estimate: opt.Cost(p, e.env()),
 		Elapsed:  time.Since(start),
+
+		ExecParallelism:  stats.MaxParallelism(),
+		BatchesProcessed: stats.Batches(),
 	}
 	for i, c := range cols {
 		res.Columns[i] = c.Name
@@ -377,9 +396,11 @@ func (e *Engine) ExplainAnalyze(sql string, qo QueryOptions) (string, error) {
 	trace := exec.NewTrace()
 	before := e.linkTotals()
 	execOpts := exec.Options{
-		Parallel: qo.Parallel,
-		SemiJoin: !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
-		Trace:    trace,
+		Parallel:    qo.Parallel || qo.Parallelism > 1,
+		Parallelism: qo.Parallelism,
+		BatchSize:   qo.BatchSize,
+		SemiJoin:    !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
+		Trace:       trace,
 	}
 	it, err := exec.Build(p, e.runtime(), execOpts)
 	if err != nil {

@@ -139,9 +139,11 @@ func isContextErr(err error) bool {
 func (e *Engine) execOptions(qo QueryOptions, rt *queryRuntime) exec.Options {
 	faults := rt.faults
 	opts := exec.Options{
-		Parallel: qo.Parallel,
-		SemiJoin: !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
-		Retry:    qo.Retry,
+		Parallel:    qo.Parallel || qo.Parallelism > 1,
+		Parallelism: qo.Parallelism,
+		BatchSize:   qo.BatchSize,
+		SemiJoin:    !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
+		Retry:       qo.Retry,
 		ChargeBackoff: func(source string, d time.Duration) {
 			if src, ok := e.Source(source); ok {
 				src.Link().ChargeDelay(d)

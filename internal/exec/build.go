@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/datum"
@@ -24,9 +25,22 @@ type Runtime interface {
 // Options tunes plan execution.
 type Options struct {
 	// Parallel fetches Remote inputs of joins and unions concurrently
-	// (the exchange operator). Zero/false executes them lazily in
+	// (inter-source prefetch). Zero/false executes them lazily in
 	// sequence.
 	Parallel bool
+	// Parallelism caps the intra-query worker pool of each parallel
+	// operator (morsel-driven parallelism): 0 means GOMAXPROCS, 1 forces
+	// sequential execution. An operator only runs parallel when its plan
+	// node carries a parallelism hint (the optimizer annotates hints from
+	// estimated cardinality), so a zero-value Options — the wrappers'
+	// local execution path — always stays sequential.
+	Parallelism int
+	// BatchSize is the row count per execution batch; 0 means
+	// DefaultBatchSize. 1 degenerates to row-at-a-time execution.
+	BatchSize int
+	// Stats, when non-nil, accumulates batch and parallelism counters
+	// across all operators of the query.
+	Stats *ExecStats
 	// Trace, when non-nil, instruments every operator with row counters
 	// (EXPLAIN ANALYZE).
 	Trace *Trace
@@ -65,11 +79,52 @@ func (o Options) maxKeys() int {
 	return o.MaxSemiJoinKeys
 }
 
-// Build compiles a logical plan into an executable iterator.
+func (o Options) batchSize() int {
+	if o.BatchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
+// workers resolves the effective degree for an operator whose plan node
+// carries hint: the smaller of the hint and the pool cap. Unannotated
+// nodes (hint <= 1) always run sequential.
+func (o Options) workers(hint int) int {
+	if hint <= 1 {
+		return 1
+	}
+	max := o.Parallelism
+	if max == 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	if max < 1 {
+		max = 1
+	}
+	if hint < max {
+		return hint
+	}
+	return max
+}
+
+// Build compiles a logical plan into an executable row iterator — the
+// engine-boundary entry point. Internally the plan runs vectorized; the
+// returned iterator adapts batches back to rows.
 func Build(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
+	it, err := BuildBatch(n, rt, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &rowIterAdapter{in: it}, nil
+}
+
+// BuildBatch compiles a logical plan into an executable batch iterator.
+func BuildBatch(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 	it, err := buildNode(n, rt, opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Stats != nil {
+		it = &statsBatchIter{in: it, stats: opts.Stats}
 	}
 	if opts.Trace != nil {
 		it = opts.Trace.wrap(n, it)
@@ -77,25 +132,37 @@ func Build(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
 	return it, nil
 }
 
-func buildNode(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
+func buildNode(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
 		if x.Source == "" && x.Table == "" {
 			// FROM-less select: one empty row.
-			return NewSliceIterator([]datum.Row{{}}), nil
+			return newSliceBatchIter([]datum.Row{{}}, opts.batchSize()), nil
 		}
-		return rt.ScanTable(x.Source, x.Table)
+		it, err := rt.ScanTable(x.Source, x.Table)
+		if err != nil {
+			return nil, err
+		}
+		return asBatchIterator(it, opts.batchSize()), nil
 
 	case *plan.Remote:
 		if opts.Parallel {
-			return Prefetch(func() (Iterator, error) {
-				return FetchRemote(rt, opts, x.Source, x.Child)
+			return prefetchBatches(opts.batchSize(), func() (BatchIterator, error) {
+				it, err := FetchRemote(rt, opts, x.Source, x.Child)
+				if err != nil {
+					return nil, err
+				}
+				return asBatchIterator(it, opts.batchSize()), nil
 			}), nil
 		}
-		return FetchRemote(rt, opts, x.Source, x.Child)
+		it, err := FetchRemote(rt, opts, x.Source, x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return asBatchIterator(it, opts.batchSize()), nil
 
 	case *plan.Filter:
-		in, err := Build(x.Input, rt, opts)
+		in, err := BuildBatch(x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -104,10 +171,18 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
 			in.Close()
 			return nil, err
 		}
-		return &filterIter{in: in, pred: pred}, nil
+		if deg := opts.workers(x.Parallel); deg > 1 {
+			if opts.Stats != nil {
+				opts.Stats.noteParallelism(deg)
+			}
+			return newExchange(in, deg, func(_ int, b Batch) (Batch, error) {
+				return FilterBatch(pred, b, nil)
+			}), nil
+		}
+		return &filterBatchIter{in: in, pred: pred}, nil
 
 	case *plan.Project:
-		in, err := Build(x.Input, rt, opts)
+		in, err := BuildBatch(x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -118,13 +193,21 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
 				return nil, err
 			}
 		}
-		return &projectIter{in: in, exprs: fns}, nil
+		if deg := opts.workers(x.Parallel); deg > 1 {
+			if opts.Stats != nil {
+				opts.Stats.noteParallelism(deg)
+			}
+			return newExchange(in, deg, func(_ int, b Batch) (Batch, error) {
+				return ProjectBatch(fns, b, nil)
+			}), nil
+		}
+		return &projectBatchIter{in: in, exprs: fns}, nil
 
 	case *plan.Join:
 		return buildJoin(x, rt, opts)
 
 	case *plan.Aggregate:
-		in, err := Build(x.Input, rt, opts)
+		in, err := BuildBatch(x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -146,10 +229,16 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
 				return nil, err
 			}
 		}
-		return &aggregateIter{in: in, groupFns: groupFns, specs: x.Aggs, argFns: argFns}, nil
+		return &aggregateBatchIter{
+			in: in, groupFns: groupFns, specs: x.Aggs, argFns: argFns,
+			partitionBy: x.PartitionBy,
+			degree:      opts.workers(x.Parallel),
+			size:        opts.batchSize(),
+			stats:       opts.Stats,
+		}, nil
 
 	case *plan.Sort:
-		in, err := Build(x.Input, rt, opts)
+		in, err := BuildBatch(x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -162,33 +251,33 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
 			}
 			desc[i] = k.Desc
 		}
-		return &sortIter{in: in, keys: keys, desc: desc}, nil
+		return &sortBatchIter{in: in, keys: keys, desc: desc, size: opts.batchSize()}, nil
 
 	case *plan.Limit:
-		in, err := Build(x.Input, rt, opts)
+		in, err := BuildBatch(x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &limitIter{in: in, count: x.Count, offset: x.Offset}, nil
+		return &limitBatchIter{in: in, count: x.Count, offset: x.Offset}, nil
 
 	case *plan.Distinct:
-		in, err := Build(x.Input, rt, opts)
+		in, err := BuildBatch(x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &distinctIter{in: in}, nil
+		return &distinctBatchIter{in: in}, nil
 
 	case *plan.Union:
-		inputs := make([]Iterator, len(x.Inputs))
+		inputs := make([]BatchIterator, len(x.Inputs))
 		for i, child := range x.Inputs {
 			child := child
 			if opts.Parallel {
-				inputs[i] = Prefetch(func() (Iterator, error) {
-					return Build(child, rt, opts)
+				inputs[i] = prefetchBatches(opts.batchSize(), func() (BatchIterator, error) {
+					return BuildBatch(child, rt, opts)
 				})
 				continue
 			}
-			in, err := Build(child, rt, opts)
+			in, err := BuildBatch(child, rt, opts)
 			if err != nil {
 				for _, prev := range inputs[:i] {
 					prev.Close()
@@ -197,14 +286,14 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
 			}
 			inputs[i] = in
 		}
-		return &unionIter{inputs: inputs}, nil
+		return &unionBatchIter{inputs: inputs}, nil
 
 	default:
 		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 	}
 }
 
-func buildJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, error) {
+func buildJoin(x *plan.Join, rt Runtime, opts Options) (BatchIterator, error) {
 	// Semi-join reduction: materialize the left side, ship its distinct
 	// join keys into the right Remote as an IN-list filter.
 	if opts.SemiJoin && x.Cond != nil {
@@ -215,13 +304,15 @@ func buildJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, error) {
 		}
 	}
 
-	buildSide := func(n plan.Node) (Iterator, error) {
+	buildSide := func(n plan.Node) (BatchIterator, error) {
 		if opts.Parallel {
 			if _, isRemote := n.(*plan.Remote); isRemote {
-				return Prefetch(func() (Iterator, error) { return Build(n, rt, opts) }), nil
+				return prefetchBatches(opts.batchSize(), func() (BatchIterator, error) {
+					return BuildBatch(n, rt, opts)
+				}), nil
 			}
 		}
-		return Build(n, rt, opts)
+		return BuildBatch(n, rt, opts)
 	}
 	left, err := buildSide(x.Left)
 	if err != nil {
@@ -232,11 +323,11 @@ func buildJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, error) {
 		left.Close()
 		return nil, err
 	}
-	return assembleJoin(x, left, right)
+	return assembleJoin(x, left, right, opts)
 }
 
 // assembleJoin wires a hash or nested-loop join over already-built inputs.
-func assembleJoin(x *plan.Join, left, right Iterator) (Iterator, error) {
+func assembleJoin(x *plan.Join, left, right BatchIterator, opts Options) (BatchIterator, error) {
 	leftCols := x.Left.Columns()
 	rightCols := x.Right.Columns()
 	joinedCols := x.Columns()
@@ -245,10 +336,12 @@ func assembleJoin(x *plan.Join, left, right Iterator) (Iterator, error) {
 	if x.Cond != nil {
 		lk, rk, residual := extractEquiKeys(x.Cond, leftCols, rightCols)
 		if len(lk) > 0 {
-			h := &hashJoinIter{
+			h := &hashJoinBatchIter{
 				left: left, right: right,
 				leftJoin:   leftJoin,
 				rightArity: len(rightCols),
+				degree:     opts.workers(x.Parallel),
+				stats:      opts.Stats,
 			}
 			for _, e := range lk {
 				f, err := Compile(e, leftCols)
@@ -276,7 +369,11 @@ func assembleJoin(x *plan.Join, left, right Iterator) (Iterator, error) {
 			return h, nil
 		}
 	}
-	nl := &nestedLoopIter{left: left, right: right, leftJoin: leftJoin, rightArity: len(rightCols)}
+	nl := &nestedLoopBatchIter{
+		left: left, right: right,
+		leftJoin: leftJoin, rightArity: len(rightCols),
+		size: opts.batchSize(),
+	}
 	if x.Cond != nil {
 		var err error
 		if nl.cond, err = Compile(x.Cond, joinedCols); err != nil {
@@ -292,7 +389,7 @@ func assembleJoin(x *plan.Join, left, right Iterator) (Iterator, error) {
 // the reducible side's source as an IN-list, and only matching rows come
 // back. It returns ok=false (and no error) when the hint does not apply
 // after all, in which case the caller runs the regular join.
-func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, bool, error) {
+func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (BatchIterator, bool, error) {
 	if x.SemiJoin == plan.SemiJoinNone {
 		return nil, false, nil
 	}
@@ -334,19 +431,20 @@ func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, bool, error)
 
 	// assemble wires the probe rows and the (reduced or full) fetch back
 	// into the join's original left/right orientation.
-	assemble := func(probeRows []datum.Row, reducedIt Iterator) (Iterator, error) {
+	assemble := func(probeRows []datum.Row, reducedIt BatchIterator) (BatchIterator, error) {
+		probe := newSliceBatchIter(probeRows, opts.batchSize())
 		if reduceRight {
-			return assembleJoin(x, NewSliceIterator(probeRows), reducedIt)
+			return assembleJoin(x, probe, reducedIt, opts)
 		}
-		return assembleJoin(x, reducedIt, NewSliceIterator(probeRows))
+		return assembleJoin(x, reducedIt, probe, opts)
 	}
 
 	// Materialize the probe side and collect its distinct key values.
-	probeIt, err := Build(probeNode, rt, opts)
+	probeIt, err := BuildBatch(probeNode, rt, opts)
 	if err != nil {
 		return nil, false, err
 	}
-	probeRows, err := Drain(probeIt)
+	probeRows, err := DrainBatches(probeIt)
 	if err != nil {
 		return nil, false, err
 	}
@@ -380,7 +478,7 @@ func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, bool, error)
 		if len(keys) > opts.maxKeys() {
 			// Too many keys to ship; run the regular join over the
 			// already-materialized probe side.
-			full, err := Build(reduceNode, rt, opts)
+			full, err := BuildBatch(reduceNode, rt, opts)
 			if err != nil {
 				return nil, false, err
 			}
@@ -402,6 +500,6 @@ func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (Iterator, bool, error)
 	if err != nil {
 		return nil, false, err
 	}
-	it, err := assemble(probeRows, reducedIt)
+	it, err := assemble(probeRows, asBatchIterator(reducedIt, opts.batchSize()))
 	return it, err == nil, err
 }

@@ -152,8 +152,8 @@ func TestPrefetchDeliversRows(t *testing.T) {
 
 func TestLimitOffsetOnly(t *testing.T) {
 	rows := []datum.Row{{datum.NewInt(1)}, {datum.NewInt(2)}, {datum.NewInt(3)}}
-	it := &limitIter{in: NewSliceIterator(rows), count: -1, offset: 2}
-	out, err := Drain(it)
+	it := &limitBatchIter{in: newSliceBatchIter(rows, 2), count: -1, offset: 2}
+	out, err := DrainBatches(it)
 	if err != nil || len(out) != 1 || out[0][0].Int() != 3 {
 		t.Errorf("offset-only limit = %v %v", out, err)
 	}
@@ -162,8 +162,8 @@ func TestLimitOffsetOnly(t *testing.T) {
 func TestTraceCountsRows(t *testing.T) {
 	tr := NewTrace()
 	node := &plan.Scan{Source: "", Table: "", Alias: "$dual"}
-	it := tr.wrap(node, NewSliceIterator([]datum.Row{{}, {}, {}}))
-	if _, err := Drain(it); err != nil {
+	it := tr.wrap(node, newSliceBatchIter([]datum.Row{{}, {}, {}}, 2))
+	if _, err := DrainBatches(it); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Rows(node) != 3 {
@@ -202,8 +202,8 @@ func TestSortMultiKeyMixedDirections(t *testing.T) {
 	}
 	keyA := compile(t, "a", cols)
 	keyB := compile(t, "b", cols)
-	it := &sortIter{in: NewSliceIterator(rows), keys: []EvalFunc{keyA, keyB}, desc: []bool{false, true}}
-	out, err := Drain(it)
+	it := &sortBatchIter{in: newSliceBatchIter(rows, 2), keys: []EvalFunc{keyA, keyB}, desc: []bool{false, true}}
+	out, err := DrainBatches(it)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -517,29 +517,27 @@ func likeRegexp(pattern string) (*regexp.Regexp, error) {
 	return regexp.Compile(b.String())
 }
 
-var (
-	likeMu   sync.Mutex
-	likeMap  = map[string]*regexp.Regexp{}
-	likeErrs = map[string]error{}
-)
+// likeEntry is one memoized LIKE compilation (pattern -> regexp or error).
+type likeEntry struct {
+	re  *regexp.Regexp
+	err error
+}
+
+// likeMap memoizes dynamic LIKE patterns. A sync.Map (instead of a
+// mutex-guarded map) keeps the hot read path lock-free: exchange workers
+// evaluating LIKE concurrently would otherwise serialize on every row.
+var likeMap sync.Map // string -> likeEntry
 
 // likeCache memoizes dynamic LIKE patterns.
 func likeCache(pattern string) (*regexp.Regexp, error) {
-	likeMu.Lock()
-	defer likeMu.Unlock()
-	if re, ok := likeMap[pattern]; ok {
-		return re, nil
-	}
-	if err, ok := likeErrs[pattern]; ok {
-		return nil, err
+	if v, ok := likeMap.Load(pattern); ok {
+		e := v.(likeEntry)
+		return e.re, e.err
 	}
 	re, err := likeRegexp(pattern)
-	if err != nil {
-		likeErrs[pattern] = err
-		return nil, err
-	}
-	likeMap[pattern] = re
-	return re, nil
+	v, _ := likeMap.LoadOrStore(pattern, likeEntry{re: re, err: err})
+	e := v.(likeEntry)
+	return e.re, e.err
 }
 
 func compileScalarFunc(x *sqlparse.FuncExpr, cols []plan.ColMeta) (EvalFunc, error) {
@@ -705,4 +703,58 @@ func EvalPredicate(f EvalFunc, r datum.Row) (bool, error) {
 		return false, fmt.Errorf("exec: predicate evaluated to %s, not BOOL", v.Kind())
 	}
 	return v.Bool(), nil
+}
+
+// --- Batched entry points ---
+//
+// These amortize call dispatch over whole batches and let callers reuse
+// scratch storage across batches instead of allocating per row.
+
+// EvalBatch evaluates f over every row of in, appending the results to
+// dst (pass dst[:0] to reuse its storage) and returning it.
+func EvalBatch(f EvalFunc, in Batch, dst []datum.Datum) ([]datum.Datum, error) {
+	for _, r := range in {
+		v, err := f(r)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// FilterBatch appends the rows of in satisfying pred to dst (pass dst[:0]
+// to reuse its storage) and returns it. NULL and FALSE both reject.
+func FilterBatch(pred EvalFunc, in Batch, dst Batch) (Batch, error) {
+	for _, r := range in {
+		ok, err := EvalPredicate(pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			dst = append(dst, r)
+		}
+	}
+	return dst, nil
+}
+
+// ProjectBatch evaluates exprs over every row of in, appending the output
+// rows to dst. Output row storage comes from one arena allocation per
+// batch instead of one per row; the rows themselves are fresh and may be
+// retained by downstream operators.
+func ProjectBatch(exprs []EvalFunc, in Batch, dst Batch) (Batch, error) {
+	arena := make([]datum.Datum, len(exprs)*len(in))
+	for _, r := range in {
+		row := arena[:len(exprs):len(exprs)]
+		arena = arena[len(exprs):]
+		for i, f := range exprs {
+			v, err := f(r)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		dst = append(dst, datum.Row(row))
+	}
+	return dst, nil
 }

@@ -9,7 +9,9 @@ import (
 	"repro/internal/sqlparse"
 )
 
-// Iterator is the Volcano-style row cursor every operator implements.
+// Iterator is the Volcano-style row cursor kept at the engine boundary and
+// the Runtime interface (table snapshots, remote fetches). Inside the
+// executor everything flows as batches (see BatchIterator).
 // Next returns (nil, nil) when the stream is exhausted.
 type Iterator interface {
 	Next() (datum.Row, error)
@@ -39,6 +41,9 @@ func (s *sliceIter) Close() {}
 // Drain materializes the remaining rows of an iterator and closes it.
 func Drain(it Iterator) ([]datum.Row, error) {
 	defer it.Close()
+	if a, ok := it.(*rowIterAdapter); ok && a.cur == nil && a.pos == 0 {
+		return drainBatches(a.in)
+	}
 	var out []datum.Row
 	for {
 		r, err := it.Next()
@@ -54,97 +59,227 @@ func Drain(it Iterator) ([]datum.Row, error) {
 
 // --- Filter ---
 
-type filterIter struct {
-	in   Iterator
+type filterBatchIter struct {
+	in   BatchIterator
 	pred EvalFunc
+	out  Batch
 }
 
-func (f *filterIter) Next() (datum.Row, error) {
+func (f *filterBatchIter) NextBatch() (Batch, error) {
 	for {
-		r, err := f.in.Next()
-		if err != nil || r == nil {
+		b, err := f.in.NextBatch()
+		if err != nil || b == nil {
 			return nil, err
 		}
-		ok, err := EvalPredicate(f.pred, r)
+		out, err := FilterBatch(f.pred, b, f.out[:0])
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			return r, nil
+		f.out = out
+		if len(out) > 0 {
+			return out, nil
 		}
 	}
 }
 
-func (f *filterIter) Close() { f.in.Close() }
+func (f *filterBatchIter) Close() { f.in.Close() }
 
 // --- Project ---
 
-type projectIter struct {
-	in    Iterator
+type projectBatchIter struct {
+	in    BatchIterator
 	exprs []EvalFunc
+	out   Batch
 }
 
-func (p *projectIter) Next() (datum.Row, error) {
-	r, err := p.in.Next()
-	if err != nil || r == nil {
+func (p *projectBatchIter) NextBatch() (Batch, error) {
+	b, err := p.in.NextBatch()
+	if err != nil || b == nil {
 		return nil, err
 	}
-	out := make(datum.Row, len(p.exprs))
-	for i, f := range p.exprs {
-		if out[i], err = f(r); err != nil {
-			return nil, err
-		}
+	out, err := ProjectBatch(p.exprs, b, p.out[:0])
+	if err != nil {
+		return nil, err
 	}
+	p.out = out
 	return out, nil
 }
 
-func (p *projectIter) Close() { p.in.Close() }
+func (p *projectBatchIter) Close() { p.in.Close() }
 
 // --- Joins ---
 
-// hashJoinIter implements equi-joins: it builds a hash table over the right
-// input and probes with the left. Residual non-equi predicates are applied
-// after key matching. LEFT joins emit null-padded rows for unmatched left
-// rows.
-type hashJoinIter struct {
-	left       Iterator
-	right      Iterator
+// joinTable is the build side of an equi-join: materialized rows, their
+// precomputed key values (one flat arena, nkeys per row), and hash buckets
+// holding row indexes. Buckets are sharded by hash so a parallel build can
+// fill them without locking; a sequential build uses one shard. Probing
+// walks buckets by index — no per-probe copying (rows with NULL keys are
+// never inserted).
+type joinTable struct {
+	nkeys  int
+	rows   []datum.Row
+	keys   []datum.Datum
+	shards []map[uint64][]int32
+}
+
+func (t *joinTable) keyOf(i int32) datum.Row {
+	return datum.Row(t.keys[int(i)*t.nkeys : (int(i)+1)*t.nkeys])
+}
+
+func (t *joinTable) lookup(h uint64) []int32 {
+	return t.shards[h%uint64(len(t.shards))][h]
+}
+
+// insertRange evaluates keys and hashes for rows[lo:hi) into the arenas.
+func (t *joinTable) evalRange(keyFns []EvalFunc, hashes []uint64, null []bool, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		key := t.keys[i*t.nkeys : (i+1)*t.nkeys]
+		isNull := false
+		for k, f := range keyFns {
+			v, err := f(t.rows[i])
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				isNull = true
+				break
+			}
+			key[k] = v
+		}
+		null[i] = isNull
+		if !isNull {
+			hashes[i] = hashKey(datum.Row(key))
+		}
+	}
+	return nil
+}
+
+// probeBatch probes every row of b against the table, appending joined
+// rows to dst. keyScratch must have len == nkeys and is reused across
+// rows; each caller (exchange worker) owns its own scratch.
+func (t *joinTable) probeBatch(b Batch, leftKeys []EvalFunc, residual EvalFunc, leftJoin bool, rightArity int, keyScratch datum.Row, dst Batch) (Batch, error) {
+	for _, l := range b {
+		matched := false
+		null := false
+		for i, f := range leftKeys {
+			v, err := f(l)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keyScratch[i] = v
+		}
+		if !null {
+			for _, idx := range t.lookup(hashKey(keyScratch)) {
+				if !datum.RowsEqual(keyScratch, t.keyOf(idx)) {
+					continue // hash collision
+				}
+				right := t.rows[idx]
+				joined := append(append(make(datum.Row, 0, len(l)+len(right)), l...), right...)
+				if residual != nil {
+					ok, err := EvalPredicate(residual, joined)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				matched = true
+				dst = append(dst, joined)
+			}
+		}
+		if leftJoin && !matched {
+			dst = append(dst, append(append(make(datum.Row, 0, len(l)+rightArity), l...), nullRow(rightArity)...))
+		}
+	}
+	return dst, nil
+}
+
+// hashJoinBatchIter implements equi-joins: it builds a hash table over the
+// right input and probes with left batches. Residual non-equi predicates
+// apply after key matching; LEFT joins null-pad unmatched left rows. With
+// degree > 1 the build partitions by key hash across workers and the probe
+// runs through an ordered exchange, so output order (and float arithmetic)
+// is identical to the sequential plan.
+type hashJoinBatchIter struct {
+	left       BatchIterator
+	right      BatchIterator
 	leftKeys   []EvalFunc
 	rightKeys  []EvalFunc
 	residual   EvalFunc // may be nil
 	leftJoin   bool
 	rightArity int
+	degree     int
+	stats      *ExecStats
 
-	built   bool
-	table   map[uint64][]datum.Row
-	current datum.Row     // current left row being probed
-	matches []datum.Row   // remaining right matches for current
-	matched bool          // current left row matched at least once
-	keyBuf  []datum.Datum // current left key
+	built  bool
+	table  joinTable
+	keyBuf datum.Row
+	out    Batch
+	ex     BatchIterator // parallel probe; nil when sequential
 }
 
-func (h *hashJoinIter) build() error {
-	h.table = make(map[uint64][]datum.Row)
-	for {
-		r, err := h.right.Next()
-		if err != nil {
-			return err
-		}
-		if r == nil {
-			break
-		}
-		key, null, err := evalKey(h.rightKeys, r)
-		if err != nil {
-			return err
-		}
-		if null {
-			continue // NULL keys never join
-		}
-		hh := hashKey(key)
-		h.table[hh] = append(h.table[hh], r)
-	}
+func (h *hashJoinBatchIter) build() error {
 	h.built = true
+	rows, err := drainBatches(h.right)
+	if err != nil {
+		return err
+	}
+	if err := buildJoinTable(&h.table, rows, h.rightKeys, h.degree); err != nil {
+		return err
+	}
+	h.keyBuf = make(datum.Row, len(h.leftKeys))
+	if h.degree > 1 {
+		if h.stats != nil {
+			h.stats.noteParallelism(h.degree)
+		}
+		scratches := make([]datum.Row, h.degree)
+		for i := range scratches {
+			scratches[i] = make(datum.Row, len(h.leftKeys))
+		}
+		h.ex = newExchange(h.left, h.degree, func(w int, b Batch) (Batch, error) {
+			return h.table.probeBatch(b, h.leftKeys, h.residual, h.leftJoin, h.rightArity, scratches[w], nil)
+		})
+	}
 	return nil
+}
+
+func (h *hashJoinBatchIter) NextBatch() (Batch, error) {
+	if !h.built {
+		if err := h.build(); err != nil {
+			return nil, err
+		}
+	}
+	if h.ex != nil {
+		return h.ex.NextBatch()
+	}
+	for {
+		b, err := h.left.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out, err := h.table.probeBatch(b, h.leftKeys, h.residual, h.leftJoin, h.rightArity, h.keyBuf, h.out[:0])
+		if err != nil {
+			return nil, err
+		}
+		h.out = out
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (h *hashJoinBatchIter) Close() {
+	if h.ex != nil {
+		h.ex.Close() // closes h.left underneath
+	} else {
+		h.left.Close()
+	}
+	h.right.Close()
 }
 
 func evalKey(fns []EvalFunc, r datum.Row) (datum.Row, bool, error) {
@@ -171,73 +306,6 @@ func hashKey(key datum.Row) uint64 {
 	return h
 }
 
-func (h *hashJoinIter) Next() (datum.Row, error) {
-	if !h.built {
-		if err := h.build(); err != nil {
-			return nil, err
-		}
-	}
-	for {
-		// Emit pending matches for the current left row.
-		for len(h.matches) > 0 {
-			right := h.matches[0]
-			h.matches = h.matches[1:]
-			if !datum.RowsEqual(h.keyBuf, h.rightKeyOf(right)) {
-				continue // hash collision
-			}
-			joined := append(append(make(datum.Row, 0, len(h.current)+len(right)), h.current...), right...)
-			if h.residual != nil {
-				ok, err := EvalPredicate(h.residual, joined)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			h.matched = true
-			return joined, nil
-		}
-		// Left-join padding for an unmatched row.
-		if h.current != nil && h.leftJoin && !h.matched {
-			out := append(append(make(datum.Row, 0, len(h.current)+h.rightArity), h.current...), nullRow(h.rightArity)...)
-			h.current = nil
-			return out, nil
-		}
-		// Advance the left side.
-		l, err := h.left.Next()
-		if err != nil {
-			return nil, err
-		}
-		if l == nil {
-			return nil, nil
-		}
-		key, null, err := evalKey(h.leftKeys, l)
-		if err != nil {
-			return nil, err
-		}
-		h.current = l
-		h.matched = false
-		if null {
-			h.matches = nil
-			h.keyBuf = nil
-			continue
-		}
-		h.keyBuf = key
-		h.matches = append([]datum.Row(nil), h.table[hashKey(key)]...)
-	}
-}
-
-func (h *hashJoinIter) rightKeyOf(r datum.Row) datum.Row {
-	key, _, _ := evalKey(h.rightKeys, r)
-	return key
-}
-
-func (h *hashJoinIter) Close() {
-	h.left.Close()
-	h.right.Close()
-}
-
 func nullRow(n int) datum.Row {
 	r := make(datum.Row, n)
 	for i := range r {
@@ -246,48 +314,58 @@ func nullRow(n int) datum.Row {
 	return r
 }
 
-// nestedLoopIter implements joins without equi-keys: it materializes the
-// right input and scans it per left row.
-type nestedLoopIter struct {
-	left       Iterator
-	right      Iterator
+// nestedLoopBatchIter implements joins without equi-keys: it materializes
+// the right input and scans it per left row, emitting output in bounded
+// batches so LIMIT above a wide cross join still stops early.
+type nestedLoopBatchIter struct {
+	left       BatchIterator
+	right      BatchIterator
 	cond       EvalFunc // may be nil (cross join)
 	leftJoin   bool
 	rightArity int
+	size       int
 
 	rightRows []datum.Row
 	built     bool
-	current   datum.Row
-	pos       int
+	cur       Batch
+	curPos    int
+	rightPos  int
 	matched   bool
+	out       Batch
 }
 
-func (n *nestedLoopIter) Next() (datum.Row, error) {
+func (n *nestedLoopBatchIter) NextBatch() (Batch, error) {
 	if !n.built {
-		rows, err := Drain(n.right)
+		rows, err := drainBatches(n.right)
 		if err != nil {
 			return nil, err
 		}
 		n.rightRows = rows
 		n.built = true
 	}
+	out := n.out[:0]
 	for {
-		if n.current == nil {
-			l, err := n.left.Next()
+		if n.curPos >= len(n.cur) {
+			if len(out) >= n.size {
+				break
+			}
+			b, err := n.left.NextBatch()
 			if err != nil {
 				return nil, err
 			}
-			if l == nil {
-				return nil, nil
+			if b == nil {
+				if len(out) == 0 {
+					return nil, nil
+				}
+				break
 			}
-			n.current = l
-			n.pos = 0
-			n.matched = false
+			n.cur, n.curPos, n.rightPos, n.matched = b, 0, 0, false
 		}
-		for n.pos < len(n.rightRows) {
-			right := n.rightRows[n.pos]
-			n.pos++
-			joined := append(append(make(datum.Row, 0, len(n.current)+len(right)), n.current...), right...)
+		l := n.cur[n.curPos]
+		for n.rightPos < len(n.rightRows) {
+			right := n.rightRows[n.rightPos]
+			n.rightPos++
+			joined := append(append(make(datum.Row, 0, len(l)+len(right)), l...), right...)
 			if n.cond != nil {
 				ok, err := EvalPredicate(n.cond, joined)
 				if err != nil {
@@ -298,19 +376,19 @@ func (n *nestedLoopIter) Next() (datum.Row, error) {
 				}
 			}
 			n.matched = true
-			return joined, nil
+			out = append(out, joined)
 		}
-		// Exhausted right side for this left row.
 		if n.leftJoin && !n.matched {
-			out := append(append(make(datum.Row, 0, len(n.current)+n.rightArity), n.current...), nullRow(n.rightArity)...)
-			n.current = nil
-			return out, nil
+			out = append(out, append(append(make(datum.Row, 0, len(l)+n.rightArity), l...), nullRow(n.rightArity)...))
 		}
-		n.current = nil
+		n.curPos++
+		n.rightPos, n.matched = 0, false
 	}
+	n.out = out
+	return out, nil
 }
 
-func (n *nestedLoopIter) Close() {
+func (n *nestedLoopBatchIter) Close() {
 	n.left.Close()
 	n.right.Close()
 }
@@ -318,199 +396,242 @@ func (n *nestedLoopIter) Close() {
 // --- Aggregate ---
 
 type aggState struct {
-	groupKey datum.Row
-	count    []int64       // per agg
-	sumF     []float64     // per agg
-	sumIsInt []bool        // SUM stays INT while all inputs are INT
-	sumI     []int64       // integer sum image
-	minmax   []datum.Datum // per agg
-	distinct []map[uint64]struct{}
+	groupKey  datum.Row
+	firstSeen int           // global input row index of the group's first row
+	count     []int64       // per agg
+	sumF      []float64     // per agg
+	sumIsInt  []bool        // SUM stays INT while all inputs are INT
+	sumI      []int64       // integer sum image
+	minmax    []datum.Datum // per agg
+	distinct  []map[uint64]struct{}
 }
 
-type aggregateIter struct {
-	in       Iterator
-	groupFns []EvalFunc
-	specs    []plan.AggSpec
-	argFns   []EvalFunc // nil for COUNT(*)
-
-	done   bool
-	out    []datum.Row
-	outPos int
+func newAggState(key datum.Row, specs []plan.AggSpec, firstSeen int) *aggState {
+	st := &aggState{
+		groupKey:  key,
+		firstSeen: firstSeen,
+		count:     make([]int64, len(specs)),
+		sumF:      make([]float64, len(specs)),
+		sumI:      make([]int64, len(specs)),
+		sumIsInt:  make([]bool, len(specs)),
+		minmax:    make([]datum.Datum, len(specs)),
+		distinct:  make([]map[uint64]struct{}, len(specs)),
+	}
+	for i, sp := range specs {
+		st.minmax[i] = datum.Null
+		st.sumIsInt[i] = true
+		if sp.Distinct {
+			st.distinct[i] = make(map[uint64]struct{})
+		}
+	}
+	return st
 }
 
-func (a *aggregateIter) run() error {
-	groups := make(map[uint64][]*aggState)
-	var order []*aggState
-	newState := func(key datum.Row) *aggState {
-		st := &aggState{
-			groupKey: key,
-			count:    make([]int64, len(a.specs)),
-			sumF:     make([]float64, len(a.specs)),
-			sumI:     make([]int64, len(a.specs)),
-			sumIsInt: make([]bool, len(a.specs)),
-			minmax:   make([]datum.Datum, len(a.specs)),
-			distinct: make([]map[uint64]struct{}, len(a.specs)),
-		}
-		for i, sp := range a.specs {
-			st.minmax[i] = datum.Null
-			st.sumIsInt[i] = true
-			if sp.Distinct {
-				st.distinct[i] = make(map[uint64]struct{})
-			}
-		}
-		order = append(order, st)
-		return st
+// add folds one evaluated argument into aggregate i. COUNT(*) passes an
+// ignored value with sp.Star set.
+func (st *aggState) add(i int, sp plan.AggSpec, v datum.Datum) error {
+	if sp.Star {
+		st.count[i]++
+		return nil
 	}
-	for {
-		r, err := a.in.Next()
-		if err != nil {
-			return err
-		}
-		if r == nil {
-			break
-		}
-		key, _, err := evalKeyAllowNull(a.groupFns, r)
-		if err != nil {
-			return err
-		}
-		h := hashKey(key)
-		var st *aggState
-		for _, cand := range groups[h] {
-			if datum.RowsEqual(cand.groupKey, key) {
-				st = cand
-				break
-			}
-		}
-		if st == nil {
-			st = newState(key)
-			groups[h] = append(groups[h], st)
-		}
-		for i, sp := range a.specs {
-			var v datum.Datum
-			if sp.Star {
-				st.count[i]++
-				continue
-			}
-			v, err = a.argFns[i](r)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				continue
-			}
-			if sp.Distinct {
-				hh := v.Hash()
-				if _, dup := st.distinct[i][hh]; dup {
-					continue
-				}
-				st.distinct[i][hh] = struct{}{}
-			}
-			st.count[i]++
-			switch sp.Func {
-			case "SUM", "AVG":
-				f, ok := v.AsFloat()
-				if !ok {
-					return fmt.Errorf("exec: %s requires numeric input, got %s", sp.Func, v.Kind())
-				}
-				st.sumF[i] += f
-				if v.Kind() == datum.KindInt {
-					st.sumI[i] += v.Int()
-				} else {
-					st.sumIsInt[i] = false
-				}
-			case "MIN":
-				if st.minmax[i].IsNull() || datum.Compare(v, st.minmax[i]) < 0 {
-					st.minmax[i] = v
-				}
-			case "MAX":
-				if st.minmax[i].IsNull() || datum.Compare(v, st.minmax[i]) > 0 {
-					st.minmax[i] = v
-				}
-			}
-		}
+	if v.IsNull() {
+		return nil
 	}
-	// No groups and no input: one row of default aggregate values.
-	// newState registers itself in order.
-	if len(order) == 0 && len(a.groupFns) == 0 {
-		newState(datum.Row{})
-	}
-	for _, st := range order {
-		row := make(datum.Row, 0, len(st.groupKey)+len(a.specs))
-		row = append(row, st.groupKey...)
-		for i, sp := range a.specs {
-			switch sp.Func {
-			case "COUNT":
-				row = append(row, datum.NewInt(st.count[i]))
-			case "SUM":
-				if st.count[i] == 0 {
-					row = append(row, datum.Null)
-				} else if st.sumIsInt[i] {
-					row = append(row, datum.NewInt(st.sumI[i]))
-				} else {
-					row = append(row, datum.NewFloat(st.sumF[i]))
-				}
-			case "AVG":
-				if st.count[i] == 0 {
-					row = append(row, datum.Null)
-				} else {
-					row = append(row, datum.NewFloat(st.sumF[i]/float64(st.count[i])))
-				}
-			case "MIN", "MAX":
-				row = append(row, st.minmax[i])
-			default:
-				return fmt.Errorf("exec: unknown aggregate %s", sp.Func)
-			}
+	if sp.Distinct {
+		hh := v.Hash()
+		if _, dup := st.distinct[i][hh]; dup {
+			return nil
 		}
-		a.out = append(a.out, row)
+		st.distinct[i][hh] = struct{}{}
+	}
+	st.count[i]++
+	switch sp.Func {
+	case "SUM", "AVG":
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("exec: %s requires numeric input, got %s", sp.Func, v.Kind())
+		}
+		st.sumF[i] += f
+		if v.Kind() == datum.KindInt {
+			st.sumI[i] += v.Int()
+		} else {
+			st.sumIsInt[i] = false
+		}
+	case "MIN":
+		if st.minmax[i].IsNull() || datum.Compare(v, st.minmax[i]) < 0 {
+			st.minmax[i] = v
+		}
+	case "MAX":
+		if st.minmax[i].IsNull() || datum.Compare(v, st.minmax[i]) > 0 {
+			st.minmax[i] = v
+		}
 	}
 	return nil
 }
 
+// finalize renders the output row: group key columns then one per agg.
+func (st *aggState) finalize(specs []plan.AggSpec) (datum.Row, error) {
+	row := make(datum.Row, 0, len(st.groupKey)+len(specs))
+	row = append(row, st.groupKey...)
+	for i, sp := range specs {
+		switch sp.Func {
+		case "COUNT":
+			row = append(row, datum.NewInt(st.count[i]))
+		case "SUM":
+			if st.count[i] == 0 {
+				row = append(row, datum.Null)
+			} else if st.sumIsInt[i] {
+				row = append(row, datum.NewInt(st.sumI[i]))
+			} else {
+				row = append(row, datum.NewFloat(st.sumF[i]))
+			}
+		case "AVG":
+			if st.count[i] == 0 {
+				row = append(row, datum.Null)
+			} else {
+				row = append(row, datum.NewFloat(st.sumF[i]/float64(st.count[i])))
+			}
+		case "MIN", "MAX":
+			row = append(row, st.minmax[i])
+		default:
+			return nil, fmt.Errorf("exec: unknown aggregate %s", sp.Func)
+		}
+	}
+	return row, nil
+}
+
+type aggregateBatchIter struct {
+	in          BatchIterator
+	groupFns    []EvalFunc
+	specs       []plan.AggSpec
+	argFns      []EvalFunc // nil entries for COUNT(*)
+	partitionBy []int      // group-key positions to partition on; nil = all
+	degree      int
+	size        int
+	stats       *ExecStats
+
+	done bool
+	out  *sliceBatchIter
+}
+
+func (a *aggregateBatchIter) run() error {
+	var rows []datum.Row
+	var err error
+	if a.degree > 1 {
+		rows, err = a.runParallel()
+	} else {
+		rows, err = a.runSequential()
+	}
+	if err != nil {
+		return err
+	}
+	a.out = newSliceBatchIter(rows, a.size)
+	return nil
+}
+
+func (a *aggregateBatchIter) runSequential() ([]datum.Row, error) {
+	groups := make(map[uint64][]*aggState)
+	var order []*aggState
+	idx := 0
+	for {
+		b, err := a.in.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for _, r := range b {
+			key, err := evalKeyAllowNull(a.groupFns, r)
+			if err != nil {
+				return nil, err
+			}
+			h := hashKey(key)
+			var st *aggState
+			for _, cand := range groups[h] {
+				if datum.RowsEqual(cand.groupKey, key) {
+					st = cand
+					break
+				}
+			}
+			if st == nil {
+				st = newAggState(key, a.specs, idx)
+				groups[h] = append(groups[h], st)
+				order = append(order, st)
+			}
+			for i, sp := range a.specs {
+				var v datum.Datum
+				if !sp.Star {
+					if v, err = a.argFns[i](r); err != nil {
+						return nil, err
+					}
+				}
+				if err := st.add(i, sp, v); err != nil {
+					return nil, err
+				}
+			}
+			idx++
+		}
+	}
+	// No groups and no input: one row of default aggregate values.
+	if len(order) == 0 && len(a.groupFns) == 0 {
+		order = append(order, newAggState(datum.Row{}, a.specs, 0))
+	}
+	return finalizeAggStates(order, a.specs)
+}
+
+func finalizeAggStates(order []*aggState, specs []plan.AggSpec) ([]datum.Row, error) {
+	out := make([]datum.Row, 0, len(order))
+	for _, st := range order {
+		row, err := st.finalize(specs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
 // evalKeyAllowNull evaluates grouping keys; NULLs are legal group values.
-func evalKeyAllowNull(fns []EvalFunc, r datum.Row) (datum.Row, bool, error) {
+func evalKeyAllowNull(fns []EvalFunc, r datum.Row) (datum.Row, error) {
 	key := make(datum.Row, len(fns))
 	for i, f := range fns {
 		v, err := f(r)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		key[i] = v
 	}
-	return key, false, nil
+	return key, nil
 }
 
-func (a *aggregateIter) Next() (datum.Row, error) {
+func (a *aggregateBatchIter) NextBatch() (Batch, error) {
 	if !a.done {
 		if err := a.run(); err != nil {
 			return nil, err
 		}
 		a.done = true
 	}
-	if a.outPos >= len(a.out) {
-		return nil, nil
-	}
-	r := a.out[a.outPos]
-	a.outPos++
-	return r, nil
+	return a.out.NextBatch()
 }
 
-func (a *aggregateIter) Close() { a.in.Close() }
+func (a *aggregateBatchIter) Close() { a.in.Close() }
 
 // --- Sort ---
 
-type sortIter struct {
-	in   Iterator
+type sortBatchIter struct {
+	in   BatchIterator
 	keys []EvalFunc
 	desc []bool
+	size int
 
 	done bool
-	rows []datum.Row
-	pos  int
+	out  *sliceBatchIter
 }
 
-func (s *sortIter) Next() (datum.Row, error) {
+func (s *sortBatchIter) NextBatch() (Batch, error) {
 	if !s.done {
-		rows, err := Drain(s.in)
+		rows, err := drainBatches(s.in)
 		if err != nil {
 			return nil, err
 		}
@@ -519,8 +640,10 @@ func (s *sortIter) Next() (datum.Row, error) {
 			key datum.Row
 		}
 		ks := make([]keyed, len(rows))
+		keyArena := make(datum.Row, len(s.keys)*len(rows))
 		for i, r := range rows {
-			key := make(datum.Row, len(s.keys))
+			key := keyArena[:len(s.keys):len(s.keys)]
+			keyArena = keyArena[len(s.keys):]
 			for j, f := range s.keys {
 				if key[j], err = f(r); err != nil {
 					return nil, err
@@ -541,143 +664,160 @@ func (s *sortIter) Next() (datum.Row, error) {
 			}
 			return false
 		})
-		s.rows = make([]datum.Row, len(ks))
+		sorted := make([]datum.Row, len(ks))
 		for i, k := range ks {
-			s.rows[i] = k.row
+			sorted[i] = k.row
 		}
+		s.out = newSliceBatchIter(sorted, s.size)
 		s.done = true
 	}
-	if s.pos >= len(s.rows) {
-		return nil, nil
-	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, nil
+	return s.out.NextBatch()
 }
 
-func (s *sortIter) Close() { s.in.Close() }
+func (s *sortBatchIter) Close() { s.in.Close() }
 
 // --- Limit ---
 
-type limitIter struct {
-	in      Iterator
+type limitBatchIter struct {
+	in      BatchIterator
 	count   int64 // -1 = unlimited
 	offset  int64
 	skipped int64
 	emitted int64
 }
 
-func (l *limitIter) Next() (datum.Row, error) {
-	for l.skipped < l.offset {
-		r, err := l.in.Next()
-		if err != nil || r == nil {
+func (l *limitBatchIter) NextBatch() (Batch, error) {
+	for {
+		if l.count >= 0 && l.emitted >= l.count {
+			return nil, nil
+		}
+		b, err := l.in.NextBatch()
+		if err != nil || b == nil {
 			return nil, err
 		}
-		l.skipped++
+		if l.skipped < l.offset {
+			drop := l.offset - l.skipped
+			if drop > int64(len(b)) {
+				drop = int64(len(b))
+			}
+			l.skipped += drop
+			b = b[drop:]
+		}
+		if l.count >= 0 {
+			if rem := l.count - l.emitted; int64(len(b)) > rem {
+				b = b[:rem]
+			}
+		}
+		if len(b) == 0 {
+			continue
+		}
+		l.emitted += int64(len(b))
+		return b, nil
 	}
-	if l.count >= 0 && l.emitted >= l.count {
-		return nil, nil
-	}
-	r, err := l.in.Next()
-	if err != nil || r == nil {
-		return nil, err
-	}
-	l.emitted++
-	return r, nil
 }
 
-func (l *limitIter) Close() { l.in.Close() }
+func (l *limitBatchIter) Close() { l.in.Close() }
 
 // --- Distinct ---
 
-type distinctIter struct {
-	in   Iterator
+type distinctBatchIter struct {
+	in   BatchIterator
 	seen map[uint64][]datum.Row
+	out  Batch
 }
 
-func (d *distinctIter) Next() (datum.Row, error) {
+func (d *distinctBatchIter) NextBatch() (Batch, error) {
 	if d.seen == nil {
 		d.seen = make(map[uint64][]datum.Row)
 	}
 	for {
-		r, err := d.in.Next()
-		if err != nil || r == nil {
+		b, err := d.in.NextBatch()
+		if err != nil || b == nil {
 			return nil, err
 		}
-		h := hashKey(r)
-		dup := false
-		for _, prev := range d.seen[h] {
-			if datum.RowsEqual(prev, r) {
-				dup = true
-				break
+		out := d.out[:0]
+		for _, r := range b {
+			h := hashKey(r)
+			dup := false
+			for _, prev := range d.seen[h] {
+				if datum.RowsEqual(prev, r) {
+					dup = true
+					break
+				}
 			}
+			if dup {
+				continue
+			}
+			d.seen[h] = append(d.seen[h], r)
+			out = append(out, r)
 		}
-		if dup {
-			continue
+		d.out = out
+		if len(out) > 0 {
+			return out, nil
 		}
-		d.seen[h] = append(d.seen[h], r)
-		return r, nil
 	}
 }
 
-func (d *distinctIter) Close() { d.in.Close() }
+func (d *distinctBatchIter) Close() { d.in.Close() }
 
 // --- Union ---
 
-type unionIter struct {
-	inputs []Iterator
+type unionBatchIter struct {
+	inputs []BatchIterator
 	pos    int
 }
 
-func (u *unionIter) Next() (datum.Row, error) {
+func (u *unionBatchIter) NextBatch() (Batch, error) {
 	for u.pos < len(u.inputs) {
-		r, err := u.inputs[u.pos].Next()
+		b, err := u.inputs[u.pos].NextBatch()
 		if err != nil {
 			return nil, err
 		}
-		if r != nil {
-			return r, nil
+		if b != nil {
+			return b, nil
 		}
 		u.pos++
 	}
 	return nil, nil
 }
 
-func (u *unionIter) Close() {
+func (u *unionBatchIter) Close() {
 	for _, in := range u.inputs {
 		in.Close()
 	}
 }
 
-// --- Async prefetch (the exchange operator) ---
+// --- Async prefetch (inter-source parallelism) ---
 
 // prefetchIter runs fetch in a goroutine and buffers the resulting rows,
 // giving inter-source parallelism for federated fan-out queries.
 type prefetchIter struct {
-	ch   chan prefetchBatch
+	ch   chan prefetchResult
 	rows []datum.Row
 	pos  int
 	err  error
 	done bool
 }
 
-type prefetchBatch struct {
+type prefetchResult struct {
 	rows []datum.Row
 	err  error
 }
 
 // Prefetch starts draining the iterator returned by fetch in a background
-// goroutine immediately and returns an iterator over the result.
+// goroutine immediately and returns an iterator over the result. The
+// goroutine always runs to completion and parks its result in a buffered
+// channel, so an abandoned prefetch never leaks.
 func Prefetch(fetch func() (Iterator, error)) Iterator {
-	p := &prefetchIter{ch: make(chan prefetchBatch, 1)}
+	p := &prefetchIter{ch: make(chan prefetchResult, 1)}
 	go func() {
 		it, err := fetch()
 		if err != nil {
-			p.ch <- prefetchBatch{err: err}
+			p.ch <- prefetchResult{err: err}
 			return
 		}
 		rows, err := Drain(it)
-		p.ch <- prefetchBatch{rows: rows, err: err}
+		p.ch <- prefetchResult{rows: rows, err: err}
 	}()
 	return p
 }
@@ -700,6 +840,44 @@ func (p *prefetchIter) Next() (datum.Row, error) {
 }
 
 func (p *prefetchIter) Close() {}
+
+// prefetchBatchIter is the batch form of Prefetch: the fetch is kicked off
+// immediately, the rows are served batch-windowed once ready.
+type prefetchBatchIter struct {
+	ch    chan prefetchResult
+	size  int
+	inner *sliceBatchIter
+	err   error
+	got   bool
+}
+
+func prefetchBatches(size int, fetch func() (BatchIterator, error)) BatchIterator {
+	p := &prefetchBatchIter{ch: make(chan prefetchResult, 1), size: size}
+	go func() {
+		it, err := fetch()
+		if err != nil {
+			p.ch <- prefetchResult{err: err}
+			return
+		}
+		rows, err := DrainBatches(it)
+		p.ch <- prefetchResult{rows: rows, err: err}
+	}()
+	return p
+}
+
+func (p *prefetchBatchIter) NextBatch() (Batch, error) {
+	if !p.got {
+		r := <-p.ch
+		p.inner, p.err = newSliceBatchIter(r.rows, p.size), r.err
+		p.got = true
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return p.inner.NextBatch()
+}
+
+func (p *prefetchBatchIter) Close() {}
 
 // extractEquiKeys splits a join condition into equi-key pairs (left expr,
 // right expr) and a residual predicate. leftCols/rightCols are the child

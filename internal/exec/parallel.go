@@ -1,0 +1,453 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/datum"
+)
+
+// parallelMinRows is the materialized input size below which partitioned
+// build/aggregation falls back to the sequential path: fan-out overhead
+// would dominate smaller inputs.
+const parallelMinRows = 2048
+
+// morselRows is the row-range granularity workers claim during
+// materialized parallel phases (join build key evaluation, aggregation
+// argument evaluation).
+const morselRows = 1024
+
+// exchangeIter is the ordered exchange operator behind morsel-driven
+// parallelism: a feeder goroutine hands input batches (tagged with a
+// sequence number) to a bounded worker pool, each worker applies fn, and
+// the merger re-emits results in input order. Because output order is
+// exactly input order, operators above an exchange — including Sort and
+// Limit — see the same stream a sequential plan produces.
+//
+// Cancellation contract: Close (idempotent) stops the feeder and workers
+// via the done channel, waits for them to exit, then closes the input.
+// After natural EOF all goroutines have already returned; Close then only
+// closes the input. No goroutines survive Close.
+type exchangeIter struct {
+	in      BatchIterator
+	fn      func(worker int, b Batch) (Batch, error)
+	workers int
+
+	started bool
+	tasks   chan exchangeTask
+	results chan exchangeResult
+	feed    chan exchangeResult // feeder's terminal state: last seq + input error
+	done    chan struct{}
+	wg      sync.WaitGroup // feeder + workers + closer
+
+	pending map[int64]exchangeResult
+	nextSeq int64
+	endSeq  int64 // first seq past the input; valid once feedEnd
+	feedEnd bool
+	feedErr error
+	err     error
+
+	closeOnce sync.Once
+}
+
+type exchangeTask struct {
+	seq int64
+	b   Batch
+}
+
+type exchangeResult struct {
+	seq int64
+	b   Batch
+	err error
+}
+
+// newExchange wraps in with a worker pool of the given degree. fn must be
+// safe for concurrent invocation with distinct worker ids and must return
+// batches it does not reuse (the merger buffers out-of-order results); an
+// empty result batch is fine and is skipped on merge.
+func newExchange(in BatchIterator, degree int, fn func(worker int, b Batch) (Batch, error)) *exchangeIter {
+	return &exchangeIter{in: in, fn: fn, workers: degree}
+}
+
+func (e *exchangeIter) start() {
+	e.started = true
+	e.tasks = make(chan exchangeTask)
+	e.results = make(chan exchangeResult, e.workers)
+	e.feed = make(chan exchangeResult, 1)
+	e.done = make(chan struct{})
+	e.pending = make(map[int64]exchangeResult)
+
+	// Feeder: the single reader of the input. Input batches are reused by
+	// the producer, so each one is copied (container only) before it
+	// crosses into the pool.
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		seq := int64(0)
+		var ferr error
+		for {
+			b, err := e.in.NextBatch()
+			if err != nil {
+				ferr = err
+				break
+			}
+			if b == nil {
+				break
+			}
+			cp := append(Batch(nil), b...)
+			select {
+			case e.tasks <- exchangeTask{seq: seq, b: cp}:
+				seq++
+			case <-e.done:
+				close(e.tasks)
+				return
+			}
+		}
+		e.feed <- exchangeResult{seq: seq, err: ferr}
+		close(e.tasks)
+	}()
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		w := w
+		e.wg.Add(1)
+		workerWG.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer workerWG.Done()
+			for t := range e.tasks {
+				out, err := e.fn(w, t.b)
+				select {
+				case e.results <- exchangeResult{seq: t.seq, b: out, err: err}:
+				case <-e.done:
+					return
+				}
+			}
+		}()
+	}
+
+	// Closer: once every worker has exited, no more results can arrive.
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		workerWG.Wait()
+		close(e.results)
+	}()
+}
+
+func (e *exchangeIter) NextBatch() (Batch, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if !e.started {
+		e.start()
+	}
+	for {
+		if r, ok := e.pending[e.nextSeq]; ok {
+			delete(e.pending, e.nextSeq)
+			e.nextSeq++
+			if r.err != nil {
+				e.err = r.err
+				return nil, r.err
+			}
+			if len(r.b) == 0 {
+				continue
+			}
+			return r.b, nil
+		}
+		if e.feedEnd && e.nextSeq >= e.endSeq {
+			if e.feedErr != nil {
+				e.err = e.feedErr
+				return nil, e.err
+			}
+			return nil, nil
+		}
+		select {
+		case r, ok := <-e.results:
+			if !ok {
+				// results is closed only after every worker exited, and a
+				// closed channel still yields its buffered values first —
+				// everything produced is already in pending. A missing
+				// nextSeq can never arrive now.
+				if !e.feedEnd {
+					select {
+					case f := <-e.feed:
+						e.endSeq, e.feedErr, e.feedEnd = f.seq, f.err, true
+					default:
+						return nil, nil // Close raced us mid-stream
+					}
+				}
+				if _, ok := e.pending[e.nextSeq]; !ok {
+					if e.feedErr != nil {
+						e.err = e.feedErr
+						return nil, e.err
+					}
+					return nil, nil
+				}
+				continue
+			}
+			e.pending[r.seq] = r
+		case f := <-e.feed:
+			e.endSeq, e.feedErr, e.feedEnd = f.seq, f.err, true
+		}
+	}
+}
+
+func (e *exchangeIter) Close() {
+	e.closeOnce.Do(func() {
+		if e.started {
+			close(e.done)
+			// Drain results so workers blocked on a full channel can
+			// observe done (buffered channel: receive is not required,
+			// the select on done suffices) and wait for every goroutine.
+			e.wg.Wait()
+		}
+		e.in.Close()
+	})
+}
+
+// buildJoinTable materializes the right-side rows into a joinTable. With
+// workers > 1 and enough rows, key evaluation runs over morsels in
+// parallel and each worker then owns one hash shard, inserting row indexes
+// in ascending order — bucket order, and therefore probe output order,
+// matches the sequential build exactly.
+func buildJoinTable(t *joinTable, rows []datum.Row, keyFns []EvalFunc, workers int) error {
+	t.rows = rows
+	t.nkeys = len(keyFns)
+	n := len(rows)
+	t.keys = make([]datum.Datum, n*t.nkeys)
+	hashes := make([]uint64, n)
+	null := make([]bool, n)
+
+	if workers <= 1 || n < parallelMinRows {
+		if err := t.evalRange(keyFns, hashes, null, 0, n); err != nil {
+			return err
+		}
+		m := make(map[uint64][]int32, n)
+		for i := 0; i < n; i++ {
+			if !null[i] {
+				m[hashes[i]] = append(m[hashes[i]], int32(i))
+			}
+		}
+		t.shards = []map[uint64][]int32{m}
+		return nil
+	}
+
+	// Phase 1: evaluate keys and hashes morsel by morsel.
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(morselRows)) - morselRows
+				if lo >= n {
+					return
+				}
+				hi := lo + morselRows
+				if hi > n {
+					hi = n
+				}
+				if err := t.evalRange(keyFns, hashes, null, lo, hi); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: each worker scans the hash array and fills its own shard.
+	t.shards = make([]map[uint64][]int32, workers)
+	for s := 0; s < workers; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := make(map[uint64][]int32, n/workers+1)
+			for i := 0; i < n; i++ {
+				if null[i] {
+					continue
+				}
+				h := hashes[i]
+				if h%uint64(workers) == uint64(s) {
+					m[h] = append(m[h], int32(i))
+				}
+			}
+			t.shards[s] = m
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// runParallel is the partitioned grouping path: materialize the input,
+// evaluate group keys and aggregate arguments over morsels in parallel,
+// then give each worker the partition of groups whose key hashes to it.
+// A group lives entirely in one partition and its rows are folded in
+// ascending global row order, so per-group accumulation (including float
+// summation order) and the first-seen group order of the output are
+// byte-identical to the sequential path. A grand aggregation (no GROUP BY)
+// degenerates to a single partition: argument evaluation still
+// parallelizes, accumulation stays sequential.
+func (a *aggregateBatchIter) runParallel() ([]datum.Row, error) {
+	rows, err := drainBatches(a.in)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rows)
+	if n < parallelMinRows {
+		return a.aggregateRows(rows)
+	}
+	if a.stats != nil {
+		a.stats.noteParallelism(a.degree)
+	}
+
+	nk := len(a.groupFns)
+	ns := len(a.specs)
+	keys := make([]datum.Datum, n*nk)
+	args := make([]datum.Datum, n*ns)
+	ghash := make([]uint64, n) // full group-key hash (group identity)
+	phash := make([]uint64, n) // partition hash (PartitionBy subset)
+	partAll := len(a.partitionBy) == 0 || len(a.partitionBy) == nk
+
+	// Phase 1: evaluate group keys and aggregate arguments per morsel.
+	var next atomic.Int64
+	errs := make([]error, a.degree)
+	var wg sync.WaitGroup
+	for w := 0; w < a.degree; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(morselRows)) - morselRows
+				if lo >= n {
+					return
+				}
+				hi := lo + morselRows
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					r := rows[i]
+					key := keys[i*nk : (i+1)*nk]
+					for k, f := range a.groupFns {
+						v, err := f(r)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						key[k] = v
+					}
+					ghash[i] = hashKey(datum.Row(key))
+					if partAll {
+						phash[i] = ghash[i]
+					} else {
+						h := uint64(1469598103934665603)
+						for _, k := range a.partitionBy {
+							h ^= key[k].Hash()
+							h *= 1099511628211
+						}
+						phash[i] = h
+					}
+					for j, sp := range a.specs {
+						if sp.Star {
+							continue
+						}
+						v, err := a.argFns[j](r)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						args[i*ns+j] = v
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: each worker accumulates the partition of groups hashing to
+	// it, scanning rows in global order.
+	K := a.degree
+	states := make([][]*aggState, K)
+	for p := 0; p < K; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			groups := make(map[uint64][]*aggState)
+			var order []*aggState
+			for i := 0; i < n; i++ {
+				if phash[i]%uint64(K) != uint64(p) {
+					continue
+				}
+				key := datum.Row(keys[i*nk : (i+1)*nk])
+				h := ghash[i]
+				var st *aggState
+				for _, cand := range groups[h] {
+					if datum.RowsEqual(cand.groupKey, key) {
+						st = cand
+						break
+					}
+				}
+				if st == nil {
+					st = newAggState(key, a.specs, i)
+					groups[h] = append(groups[h], st)
+					order = append(order, st)
+				}
+				for j, sp := range a.specs {
+					var v datum.Datum
+					if !sp.Star {
+						v = args[i*ns+j]
+					}
+					if err := st.add(j, sp, v); err != nil {
+						errs[p] = err
+						return
+					}
+				}
+			}
+			states[p] = order
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: merge partitions back into first-seen order.
+	var order []*aggState
+	for _, part := range states {
+		order = append(order, part...)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].firstSeen < order[j].firstSeen })
+	if len(order) == 0 && nk == 0 {
+		order = append(order, newAggState(datum.Row{}, a.specs, 0))
+	}
+	return finalizeAggStates(order, a.specs)
+}
+
+// aggregateRows is the sequential fallback over already-materialized rows.
+func (a *aggregateBatchIter) aggregateRows(rows []datum.Row) ([]datum.Row, error) {
+	saved := a.in
+	a.in = newSliceBatchIter(rows, a.size)
+	defer func() { a.in = saved }()
+	return a.runSequential()
+}

@@ -4,13 +4,15 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
-	"repro/internal/datum"
 	"repro/internal/plan"
 )
 
 // Trace records per-operator execution statistics (rows produced), the
 // machinery behind EXPLAIN ANALYZE. One Trace instruments one execution.
+// Counters are atomic so exchange-fed operators can be observed without
+// serializing the workers.
 type Trace struct {
 	mu     sync.Mutex
 	counts map[plan.Node]*int64
@@ -21,8 +23,9 @@ func NewTrace() *Trace {
 	return &Trace{counts: make(map[plan.Node]*int64)}
 }
 
-// wrap instruments an iterator so rows flowing out of the node are counted.
-func (tr *Trace) wrap(n plan.Node, it Iterator) Iterator {
+// wrap instruments a batch iterator so rows flowing out of the node are
+// counted.
+func (tr *Trace) wrap(n plan.Node, it BatchIterator) BatchIterator {
 	tr.mu.Lock()
 	c, ok := tr.counts[n]
 	if !ok {
@@ -30,7 +33,7 @@ func (tr *Trace) wrap(n plan.Node, it Iterator) Iterator {
 		tr.counts[n] = c
 	}
 	tr.mu.Unlock()
-	return &countingIter{in: it, count: c, mu: &tr.mu}
+	return &countingBatchIter{in: it, count: c}
 }
 
 // Rows returns the number of rows the node produced (0 if never executed).
@@ -38,7 +41,7 @@ func (tr *Trace) Rows(n plan.Node) int64 {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	if c, ok := tr.counts[n]; ok {
-		return *c
+		return atomic.LoadInt64(c)
 	}
 	return 0
 }
@@ -58,20 +61,17 @@ func (tr *Trace) Render(root plan.Node) string {
 	return b.String()
 }
 
-type countingIter struct {
-	in    Iterator
+type countingBatchIter struct {
+	in    BatchIterator
 	count *int64
-	mu    *sync.Mutex
 }
 
-func (c *countingIter) Next() (datum.Row, error) {
-	r, err := c.in.Next()
-	if r != nil && err == nil {
-		c.mu.Lock()
-		*c.count++
-		c.mu.Unlock()
+func (c *countingBatchIter) NextBatch() (Batch, error) {
+	b, err := c.in.NextBatch()
+	if b != nil && err == nil {
+		atomic.AddInt64(c.count, int64(len(b)))
 	}
-	return r, err
+	return b, err
 }
 
-func (c *countingIter) Close() { c.in.Close() }
+func (c *countingBatchIter) Close() { c.in.Close() }

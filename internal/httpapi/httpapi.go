@@ -44,6 +44,11 @@ type QueryRequest struct {
 	RetryAttempts int `json:"retryAttempts,omitempty"`
 	// DeadlineMS bounds query execution in milliseconds.
 	DeadlineMS int `json:"deadlineMs,omitempty"`
+	// Parallelism caps the intra-query worker pool (0 = GOMAXPROCS,
+	// 1 = sequential).
+	Parallelism int `json:"parallelism,omitempty"`
+	// BatchSize overrides the executor's rows-per-batch (0 = default).
+	BatchSize int `json:"batchSize,omitempty"`
 }
 
 // PrepareResponse is the body returned by /prepare.
@@ -83,6 +88,10 @@ type QueryResponse struct {
 	CacheHit bool `json:"cacheHit"`
 	// CatalogVersion is the catalog version the query planned against.
 	CatalogVersion uint64 `json:"catalogVersion"`
+	// ExecParallelism is the widest worker pool any operator ran with.
+	ExecParallelism int `json:"execParallelism"`
+	// BatchesProcessed counts execution batches across all operators.
+	BatchesProcessed int64 `json:"batchesProcessed"`
 }
 
 // HealthResponse is the body returned by /healthz.
@@ -299,6 +308,8 @@ func queryOptions(req QueryRequest) core.QueryOptions {
 	if req.DeadlineMS > 0 {
 		qo.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
+	qo.Parallelism = req.Parallelism
+	qo.BatchSize = req.BatchSize
 	return qo
 }
 
@@ -381,6 +392,8 @@ func toQueryResponse(res *core.Result) QueryResponse {
 	out.ReplicaSources = res.ReplicaSources
 	out.SourceErrors = res.SourceErrors
 	out.Retries = res.Retries
+	out.ExecParallelism = res.ExecParallelism
+	out.BatchesProcessed = res.BatchesProcessed
 	return out
 }
 

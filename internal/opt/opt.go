@@ -57,6 +57,7 @@ func Optimize(root plan.Node, env Env, opts Options) plan.Node {
 	if !opts.NoRemotePushdown && !opts.NoSemiJoin {
 		n = annotateSemiJoins(n, env)
 	}
+	n = annotateParallelism(n, env)
 	return n
 }
 

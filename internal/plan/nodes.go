@@ -76,6 +76,10 @@ func (s *Scan) Describe() string {
 type Filter struct {
 	Input Node
 	Cond  sqlparse.Expr
+	// Parallel is the optimizer's worker-count hint for morsel-driven
+	// evaluation; 0/1 means sequential. The executor caps it at its
+	// configured parallelism.
+	Parallel int
 }
 
 // Columns implements Node.
@@ -86,7 +90,7 @@ func (f *Filter) Children() []Node { return []Node{f.Input} }
 
 // WithChildren implements Node.
 func (f *Filter) WithChildren(kids []Node) Node {
-	return &Filter{Input: kids[0], Cond: f.Cond}
+	return &Filter{Input: kids[0], Cond: f.Cond, Parallel: f.Parallel}
 }
 
 // Describe implements Node.
@@ -97,6 +101,8 @@ type Project struct {
 	Input Node
 	Exprs []sqlparse.Expr
 	Cols  []ColMeta // one per expr; Name holds the output alias
+	// Parallel is the optimizer's worker-count hint (see Filter.Parallel).
+	Parallel int
 }
 
 // Columns implements Node.
@@ -107,7 +113,7 @@ func (p *Project) Children() []Node { return []Node{p.Input} }
 
 // WithChildren implements Node.
 func (p *Project) WithChildren(kids []Node) Node {
-	return &Project{Input: kids[0], Exprs: p.Exprs, Cols: p.Cols}
+	return &Project{Input: kids[0], Exprs: p.Exprs, Cols: p.Cols, Parallel: p.Parallel}
 }
 
 // Describe implements Node.
@@ -147,6 +153,9 @@ type Join struct {
 	Cond        sqlparse.Expr
 	// SemiJoin is the optimizer's reduction hint.
 	SemiJoin SemiJoinHint
+	// Parallel is the optimizer's worker-count hint for partitioned hash
+	// build and morsel-parallel probe (see Filter.Parallel).
+	Parallel int
 	cols     []ColMeta
 }
 
@@ -169,6 +178,7 @@ func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
 func (j *Join) WithChildren(kids []Node) Node {
 	nj := NewJoin(j.Type, kids[0], kids[1], j.Cond)
 	nj.SemiJoin = j.SemiJoin
+	nj.Parallel = j.Parallel
 	return nj
 }
 
@@ -206,7 +216,12 @@ type Aggregate struct {
 	Input   Node
 	GroupBy []sqlparse.Expr
 	Aggs    []AggSpec
-	cols    []ColMeta
+	// Parallel is the optimizer's worker-count hint (see Filter.Parallel).
+	Parallel int
+	// PartitionBy lists the GroupBy positions the executor partitions
+	// groups on for parallel aggregation; empty means the full group key.
+	PartitionBy []int
+	cols        []ColMeta
 }
 
 // NewAggregate builds an aggregate node. Output columns are named by the
@@ -241,7 +256,10 @@ func (a *Aggregate) Children() []Node { return []Node{a.Input} }
 
 // WithChildren implements Node.
 func (a *Aggregate) WithChildren(kids []Node) Node {
-	return NewAggregate(kids[0], a.GroupBy, a.Aggs)
+	na := NewAggregate(kids[0], a.GroupBy, a.Aggs)
+	na.Parallel = a.Parallel
+	na.PartitionBy = a.PartitionBy
+	return na
 }
 
 // Describe implements Node.
