@@ -2,18 +2,24 @@
 # `make check` must stay green.
 
 GO ?= go
-RACE_PKGS := ./internal/core ./internal/exec ./internal/netsim ./internal/storage
+RACE_PKGS := ./...
 
-.PHONY: check fmt vet build test race bench bench-smoke
+.PHONY: check fmt vet lint build test race bench bench-smoke
 
-check: fmt vet build test race bench-smoke
+check: fmt vet lint build test race bench-smoke
 
 fmt:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant static analysis (cmd/eiilint): deterministic time,
+# map-iteration order, batch retention, snapshot immutability, dropped
+# transfer errors. `go run` keeps it toolchain-only — no installed binary.
+lint:
+	$(GO) run ./cmd/eiilint ./...
 
 build:
 	$(GO) build ./...

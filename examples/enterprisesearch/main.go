@@ -72,7 +72,11 @@ func main() {
 	// Drill-down into a document hit.
 	for _, h := range hits {
 		if h.Entry.Kind == search.KindDocument {
-			if doc, ok := notes.Get(h.Entry.Ref); ok {
+			doc, ok, err := notes.Get(h.Entry.Ref)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
 				fmt.Printf("\ndocument %s: %s\n", doc.ID, doc.Body)
 			}
 			break

@@ -1,0 +1,273 @@
+// Package analysis is eiilint's analyzer framework: a small, stdlib-only
+// (go/ast, go/parser, go/types, go/importer) harness for project-specific
+// static checks over this repository.
+//
+// The engine's hardest-won properties are invisible to go vet:
+// deterministic virtual time in netsim (E12 fault injection is only
+// reproducible if no hot path reads the real clock), byte-identical
+// parallel output from the E14 morsel exchange (no map-iteration order may
+// leak into results), the batch validity contract ("containers reused,
+// rows immutable"), COW catalog-snapshot immutability (E13), and no
+// silently dropped transfer errors. Each analyzer in this package turns
+// one of those invariants into a per-file, position-accurate diagnostic so
+// `make lint` enforces them on every build.
+//
+// Findings can be waived inline with
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the flagged line or the line immediately above it. The reason
+// is mandatory: an ignore documents *why* the invariant holds anyway (an
+// owned scratch container, a deliberate wall-clock measurement), not just
+// that someone wanted the warning gone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the check name used in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the check guards.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries everything an analyzer needs to inspect one package.
+type Pass struct {
+	// Path is the package's import path; analyzers scope themselves with
+	// it (e.g. maporder only applies inside exec/opt/experiments).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Check   string         `json:"check"`
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Column  int            `json:"column"`
+	Message string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Column, d.Message, d.Check)
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		MapOrder,
+		BatchRetain,
+		SnapshotMut,
+		ErrDrop,
+	}
+}
+
+// ByName resolves a comma-separated list of check names ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics sorted by position. Findings waived by a well-formed
+// //lint:ignore directive are dropped; malformed directives (missing
+// check name or reason) are themselves reported under the "directive"
+// pseudo-check.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(pkg.Fset, pkg.Files)
+		diags = append(diags, bad...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files,
+				Pkg: pkg.Types, Info: pkg.Info,
+				analyzer: a, diags: &raw,
+			}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if ignores.matches(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	for i := range diags {
+		diags[i].File = diags[i].Pos.Filename
+		diags[i].Line = diags[i].Pos.Line
+		diags[i].Column = diags[i].Pos.Column
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	checks map[string]bool // checks it waives; "*" waives all
+}
+
+// ignoreSet maps file → line → directive. A directive waives findings on
+// its own line and on the line directly below it (the usual "comment
+// above the statement" placement).
+type ignoreSet map[string]map[int]ignoreDirective
+
+func (s ignoreSet) matches(d Diagnostic) bool {
+	pos := d.Pos
+	lines, ok := s[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if dir, ok := lines[line]; ok {
+			if dir.checks["*"] || dir.checks[d.Check] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores parses every //lint:ignore directive in the package.
+// Directives must name a check (or "*") and give a non-empty reason;
+// anything else is reported as a malformed directive.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Check: "directive", Pos: pos,
+						Message: "malformed //lint:ignore: want \"//lint:ignore <check> <reason>\"",
+					})
+					continue
+				}
+				checks := make(map[string]bool)
+				for _, n := range strings.Split(fields[0], ",") {
+					checks[n] = true
+				}
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = make(map[int]ignoreDirective)
+				}
+				set[pos.Filename][pos.Line] = ignoreDirective{checks: checks}
+			}
+		}
+	}
+	return set, bad
+}
+
+// pkgIs reports whether path is one of the given import paths. Fixture
+// packages under testdata claim real paths, so exact matching keeps scope
+// rules honest for both.
+func pkgIs(path string, paths ...string) bool {
+	for _, p := range paths {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// importedPkgName resolves a selector base to an imported package name
+// ("time", "math/rand", ...) using type information, so renamed imports
+// are still caught. It returns "" when x is not a package reference.
+func importedPkgName(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// namedFrom reports whether t (after stripping pointers) is a named type
+// declared in pkgPath, returning its name.
+func namedFrom(t types.Type, pkgPath string) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	return obj.Name(), true
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// determinismClockOwners are the packages allowed to touch the real
+// clock. netsim owns both the virtual timeline the links run on and the
+// WallClock default every other component receives by injection; nothing
+// else may read time directly, or E12's fault sequences stop being
+// reproducible under virtual time.
+var determinismClockOwners = []string{
+	"repro/internal/netsim",
+}
+
+// forbiddenTimeFuncs are the time package functions that read the real
+// clock. Constructors (time.Date, time.Unix) and arithmetic are fine.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// forbiddenRandFuncs are the package-level math/rand functions backed by
+// the shared, unseeded global source. Seeded rand.New(rand.NewSource(n))
+// generators are deterministic and always allowed.
+var forbiddenRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "Read": true,
+}
+
+// Determinism flags reads of the real clock (time.Now / time.Since /
+// time.Until) and uses of the global math/rand source outside the netsim
+// clock owner. Experiments replay injected faults on a virtual timeline;
+// one stray wall-clock read or unseeded random draw makes a run
+// unrepeatable.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no real-clock reads or global RNG outside the netsim clock owner",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	if pkgIs(p.Path, determinismClockOwners...) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch importedPkgName(p.Info, sel.X) {
+			case "time":
+				if forbiddenTimeFuncs[sel.Sel.Name] {
+					p.Reportf(call.Pos(),
+						"time.%s reads the real clock; take an injected netsim.Clock so virtual-time runs stay reproducible",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if forbiddenRandFuncs[sel.Sel.Name] {
+					p.Reportf(call.Pos(),
+						"rand.%s draws from the global source; use a seeded rand.New(rand.NewSource(seed)) so runs are reproducible",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

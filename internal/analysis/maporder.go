@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mapOrderScope is where map-iteration order can leak into query results:
+// the execution engine, the optimizer (plan shape decides output order),
+// and the experiment harness (report tables must be byte-identical).
+var mapOrderScope = []string{
+	"repro/internal/exec",
+	"repro/internal/opt",
+	"repro/internal/experiments",
+}
+
+// MapOrder flags `for range` over a map that appends to a slice declared
+// outside the loop or sends to a channel, without the collected slice
+// being sorted afterwards in the same block. Go randomizes map iteration
+// order, so any ordered sink fed from a raw map range breaks the E14
+// guarantee that parallel output is byte-identical to sequential.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no ordered output built from unsorted map iteration in exec/opt/experiments",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !pkgIs(p.Path, mapOrderScope...) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := p.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				p.checkMapRange(rs, block.List[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange inspects one range-over-map body for ordered sinks. after
+// holds the statements following the loop in the same block: a sort of
+// the collected slice there makes the key-collection idiom legal.
+func (p *Pass) checkMapRange(rs *ast.RangeStmt, after []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(x.Pos(),
+				"channel send inside range over map leaks random iteration order; collect into a slice and sort first")
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if len(x.Lhs) != len(x.Rhs) {
+					break
+				}
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !p.isBuiltinAppend(call) {
+					continue
+				}
+				switch target := x.Lhs[i].(type) {
+				case *ast.Ident:
+					obj := p.objectOf(target)
+					if obj == nil || insideNode(obj.Pos(), rs) {
+						continue // scratch local owned by the loop body
+					}
+					if sortedAfter(p, after, obj) {
+						continue // sorted-keys idiom: append, then sort
+					}
+					p.Reportf(x.Pos(),
+						"appending to %q inside range over map leaks random iteration order; sort %q after the loop or iterate sorted keys",
+						target.Name, target.Name)
+				default:
+					p.Reportf(x.Pos(),
+						"appending to an ordered sink inside range over map leaks random iteration order; iterate sorted keys instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func (p *Pass) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// objectOf resolves an identifier to its object (use or definition).
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// insideNode reports whether pos falls within n's extent.
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos <= n.End()
+}
+
+// sortedAfter reports whether any statement in stmts calls into the sort
+// or slices package with obj somewhere in its arguments — the "collect
+// keys, then sort" idiom that restores a deterministic order.
+func sortedAfter(p *Pass, stmts []ast.Stmt, obj types.Object) bool {
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch importedPkgName(p.Info, sel.X) {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && p.objectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// catalogPkgPath is the only package allowed to mutate catalog types.
+const catalogPkgPath = "repro/internal/catalog"
+
+// SnapshotMut flags writes to fields (or maps reached through fields) of
+// catalog-owned types outside internal/catalog. Published Snapshots are
+// immutable by contract: the plan cache keys compiled plans by snapshot
+// version (E13), so mutating a *catalog.View or Snapshot in place
+// corrupts every plan compiled against that version without bumping it.
+// Mutation goes through catalog.Global's copy-on-write methods instead.
+var SnapshotMut = &Analyzer{
+	Name: "snapshotmut",
+	Doc:  "no writes to catalog snapshot types outside internal/catalog",
+	Run:  runSnapshotMut,
+}
+
+func runSnapshotMut(p *Pass) {
+	if pkgIs(p.Path, catalogPkgPath) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					p.checkCatalogWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				p.checkCatalogWrite(x.X)
+			}
+			return true
+		})
+	}
+}
+
+// checkCatalogWrite reports e when it writes through a *pointer* to a
+// catalog-owned type: a field write (v.SQL = ...), a map/slice write
+// reached through one, or a whole-struct overwrite (*v = ...). Writes to
+// a local value copy are harmless and not flagged — only pointers reach
+// the shared, published snapshot data.
+func (p *Pass) checkCatalogWrite(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := p.Info.Selections[x]
+		if !ok || sel.Kind() != types.FieldVal {
+			return
+		}
+		if name, ok := catalogPointee(p.TypeOf(x.X)); ok {
+			p.Reportf(x.Pos(),
+				"write to catalog.%s field %q outside internal/catalog mutates a published snapshot; use catalog.Global's copy-on-write mutators",
+				name, x.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		if name, ok := catalogPointee(p.TypeOf(x.X)); ok {
+			p.Reportf(x.Pos(),
+				"write into catalog.%s outside internal/catalog mutates a published snapshot; use catalog.Global's copy-on-write mutators",
+				name)
+			return
+		}
+		p.checkCatalogWrite(x.X)
+	case *ast.StarExpr:
+		if name, ok := catalogPointee(p.TypeOf(x.X)); ok {
+			p.Reportf(x.Pos(),
+				"overwrite of catalog.%s through a pointer outside internal/catalog mutates a published snapshot; use catalog.Global's copy-on-write mutators",
+				name)
+		}
+	}
+}
+
+// catalogPointee returns the catalog type name when t is a pointer to a
+// catalog-owned type, or a catalog-owned type with reference semantics
+// (named map/slice). Plain value copies do not alias published data.
+func catalogPointee(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		return namedFrom(ptr.Elem(), catalogPkgPath)
+	}
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return namedFrom(t, catalogPkgPath)
+	}
+	return "", false
+}

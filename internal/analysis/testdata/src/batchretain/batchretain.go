@@ -1,0 +1,55 @@
+// Fixture for the batchretain analyzer: hit, miss, and ignore cases.
+package fixture
+
+import (
+	"repro/internal/datum"
+	"repro/internal/exec"
+)
+
+type retainer struct {
+	cur exec.Batch
+	all []exec.Batch
+}
+
+var global exec.Batch
+
+func (r *retainer) hitFieldStore(b exec.Batch) {
+	r.cur = b // want "storing a Batch into struct field \"cur\""
+}
+
+func (r *retainer) hitTupleStore(it exec.BatchIterator) error {
+	var err error
+	r.cur, err = it.NextBatch() // want "storing a Batch into struct field \"cur\""
+	return err
+}
+
+func (r *retainer) hitIndexedFieldStore(b exec.Batch) {
+	r.all[0] = b // want "storing a Batch into struct field \"all\""
+}
+
+func (r *retainer) hitConversionStore(rows []datum.Row) {
+	r.cur = exec.Batch(rows) // want "storing a Batch into struct field \"cur\""
+}
+
+func hitGlobalStore(b exec.Batch) {
+	global = b // want "storing a Batch into package variable \"global\""
+}
+
+func (r *retainer) missDeepCopy(b exec.Batch) {
+	r.cur = append(exec.Batch(nil), b...)
+}
+
+func (r *retainer) missClear() {
+	r.cur = nil
+}
+
+func missLocal(b exec.Batch) exec.Batch {
+	var local exec.Batch
+	local = b // locals die with the frame; not a retention target
+	return local
+}
+
+func (r *retainer) ignored(b exec.Batch) {
+	//lint:ignore batchretain fixture: consumed before the next NextBatch call
+	r.cur = b
+}

@@ -1,0 +1,31 @@
+// Fixture for the determinism analyzer: hit, miss, and ignore cases.
+package fixture
+
+import (
+	"math/rand"
+	stdtime "time"
+)
+
+func hits() stdtime.Duration {
+	start := stdtime.Now()             // want "time.Now reads the real clock"
+	_ = rand.Intn(4)                   // want "rand.Intn draws from the global source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the global source"
+	return stdtime.Since(start)        // want "time.Since reads the real clock"
+}
+
+func misses() stdtime.Duration {
+	// Time arithmetic and constructors never read the clock.
+	epoch := stdtime.Date(2005, 6, 14, 0, 0, 0, 0, stdtime.UTC)
+	d := 5 * stdtime.Second
+	_ = epoch.Add(d)
+	// Seeded generators are deterministic and always allowed.
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Intn(4)
+	return d
+}
+
+func ignored() {
+	//lint:ignore determinism fixture: deliberate wall-clock measurement
+	_ = stdtime.Now()
+	_ = stdtime.Now() //lint:ignore determinism fixture: same-line directive
+}

@@ -1,0 +1,20 @@
+// Fixture for ignore-directive handling: a directive with no check name
+// and no reason is malformed — it is reported itself and waives nothing.
+package fixture
+
+import "time"
+
+func malformedDirective() {
+	//lint:ignore
+	_ = time.Now()
+}
+
+func reasonlessDirective() {
+	//lint:ignore determinism
+	_ = time.Now()
+}
+
+func wrongCheckDirective() {
+	//lint:ignore maporder reason aimed at the wrong check
+	_ = time.Now()
+}

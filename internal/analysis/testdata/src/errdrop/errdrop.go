@@ -1,0 +1,50 @@
+// Fixture for the errdrop analyzer: hit, miss, and ignore cases.
+package fixture
+
+import "repro/internal/netsim"
+
+type errCloser struct{}
+
+func (errCloser) Close() error { return nil }
+
+type plainCloser struct{}
+
+func (plainCloser) Close() {}
+
+func hitBareCall(l *netsim.Link) {
+	l.Transfer(64) // want "result of Transfer discarded"
+}
+
+func hitBlankedError(l *netsim.Link) {
+	_, _ = l.Transfer(64) // want "error from Transfer assigned to _"
+}
+
+func hitBareClose(c errCloser) {
+	c.Close() // want "result of Close discarded"
+}
+
+func hitDeferredClose(c errCloser) {
+	defer c.Close() // want "deferred Close discards its error"
+}
+
+func hitGoClose(c errCloser) {
+	go c.Close() // want "go Close discards its error"
+}
+
+func missChecked(l *netsim.Link) error {
+	if _, err := l.Transfer(64); err != nil {
+		return err
+	}
+	cost, err := l.Transfer(1)
+	_ = cost // discarding the non-error result is fine
+	return err
+}
+
+func missErrorlessClose(c plainCloser) {
+	c.Close() // Close without an error result is not watched
+}
+
+func ignored(l *netsim.Link) {
+	//lint:ignore errdrop fixture: best-effort accounting, failure already counted by the link
+	l.Transfer(64)
+}

@@ -1,0 +1,69 @@
+// Fixture for the maporder analyzer: hit, miss, and ignore cases.
+package fixture
+
+import "sort"
+
+func hitAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appending to \"out\" inside range over map"
+	}
+	return out
+}
+
+func hitSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+func hitAppendToField(s *struct{ out []int }, m map[string]int) {
+	for _, v := range m {
+		s.out = append(s.out, v) // want "appending to an ordered sink inside range over map"
+	}
+}
+
+func missSortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func missSliceSorted(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func missRangeOverSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func missUnorderedAggregation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		scratch := make([]int, 0, 1)
+		scratch = append(scratch, v) // loop-local scratch: order cannot leak
+		total += scratch[0]
+	}
+	return total
+}
+
+func ignored(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore maporder fixture: consumer deduplicates, order is irrelevant
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Fixture for the snapshotmut analyzer: hit, miss, and ignore cases.
+package fixture
+
+import "repro/internal/catalog"
+
+func hitFieldWrite(g *catalog.Global) {
+	if v, ok := g.View("orders"); ok {
+		v.SQL = "SELECT 1" // want "write to catalog.View field \"SQL\""
+	}
+}
+
+func hitStructOverwrite(v *catalog.View) {
+	*v = catalog.View{} // want "overwrite of catalog.View through a pointer"
+}
+
+func missCopyOnWriteMutators(g *catalog.Global) error {
+	if err := g.DefineView("v", "SELECT name FROM customers"); err != nil {
+		return err
+	}
+	g.DropView("v")
+	return nil
+}
+
+func missValueCopy(v *catalog.View) string {
+	cp := *v
+	cp.SQL = "local copy: harmless" // value copy never aliases the snapshot
+	return cp.SQL
+}
+
+func missReads(g *catalog.Global) int {
+	snap := g.Snapshot()
+	return len(snap.ViewNames()) + int(snap.Version())
+}
+
+func ignored(v *catalog.View) {
+	//lint:ignore snapshotmut fixture: view not yet published to any snapshot
+	v.SQL = "pre-publication construction"
+}

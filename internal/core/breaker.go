@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/netsim"
 )
 
 // BreakerState is the circuit-breaker state of one source.
@@ -62,14 +64,15 @@ func (e *BreakerOpenError) Error() string {
 type breaker struct {
 	mu       sync.Mutex
 	cfg      BreakerConfig
+	clock    netsim.Clock
 	state    BreakerState
 	failures int       // consecutive failures
 	openedAt time.Time // when the breaker last tripped
 	probing  bool      // a half-open probe is in flight
 }
 
-func newBreaker(cfg BreakerConfig) *breaker {
-	return &breaker{cfg: cfg, state: BreakerClosed}
+func newBreaker(cfg BreakerConfig, clock netsim.Clock) *breaker {
+	return &breaker{cfg: cfg, clock: clock, state: BreakerClosed}
 }
 
 // Allow reports whether a request may proceed; in the half-open state only
@@ -79,7 +82,7 @@ func (b *breaker) Allow() bool {
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerOpen:
-		if time.Since(b.openedAt) < b.cfg.openTimeout() {
+		if b.clock.Since(b.openedAt) < b.cfg.openTimeout() {
 			return false
 		}
 		b.state = BreakerHalfOpen
@@ -109,7 +112,7 @@ func (b *breaker) Record(ok bool) {
 	b.failures++
 	if b.state == BreakerHalfOpen || b.failures >= b.cfg.threshold() {
 		b.state = BreakerOpen
-		b.openedAt = time.Now()
+		b.openedAt = b.clock.Now()
 		b.failures = 0
 	}
 }
@@ -119,7 +122,7 @@ func (b *breaker) Record(ok bool) {
 func (b *breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.state == BreakerOpen && time.Since(b.openedAt) >= b.cfg.openTimeout() {
+	if b.state == BreakerOpen && b.clock.Since(b.openedAt) >= b.cfg.openTimeout() {
 		return BreakerHalfOpen
 	}
 	return b.state
@@ -148,7 +151,7 @@ func (e *Engine) breakerFor(source string) *breaker {
 	key := normalizeName(source)
 	b, ok := e.breakers[key]
 	if !ok {
-		b = newBreaker(e.breakerCfg)
+		b = newBreaker(e.breakerCfg, e.clock)
 		e.breakers[key] = b
 	}
 	return b

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/datum"
@@ -237,8 +236,9 @@ func (ps *PreparedStatement) Execute(params ...datum.Datum) (*Result, error) {
 	if len(params) < ps.nParams {
 		return nil, fmt.Errorf("core: statement requires %d parameters, got %d", ps.nParams, len(params))
 	}
-	planStart := time.Now()
 	e := ps.e
+	clock := e.Clock()
+	planStart := clock.Now()
 	snap := e.catalog.Snapshot()
 
 	var tmpl plan.Node
@@ -260,7 +260,7 @@ func (ps *PreparedStatement) Execute(params ...datum.Datum) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	planTime := time.Since(planStart)
+	planTime := clock.Since(planStart)
 
 	res, err := e.Execute(bound, ps.qo)
 	if err != nil {

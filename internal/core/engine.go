@@ -36,6 +36,7 @@ type Engine struct {
 	breakerCfg BreakerConfig
 	replica    ReplicaProvider
 	plans      *plancache.Cache
+	clock      netsim.Clock
 }
 
 // DefaultPlanCacheSize is the number of compiled plans the engine retains.
@@ -48,7 +49,30 @@ func New() *Engine {
 		sources:  make(map[string]federation.Source),
 		breakers: make(map[string]*breaker),
 		plans:    plancache.New(DefaultPlanCacheSize),
+		clock:    netsim.Wall,
 	}
+}
+
+// SetClock replaces the clock the engine's timers and circuit breakers
+// run on (default: the wall clock). Installing a netsim.VirtualClock
+// makes breaker open-timeouts and reported plan/exec timings
+// deterministic. Existing breaker state is reset so every breaker shares
+// the new clock.
+func (e *Engine) SetClock(c netsim.Clock) {
+	if c == nil {
+		c = netsim.Wall
+	}
+	e.mu.Lock()
+	e.clock = c
+	e.breakers = make(map[string]*breaker)
+	e.mu.Unlock()
+}
+
+// Clock returns the clock the engine currently runs on.
+func (e *Engine) Clock() netsim.Clock {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.clock
 }
 
 func normalizeName(s string) string { return strings.ToLower(s) }
@@ -257,7 +281,8 @@ func (e *Engine) Query(sql string) (*Result, error) {
 // (explicit placeholders, EXISTS / IN-subqueries) and queries with
 // NoPlanCache set compile fresh.
 func (e *Engine) QueryOpts(sql string, qo QueryOptions) (*Result, error) {
-	planStart := time.Now()
+	clock := e.Clock()
+	planStart := clock.Now()
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -289,7 +314,7 @@ func (e *Engine) QueryOpts(sql string, qo QueryOptions) (*Result, error) {
 			return nil, err
 		}
 	}
-	planTime := time.Since(planStart)
+	planTime := clock.Since(planStart)
 
 	res, err := e.Execute(p, qo)
 	if err != nil {
@@ -314,7 +339,8 @@ func (e *Engine) Plan(sql string, qo QueryOptions) (plan.Node, error) {
 // Execute runs an optimized plan.
 func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 	before := e.linkTotals()
-	start := time.Now()
+	clock := e.Clock()
+	start := clock.Now()
 	ctx := context.Background()
 	if qo.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -347,7 +373,7 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 		Plan:     p,
 		Network:  after,
 		Estimate: opt.Cost(p, e.env()),
-		Elapsed:  time.Since(start),
+		Elapsed:  clock.Since(start),
 
 		ExecParallelism:  stats.MaxParallelism(),
 		BatchesProcessed: stats.Batches(),

@@ -95,16 +95,20 @@ func (s *Store) Put(doc Document) error {
 	return nil
 }
 
-// Get fetches a document by ID, charging the link.
-func (s *Store) Get(id string) (*Document, bool) {
+// Get fetches a document by ID, charging the link. A found document is
+// only returned if the transfer succeeded; under fault injection the
+// round trip can fail and the caller must see that, not a silent miss.
+func (s *Store) Get(id string) (*Document, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok := s.docs[id]
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
-	s.link.Transfer(64 + len(d.Body))
-	return d.clone(), true
+	if _, err := s.link.Transfer(64 + len(d.Body)); err != nil {
+		return nil, true, err
+	}
+	return d.clone(), true, nil
 }
 
 // Delete removes a document.
@@ -193,7 +197,7 @@ func (s *Store) unindexLocked(d *Document) {
 // Search returns the IDs of documents containing every keyword (conjunctive
 // keyword search — §2's "basic keyword search capabilities across the
 // different sources"). IDs are sorted for determinism.
-func (s *Store) Search(keywords ...string) []string {
+func (s *Store) Search(keywords ...string) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var result map[string]bool
@@ -220,8 +224,10 @@ func (s *Store) Search(keywords ...string) []string {
 		out = append(out, id)
 	}
 	sort.Strings(out)
-	s.link.Transfer(32 * (1 + len(out)))
-	return out
+	if _, err := s.link.Transfer(32 * (1 + len(out))); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Impose projects the store's documents onto a relational schema — the

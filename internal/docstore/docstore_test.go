@@ -40,20 +40,20 @@ func TestPutGetDelete(t *testing.T) {
 	if s.Len() != 3 {
 		t.Fatalf("len = %d", s.Len())
 	}
-	d, ok := s.Get("r1")
-	if !ok || d.Fields["reading"].Int() != 42 {
-		t.Errorf("get r1 = %+v ok=%v", d, ok)
+	d, ok, err := s.Get("r1")
+	if err != nil || !ok || d.Fields["reading"].Int() != 42 {
+		t.Errorf("get r1 = %+v ok=%v err=%v", d, ok, err)
 	}
 	// Mutating the returned doc must not affect the store.
 	d.Fields["reading"] = datum.NewInt(0)
-	d2, _ := s.Get("r1")
+	d2, _, _ := s.Get("r1")
 	if d2.Fields["reading"].Int() != 42 {
 		t.Error("Get must return a copy")
 	}
 	if !s.Delete("r1") || s.Delete("r1") {
 		t.Error("delete semantics")
 	}
-	if _, ok := s.Get("r1"); ok {
+	if _, ok, _ := s.Get("r1"); ok {
 		t.Error("deleted doc still visible")
 	}
 	if err := s.Put(Document{}); err == nil {
@@ -64,10 +64,10 @@ func TestPutGetDelete(t *testing.T) {
 func TestPutReplacesAndReindexes(t *testing.T) {
 	s := fixture(t)
 	_ = s.Put(doc("r2", nil, "replaced content entirely"))
-	if ids := s.Search("nominal"); len(ids) != 0 {
+	if ids, _ := s.Search("nominal"); len(ids) != 0 {
 		t.Errorf("old tokens must be unindexed, got %v", ids)
 	}
-	if ids := s.Search("replaced"); len(ids) != 1 || ids[0] != "r2" {
+	if ids, _ := s.Search("replaced"); len(ids) != 1 || ids[0] != "r2" {
 		t.Errorf("new tokens must be indexed, got %v", ids)
 	}
 	if s.Len() != 3 {
@@ -77,17 +77,17 @@ func TestPutReplacesAndReindexes(t *testing.T) {
 
 func TestSearchConjunctive(t *testing.T) {
 	s := fixture(t)
-	if ids := s.Search("anomaly"); len(ids) != 2 {
+	if ids, _ := s.Search("anomaly"); len(ids) != 2 {
 		t.Errorf("anomaly → %v", ids)
 	}
-	if ids := s.Search("anomaly", "tail"); len(ids) != 1 || ids[0] != "r3" {
+	if ids, _ := s.Search("anomaly", "tail"); len(ids) != 1 || ids[0] != "r3" {
 		t.Errorf("anomaly+tail → %v", ids)
 	}
-	if ids := s.Search("anomaly", "nominal"); len(ids) != 0 {
+	if ids, _ := s.Search("anomaly", "nominal"); len(ids) != 0 {
 		t.Errorf("contradictory terms → %v", ids)
 	}
 	// Field values are searchable too.
-	if ids := s.Search("wing-a"); len(ids) != 1 || ids[0] != "r1" {
+	if ids, _ := s.Search("wing-a"); len(ids) != 1 || ids[0] != "r1" {
 		t.Errorf("field token search → %v", ids)
 	}
 }

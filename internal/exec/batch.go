@@ -72,6 +72,7 @@ func (a *rowIterAdapter) Next() (datum.Row, error) {
 		if b == nil {
 			return nil, nil
 		}
+		//lint:ignore batchretain cur is fully consumed before the next NextBatch call refills it
 		a.cur, a.pos = b, 0
 	}
 	r := a.cur[a.pos]
@@ -105,6 +106,7 @@ func (a *batchIterAdapter) NextBatch() (Batch, error) {
 		}
 		buf = append(buf, r)
 	}
+	//lint:ignore batchretain buf is this adapter's own reused container, not a producer's
 	a.buf = buf
 	if len(buf) == 0 {
 		return nil, nil

@@ -75,6 +75,7 @@ func (f *filterBatchIter) NextBatch() (Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore batchretain out is this operator's own scratch container (built in f.out[:0])
 		f.out = out
 		if len(out) > 0 {
 			return out, nil
@@ -101,6 +102,7 @@ func (p *projectBatchIter) NextBatch() (Batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore batchretain out is this operator's own scratch container (built in p.out[:0])
 	p.out = out
 	return out, nil
 }
@@ -266,6 +268,7 @@ func (h *hashJoinBatchIter) NextBatch() (Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore batchretain out is this operator's own scratch container (built in h.out[:0])
 		h.out = out
 		if len(out) > 0 {
 			return out, nil
@@ -359,6 +362,7 @@ func (n *nestedLoopBatchIter) NextBatch() (Batch, error) {
 				}
 				break
 			}
+			//lint:ignore batchretain cur is fully consumed before the next NextBatch call refills it
 			n.cur, n.curPos, n.rightPos, n.matched = b, 0, 0, false
 		}
 		l := n.cur[n.curPos]
@@ -384,6 +388,7 @@ func (n *nestedLoopBatchIter) NextBatch() (Batch, error) {
 		n.curPos++
 		n.rightPos, n.matched = 0, false
 	}
+	//lint:ignore batchretain out is this operator's own scratch container (built in n.out[:0])
 	n.out = out
 	return out, nil
 }
@@ -751,6 +756,7 @@ func (d *distinctBatchIter) NextBatch() (Batch, error) {
 			d.seen[h] = append(d.seen[h], r)
 			out = append(out, r)
 		}
+		//lint:ignore batchretain out is this operator's own scratch container (built in d.out[:0])
 		d.out = out
 		if len(out) > 0 {
 			return out, nil

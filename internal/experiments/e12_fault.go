@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -77,8 +78,10 @@ func RunE12(scale Scale) (Table, error) {
 			}
 
 			qo := m.qo
-			var fetchErrs int
-			qo.OnSourceError = func(string, int, error) { fetchErrs++ }
+			// OnSourceError fires from concurrent prefetch goroutines;
+			// a plain counter would race under go test -race.
+			var fetchErrs atomic.Int64
+			qo.OnSourceError = func(string, int, error) { fetchErrs.Add(1) }
 			var succeeded int
 			var completeness float64
 			sims := make([]time.Duration, 0, trials)
@@ -102,7 +105,7 @@ func RunE12(scale Scale) (Table, error) {
 				percentile(sims, 0.50).Round(100 * time.Microsecond).String(),
 				percentile(sims, 0.99).Round(100 * time.Microsecond).String(),
 				fmt.Sprintf("%.1f%%", 100*completeness/float64(trials)),
-				fmt.Sprintf("%d", fetchErrs),
+				fmt.Sprintf("%d", fetchErrs.Load()),
 			})
 		}
 	}

@@ -64,6 +64,7 @@ func RunE13(scale Scale) (Table, error) {
 
 			var planNS, execNS, queries, hits int64
 			var wg sync.WaitGroup
+			//lint:ignore determinism deliberate wall-clock measurement: E13 reports real concurrent throughput
 			start := time.Now()
 			for c := 0; c < nc; c++ {
 				wg.Add(1)
@@ -84,6 +85,7 @@ func RunE13(scale Scale) (Table, error) {
 				}(c)
 			}
 			wg.Wait()
+			//lint:ignore determinism deliberate wall-clock measurement: E13 reports real concurrent throughput
 			wall := time.Since(start)
 			if queries == 0 {
 				return t, fmt.Errorf("E13: no queries succeeded")

@@ -49,8 +49,10 @@ func RunE7(scale Scale) (Table, error) {
 			// (probe keys must arrive before the build side is
 			// fetched), so it is disabled here to isolate the
 			// exchange operator's overlap.
+			//lint:ignore determinism deliberate wall-clock measurement: E7 times real overlapped fetches (RealSleep links)
 			start := time.Now()
 			_, err := fed.Engine.QueryOpts(query, core.QueryOptions{Parallel: parallel, NoSemiJoin: true})
+			//lint:ignore determinism deliberate wall-clock measurement: E7 times real overlapped fetches (RealSleep links)
 			return time.Since(start), err
 		}
 		seq, err := timeRun(false)

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the engine's view of wall time. Every component that
+// needs "now" — the warehouse's replica-staleness accounting, the circuit
+// breakers' open timeout, the engine's plan/exec timers — takes a Clock
+// instead of calling time.Now directly, so experiments can run the whole
+// mediator on the same deterministic virtual timeline the links simulate.
+// The eiilint determinism analyzer enforces this: netsim is the only
+// package allowed to touch the real clock.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Since returns the time elapsed on this clock since t.
+	Since(t time.Time) time.Duration
+}
+
+// WallClock is the real system clock — the production default.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (WallClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Wall is the shared wall-clock instance.
+var Wall Clock = WallClock{}
+
+// VirtualClock is a manually advanced clock. It starts at a fixed epoch
+// and only moves when Advance is called, so experiments that inject
+// faults or measure staleness see identical timelines on every run.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a virtual clock positioned at start; a zero
+// start uses a fixed arbitrary epoch so two fresh clocks always agree.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	if start.IsZero() {
+		start = time.Date(2005, 6, 14, 0, 0, 0, 0, time.UTC) // SIGMOD'05
+	}
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since implements Clock.
+func (c *VirtualClock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// Advance moves the clock forward by d (negative d is ignored: virtual
+// time, like real time, never runs backwards).
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

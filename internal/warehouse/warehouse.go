@@ -45,6 +45,7 @@ type Warehouse struct {
 	store  *federation.RelationalSource
 	engine *core.Engine
 	feeds  []*Feed
+	clock  netsim.Clock
 }
 
 // New creates an empty warehouse. The local store is reachable over a
@@ -55,7 +56,20 @@ func New(name string) (*Warehouse, error) {
 	if err := engine.Register(store); err != nil {
 		return nil, err
 	}
-	return &Warehouse{store: store, engine: engine}, nil
+	return &Warehouse{store: store, engine: engine, clock: netsim.Wall}, nil
+}
+
+// SetClock replaces the clock the warehouse stamps refreshes with
+// (default: the wall clock). With a netsim.VirtualClock, replica ages —
+// and therefore E12's ReplicaMaxAge fallback decisions — are exactly
+// reproducible run to run.
+func (w *Warehouse) SetClock(c netsim.Clock) {
+	if c == nil {
+		c = netsim.Wall
+	}
+	w.mu.Lock()
+	w.clock = c
+	w.mu.Unlock()
 }
 
 // Engine exposes the warehouse's local query engine, e.g. for view
@@ -147,7 +161,7 @@ func (w *Warehouse) refreshFeed(f *Feed) (int, error) {
 		f.loadedVersion = 0
 	}
 	f.loadedRows = len(rows)
-	f.refreshedAt = time.Now()
+	f.refreshedAt = w.clock.Now()
 	w.store.RefreshStats()
 	return len(rows), nil
 }
@@ -170,7 +184,7 @@ func (w *Warehouse) ReplicaTable(source, table string) ([]datum.Row, time.Durati
 		if !ok {
 			return nil, 0, false
 		}
-		return local.Snapshot(), time.Since(f.refreshedAt), true
+		return local.Snapshot(), w.clock.Since(f.refreshedAt), true
 	}
 	return nil, 0, false
 }
