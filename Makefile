@@ -4,9 +4,9 @@
 GO ?= go
 RACE_PKGS := ./...
 
-.PHONY: check fmt vet lint build test race bench bench-smoke
+.PHONY: check fmt vet lint build test race race-cancel bench bench-smoke
 
-check: fmt vet lint build test race bench-smoke
+check: fmt vet lint build test race race-cancel bench-smoke
 
 fmt:
 	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
@@ -17,7 +17,8 @@ vet:
 
 # Project-invariant static analysis (cmd/eiilint): deterministic time,
 # map-iteration order, batch retention, snapshot immutability, dropped
-# transfer errors. `go run` keeps it toolchain-only — no installed binary.
+# transfer errors, context propagation. `go run` keeps it toolchain-only —
+# no installed binary.
 lint:
 	$(GO) run ./cmd/eiilint ./...
 
@@ -30,6 +31,13 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# E15 cancel-storm: 64 concurrent clients with random mid-query cancels
+# under the race detector, repeated to widen the interleaving space. The
+# plain `race` target runs it once as part of the package; this repeats
+# it so a cancellation race cannot hide behind one lucky schedule.
+race-cancel:
+	$(GO) test -race -run 'TestE15CancelStorm' -count=3 ./internal/core
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -37,8 +45,9 @@ bench:
 # benchmarks: cheap enough for every `make check`, it keeps the benchmark
 # code itself compiling and running (a broken bench otherwise goes
 # unnoticed until someone runs the full suite), and it leaves
-# machine-readable BENCH_E13.json / BENCH_E14.json artifacts.
+# machine-readable BENCH_E13.json / BENCH_E14.json / BENCH_E15.json
+# artifacts.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel' \
 		-benchtime 10x -benchmem -json . \
-		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json
+		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json

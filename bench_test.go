@@ -6,8 +6,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -600,5 +602,91 @@ func TestExperimentTablesQuick(t *testing.T) {
 	}
 	if len(tables) != 14 {
 		t.Fatalf("expected 14 experiments, got %d", len(tables))
+	}
+}
+
+// --- E15: per-query context: cancel-to-quiesce latency ---
+
+// e15Federation is the CRM federation over really-sleeping links, so a
+// cancellation lands while remote fetches genuinely block.
+func e15Federation(b *testing.B) *core.Engine {
+	fed := mustCRM(b, 4000)
+	for _, name := range fed.Engine.Sources() {
+		src, _ := fed.Engine.Source(name)
+		src.Link().RealSleep = true
+		src.Link().MaxSleep = 50 * time.Millisecond
+	}
+	return fed.Engine
+}
+
+// benchE15Cancel starts a query, cancels it after startDelay, and
+// measures cancel-to-quiesce: the time from cancel() until the query
+// returns and the goroutine count is back at baseline. The reported
+// metrics are what E15 tracks — quiesce latency and residual goroutines.
+func benchE15Cancel(b *testing.B, engine *core.Engine, qo core.QueryOptions, startDelay time.Duration) {
+	base := runtime.NumGoroutine()
+	var quiesceTotal time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			_, _ = engine.QueryOptsCtx(ctx, e14FanOutQuery, qo)
+			close(done)
+		}()
+		time.Sleep(startDelay) // let fetches and workers get in flight
+		start := time.Now()
+		cancel()
+		<-done
+		for runtime.NumGoroutine() > base && time.Since(start) < 5*time.Second {
+			time.Sleep(50 * time.Microsecond)
+		}
+		quiesceTotal += time.Since(start)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(quiesceTotal.Nanoseconds())/float64(b.N), "quiesce-ns/op")
+	b.ReportMetric(float64(runtime.NumGoroutine()-base), "leaked-goroutines")
+}
+
+// BenchmarkE15CancelMidFetch cancels while the three-source fan-out is
+// blocked inside netsim transfers.
+func BenchmarkE15CancelMidFetch(b *testing.B) {
+	benchE15Cancel(b, e15Federation(b),
+		core.QueryOptions{Parallel: true, NoSemiJoin: true}, 2*time.Millisecond)
+}
+
+// BenchmarkE15CancelMidBackoff cancels while retries are sleeping out
+// wall-clock backoff windows against flaky links — before E15, the sleep
+// ran out its full capped window before noticing the cancel.
+func BenchmarkE15CancelMidBackoff(b *testing.B) {
+	engine := e15Federation(b)
+	for i, name := range engine.Sources() {
+		src, _ := engine.Source(name)
+		src.Link().SetFaultProfile(&netsim.FaultProfile{Seed: int64(5 + i), FailureRate: 0.5})
+	}
+	qo := core.QueryOptions{Parallel: true, NoSemiJoin: true,
+		Retry: exec.RetryPolicy{
+			Attempts: 5, BaseBackoff: 20 * time.Millisecond,
+			CapBackoff: 100 * time.Millisecond, SleepBackoff: true,
+		}}
+	benchE15Cancel(b, engine, qo, 4*time.Millisecond)
+}
+
+// BenchmarkE15TraceOverhead measures the span tree's cost on the E14
+// aggregation query: the tracing path must stay cheap enough to leave on
+// for portal traffic.
+func BenchmarkE15TraceOverhead(b *testing.B) {
+	fed := mustCRM(b, 4000)
+	for _, traced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("trace=%v", traced), func(b *testing.B) {
+			qo := core.QueryOptions{Parallel: true, Trace: traced}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Engine.QueryOpts(e14AggQuery, qo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

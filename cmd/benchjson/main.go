@@ -1,15 +1,15 @@
 // Command benchjson turns a `go test -bench -json` stream (stdin) into
 // per-group JSON result files, so `make bench-smoke` leaves machine-readable
-// artifacts (BENCH_E13.json, BENCH_E14.json) next to EXPERIMENTS.md instead
-// of scroll-back.
+// artifacts (BENCH_E13.json, BENCH_E14.json, BENCH_E15.json) next to
+// EXPERIMENTS.md instead of scroll-back.
 //
 // Each argument is GROUP=FILE: every benchmark whose name contains GROUP is
 // collected into FILE. Benchmarks matching no group are dropped.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'E13|E14' -benchmem -json . | \
-//	    go run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json
+//	go test -run '^$' -bench 'E13|E14|E15' -benchmem -json . | \
+//	    go run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json
 package main
 
 import (

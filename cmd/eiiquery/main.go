@@ -12,6 +12,7 @@
 //	--retries 4          attempts per remote fetch (capped backoff)
 //	--deadline 100ms     per-query deadline
 //	--partial            answer from the surviving sources, with a warning
+//	--trace              print the query's span tree (plan / fetch / operator spans)
 //
 // Statements may contain ? or $n placeholders; bind values with repeated
 // --param flags (typed: integers, floats, and strings are recognized), or
@@ -50,6 +51,7 @@ func main() {
 	retries := flag.Int("retries", 1, "attempts per remote fetch (>1 enables capped-backoff retry)")
 	deadline := flag.Duration("deadline", 0, "per-query deadline (0: none)")
 	partial := flag.Bool("partial", false, "tolerate source failures: answer from the surviving sources")
+	trace := flag.Bool("trace", false, "print the query-scoped span tree after each result")
 	parallelism := flag.Int("parallelism", 0, "intra-query worker cap (0: GOMAXPROCS, 1: sequential)")
 	batchSize := flag.Int("batch", 0, "rows per execution batch (0: default 1024, 1: row-at-a-time)")
 	var params []datum.Datum
@@ -81,6 +83,7 @@ func main() {
 	qo := core.QueryOptions{
 		AllowPartial: *partial, Deadline: *deadline,
 		Parallelism: *parallelism, BatchSize: *batchSize,
+		Trace: *trace,
 	}
 	if *retries > 1 {
 		qo.Retry = exec.RetryPolicy{Attempts: *retries}
@@ -247,6 +250,9 @@ func printResult(res *core.Result) {
 		len(res.Rows), res.PlanTime.Round(time.Microsecond), cache,
 		res.Elapsed.Round(time.Microsecond), res.BatchesProcessed, res.ExecParallelism,
 		res.Network)
+	if res.Trace != nil {
+		fmt.Print(res.Trace.Render())
+	}
 	if res.Partial {
 		fmt.Printf("WARNING: partial result — sources skipped after failures: %s\n",
 			strings.Join(res.SkippedSources, ", "))

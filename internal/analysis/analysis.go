@@ -7,8 +7,10 @@
 // reproducible if no hot path reads the real clock), byte-identical
 // parallel output from the E14 morsel exchange (no map-iteration order may
 // leak into results), the batch validity contract ("containers reused,
-// rows immutable"), COW catalog-snapshot immutability (E13), and no
-// silently dropped transfer errors. Each analyzer in this package turns
+// rows immutable"), COW catalog-snapshot immutability (E13), no
+// silently dropped transfer errors, and end-to-end context propagation
+// (E15 cancellation only works if no layer quietly reroots its work onto
+// context.Background). Each analyzer in this package turns
 // one of those invariants into a per-file, position-accurate diagnostic so
 // `make lint` enforces them on every build.
 //
@@ -90,6 +92,7 @@ func All() []*Analyzer {
 		BatchRetain,
 		SnapshotMut,
 		ErrDrop,
+		CtxPropagate,
 	}
 }
 

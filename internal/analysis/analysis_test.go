@@ -189,6 +189,34 @@ func TestErrDropOutOfScope(t *testing.T) {
 	expectClean(t, ErrDrop, "errdrop", "repro/internal/opt")
 }
 
+func TestCtxPropagateFixture(t *testing.T) {
+	runFixture(t, CtxPropagate, "ctxpropagate", "repro/internal/exec")
+}
+
+func TestCtxPropagateApprovedRoot(t *testing.T) {
+	expectClean(t, CtxPropagate, "ctxpropagate", "repro/cmd/eiiquery")
+}
+
+// TestCtxPropagateRule2OutOfScope checks that outside the fetch path only
+// rule 1 applies: the ctx-dropping-wrapper finding disappears while the
+// stray-root findings stay.
+func TestCtxPropagateRule2OutOfScope(t *testing.T) {
+	pkg := loadFixture(t, "ctxpropagate", "repro/internal/core")
+	var roots int
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{CtxPropagate}) {
+		if d.Check != CtxPropagate.Name {
+			continue
+		}
+		if strings.Contains(d.Message, "severs cancellation") {
+			t.Errorf("rule 2 fired outside the fetch path: %s", d)
+		}
+		roots++
+	}
+	if roots != 4 {
+		t.Errorf("stray-root findings = %d, want 4", roots)
+	}
+}
+
 // TestIgnoreDirectives pins down directive handling: malformed and
 // reasonless directives are reported and waive nothing; a well-formed
 // directive for a different check leaves the finding standing.

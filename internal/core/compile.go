@@ -12,6 +12,7 @@ package core
 // compile would produce.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,9 +36,10 @@ type compiledPlan struct {
 // compile runs the planning pipeline over one catalog snapshot:
 // rewrite-EXISTS (pre-evaluating subqueries), view unfolding, and
 // cost-based optimization. The select statement may be mutated by the
-// rewrite phase; callers hand over ownership.
-func (e *Engine) compile(sel *sqlparse.Select, qo QueryOptions, snap *catalog.Snapshot) (plan.Node, error) {
-	if err := e.rewriteExists(sel, qo, 0); err != nil {
+// rewrite phase; callers hand over ownership. The context bounds the
+// EXISTS pre-evaluation, which runs real subqueries.
+func (e *Engine) compile(ctx context.Context, sel *sqlparse.Select, qo QueryOptions, snap *catalog.Snapshot) (plan.Node, error) {
+	if err := e.rewriteExists(ctx, sel, qo, 0); err != nil {
 		return nil, err
 	}
 	logical, err := plan.Build(snap, sel)
@@ -196,7 +198,8 @@ func (e *Engine) PrepareOpts(sql string, qo QueryOptions) (*PreparedStatement, e
 		// lands in the cache for the first Execute. EXISTS statements
 		// skip this: compiling them runs subqueries.
 		snap := e.catalog.Snapshot()
-		if _, _, err := e.cachedTemplate(ps.text, qo, snap); err != nil {
+		//lint:ignore ctxpropagate engine entry point: prepare-time compilation is context-free
+		if _, _, err := e.cachedTemplate(context.Background(), ps.text, qo, snap); err != nil {
 			return nil, err
 		}
 	}
@@ -212,7 +215,7 @@ func (ps *PreparedStatement) SQL() string { return ps.text }
 // cachedTemplate returns the compiled plan template for a normalized
 // statement, consulting the plan cache first. The bool reports whether it
 // was a cache hit.
-func (e *Engine) cachedTemplate(normSQL string, qo QueryOptions, snap *catalog.Snapshot) (plan.Node, bool, error) {
+func (e *Engine) cachedTemplate(ctx context.Context, normSQL string, qo QueryOptions, snap *catalog.Snapshot) (plan.Node, bool, error) {
 	key := e.planKey(normSQL, snap.Version(), qo)
 	if v, ok := e.plans.Get(key); ok {
 		return v.(*compiledPlan).tmpl, true, nil
@@ -221,7 +224,7 @@ func (e *Engine) cachedTemplate(normSQL string, qo QueryOptions, snap *catalog.S
 	if err != nil {
 		return nil, false, err
 	}
-	tmpl, err := e.compile(sel, qo, snap)
+	tmpl, err := e.compile(ctx, sel, qo, snap)
 	if err != nil {
 		return nil, false, err
 	}
@@ -233,6 +236,14 @@ func (e *Engine) cachedTemplate(normSQL string, qo QueryOptions, snap *catalog.S
 // statement, recompiling first if the catalog changed since the plan was
 // cached.
 func (ps *PreparedStatement) Execute(params ...datum.Datum) (*Result, error) {
+	//lint:ignore ctxpropagate engine entry point: context-free compatibility API
+	return ps.ExecuteCtx(context.Background(), params...)
+}
+
+// ExecuteCtx is Execute under a caller context: cancellation and deadline
+// propagate into recompilation (EXISTS subqueries) and execution. As with
+// QueryOptsCtx, a non-nil *Result may accompany an execution error.
+func (ps *PreparedStatement) ExecuteCtx(ctx context.Context, params ...datum.Datum) (*Result, error) {
 	if len(params) < ps.nParams {
 		return nil, fmt.Errorf("core: statement requires %d parameters, got %d", ps.nParams, len(params))
 	}
@@ -245,12 +256,12 @@ func (ps *PreparedStatement) Execute(params ...datum.Datum) (*Result, error) {
 	var hit bool
 	var err error
 	if ps.cacheable && !ps.qo.NoPlanCache {
-		tmpl, hit, err = e.cachedTemplate(ps.text, ps.qo, snap)
+		tmpl, hit, err = e.cachedTemplate(ctx, ps.text, ps.qo, snap)
 	} else {
 		var sel *sqlparse.Select
 		sel, err = sqlparse.Parse(ps.text)
 		if err == nil {
-			tmpl, err = e.compile(sel, ps.qo, snap)
+			tmpl, err = e.compile(ctx, sel, ps.qo, snap)
 		}
 	}
 	if err != nil {
@@ -262,12 +273,11 @@ func (ps *PreparedStatement) Execute(params ...datum.Datum) (*Result, error) {
 	}
 	planTime := clock.Since(planStart)
 
-	res, err := e.Execute(bound, ps.qo)
-	if err != nil {
-		return nil, err
+	res, err := e.executeCtx(ctx, bound, ps.qo, ps.text, planTime)
+	if res != nil {
+		res.PlanTime = planTime
+		res.CacheHit = hit
+		res.CatalogVersion = snap.Version()
 	}
-	res.PlanTime = planTime
-	res.CacheHit = hit
-	res.CatalogVersion = snap.Version()
-	return res, nil
+	return res, err
 }

@@ -37,6 +37,7 @@ type Engine struct {
 	replica    ReplicaProvider
 	plans      *plancache.Cache
 	clock      netsim.Clock
+	inflight   inflightRegistry
 }
 
 // DefaultPlanCacheSize is the number of compiled plans the engine retains.
@@ -220,6 +221,9 @@ type QueryOptions struct {
 	// fresh and the compiled plan is not stored. Baselines and
 	// plan-debugging use this.
 	NoPlanCache bool
+	// Trace records the query-scoped span tree — plan, per-operator exec
+	// and per-source-fetch spans — into Result.Trace.
+	Trace bool
 }
 
 // Result is a completed query.
@@ -263,15 +267,35 @@ type Result struct {
 	ExecParallelism int
 	// BatchesProcessed counts the batches produced across all operators.
 	BatchesProcessed int64
+	// QueryID is the engine-unique ID the execution registered under (the
+	// /queries endpoint lists running queries by this ID).
+	QueryID uint64
+	// Trace is the query's span tree, recorded when QueryOptions.Trace is
+	// set: plan, per-operator exec and per-source-fetch spans.
+	Trace *exec.Span
 }
 
 // Query plans and executes a SQL statement with default options: parallel
 // remote fetch and semi-join reduction enabled.
 func (e *Engine) Query(sql string) (*Result, error) {
-	return e.QueryOpts(sql, QueryOptions{Parallel: true})
+	//lint:ignore ctxpropagate engine entry point: context-free compatibility API
+	return e.QueryCtx(context.Background(), sql)
 }
 
-// QueryOpts plans and executes a SQL statement.
+// QueryCtx is Query with a caller-supplied context: cancellation and the
+// context's deadline propagate to every batch pull, exchange worker,
+// remote fetch, retry backoff and simulated transfer of the query.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	return e.QueryOptsCtx(ctx, sql, QueryOptions{Parallel: true})
+}
+
+// QueryOpts plans and executes a SQL statement (see QueryOptsCtx).
+func (e *Engine) QueryOpts(sql string, qo QueryOptions) (*Result, error) {
+	//lint:ignore ctxpropagate engine entry point: context-free compatibility API
+	return e.QueryOptsCtx(context.Background(), sql, qo)
+}
+
+// QueryOptsCtx plans and executes a SQL statement under a caller context.
 //
 // Planning goes through the plan cache: the statement is normalized by
 // extracting predicate constants into parameters, the cache is consulted
@@ -280,7 +304,12 @@ func (e *Engine) Query(sql string) (*Result, error) {
 // constants compile once. Statements the cache cannot serve safely
 // (explicit placeholders, EXISTS / IN-subqueries) and queries with
 // NoPlanCache set compile fresh.
-func (e *Engine) QueryOpts(sql string, qo QueryOptions) (*Result, error) {
+//
+// On execution failure the returned *Result may be non-nil alongside the
+// error: it carries no rows but preserves the fault ledger (SourceErrors,
+// Partial, SkippedSources) and the trace, so callers can report what the
+// query had done when it failed or was cancelled.
+func (e *Engine) QueryOptsCtx(ctx context.Context, sql string, qo QueryOptions) (*Result, error) {
 	clock := e.Clock()
 	planStart := clock.Now()
 	sel, err := sqlparse.Parse(sql)
@@ -296,7 +325,7 @@ func (e *Engine) QueryOpts(sql string, qo QueryOptions) (*Result, error) {
 		// Normalization mutates the statement (literals become $n), so
 		// it only runs when the cache path will bind them back.
 		if params, cacheable := sqlparse.ExtractParams(sel); cacheable {
-			tmpl, h, err := e.cachedTemplate(sel.SQL(), qo, snap)
+			tmpl, h, err := e.cachedTemplate(ctx, sel.SQL(), qo, snap)
 			if err != nil {
 				return nil, err
 			}
@@ -309,21 +338,20 @@ func (e *Engine) QueryOpts(sql string, qo QueryOptions) (*Result, error) {
 		}
 	}
 	if !cached {
-		p, err = e.compile(sel, qo, snap)
+		p, err = e.compile(ctx, sel, qo, snap)
 		if err != nil {
 			return nil, err
 		}
 	}
 	planTime := clock.Since(planStart)
 
-	res, err := e.Execute(p, qo)
-	if err != nil {
-		return nil, err
+	res, err := e.executeCtx(ctx, p, qo, sql, planTime)
+	if res != nil {
+		res.PlanTime = planTime
+		res.CacheHit = hit
+		res.CatalogVersion = snap.Version()
 	}
-	res.PlanTime = planTime
-	res.CacheHit = hit
-	res.CatalogVersion = snap.Version()
-	return res, nil
+	return res, err
 }
 
 // Plan parses, reformulates and optimizes a statement without running it.
@@ -333,20 +361,39 @@ func (e *Engine) Plan(sql string, qo QueryOptions) (plan.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.compile(sel, qo, e.catalog.Snapshot())
+	//lint:ignore ctxpropagate engine entry point: planning-only API (EXISTS pre-evaluation may run subqueries)
+	return e.compile(context.Background(), sel, qo, e.catalog.Snapshot())
 }
 
 // Execute runs an optimized plan.
 func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
+	//lint:ignore ctxpropagate engine entry point: context-free compatibility API
+	return e.ExecuteCtx(context.Background(), p, qo)
+}
+
+// ExecuteCtx runs an optimized plan under a caller context. Like
+// QueryOptsCtx, a non-nil *Result may accompany an execution error.
+func (e *Engine) ExecuteCtx(ctx context.Context, p plan.Node, qo QueryOptions) (*Result, error) {
+	return e.executeCtx(ctx, p, qo, "", 0)
+}
+
+// executeCtx is the single execution path: it derives the query's context
+// (deadline, cancel handle), registers the query in the in-flight
+// registry, and runs the plan with every leaf observing that context.
+// planTime positions trace spans relative to query start (planning
+// happened immediately before this call).
+func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, sql string, planTime time.Duration) (*Result, error) {
 	before := e.linkTotals()
 	clock := e.Clock()
 	start := clock.Now()
-	ctx := context.Background()
 	if qo.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, qo.Deadline)
 		defer cancel()
 	}
+	ctx, q := e.beginQuery(ctx, sql)
+	defer e.endQuery(q)
+
 	// One immutable view of the federation for the whole execution: a
 	// source registered or dropped mid-query cannot change which sources
 	// this query talks to.
@@ -354,13 +401,14 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 	rt.opts = e.execOptions(qo, rt)
 	stats := &exec.ExecStats{}
 	rt.opts.Stats = stats
-	it, err := exec.BuildBatch(p, rt, rt.opts)
-	if err != nil {
-		return nil, err
+	if qo.Trace {
+		rt.tracer = exec.NewQueryTracer(clock)
+		rt.opts.Tracer = rt.tracer
 	}
-	rows, err := exec.DrainBatches(it)
-	if err != nil {
-		return nil, err
+	it, err := exec.BuildBatch(ctx, p, rt, rt.opts)
+	var rows []datum.Row
+	if err == nil {
+		rows, err = exec.DrainBatches(it)
 	}
 	after := e.linkTotals()
 	after.Sub(before)
@@ -377,12 +425,20 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 
 		ExecParallelism:  stats.MaxParallelism(),
 		BatchesProcessed: stats.Batches(),
+		QueryID:          q.ID(),
 	}
 	for i, c := range cols {
 		res.Columns[i] = c.Name
 		res.Kinds[i] = c.Kind
 	}
 	rt.faults.fill(res)
+	if rt.tracer != nil {
+		res.Trace = rt.tracer.Finish(p, planTime)
+	}
+	if err != nil {
+		res.Rows = nil
+		return res, err
+	}
 	return res, nil
 }
 
@@ -428,7 +484,8 @@ func (e *Engine) ExplainAnalyze(sql string, qo QueryOptions) (string, error) {
 		SemiJoin:    !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
 		Trace:       trace,
 	}
-	it, err := exec.Build(p, e.runtime(), execOpts)
+	//lint:ignore ctxpropagate engine entry point: context-free diagnostics API
+	it, err := exec.Build(context.Background(), p, e.runtime(), execOpts)
 	if err != nil {
 		return "", err
 	}
@@ -451,8 +508,10 @@ func (e *Engine) ExplainAnalyze(sql string, qo QueryOptions) (string, error) {
 }
 
 // rewriteExists pre-evaluates uncorrelated EXISTS subqueries into boolean
-// literals; the planner proper does not support subquery expressions.
-func (e *Engine) rewriteExists(sel *sqlparse.Select, qo QueryOptions, depth int) error {
+// literals; the planner proper does not support subquery expressions. The
+// subqueries run under the outer query's context, so cancelling the outer
+// query aborts its subquery evaluation too.
+func (e *Engine) rewriteExists(ctx context.Context, sel *sqlparse.Select, qo QueryOptions, depth int) error {
 	if depth > 8 {
 		return fmt.Errorf("core: EXISTS nesting too deep")
 	}
@@ -465,7 +524,7 @@ func (e *Engine) rewriteExists(sel *sqlparse.Select, qo QueryOptions, depth int)
 		case *sqlparse.ExistsExpr:
 			probe := *ex.Query
 			probe.Limit = &sqlparse.Literal{Value: datum.NewInt(1)}
-			sub, err := e.QueryOpts(probe.SQL(), qo)
+			sub, err := e.QueryOptsCtx(ctx, probe.SQL(), qo)
 			if err != nil {
 				return nil, fmt.Errorf("core: evaluating EXISTS subquery: %w", err)
 			}
@@ -475,7 +534,7 @@ func (e *Engine) rewriteExists(sel *sqlparse.Select, qo QueryOptions, depth int)
 			}
 			return &sqlparse.Literal{Value: datum.NewBool(val)}, nil
 		case *sqlparse.InSubquery:
-			sub, err := e.QueryOpts(ex.Query.SQL(), qo)
+			sub, err := e.QueryOptsCtx(ctx, ex.Query.SQL(), qo)
 			if err != nil {
 				return nil, fmt.Errorf("core: evaluating IN subquery: %w", err)
 			}
@@ -509,13 +568,13 @@ func (e *Engine) rewriteExists(sel *sqlparse.Select, qo QueryOptions, depth int)
 	}
 	for _, tr := range sel.From {
 		if sq, ok := tr.(*sqlparse.SubqueryTable); ok {
-			if err := e.rewriteExists(sq.Query, qo, depth+1); err != nil {
+			if err := e.rewriteExists(ctx, sq.Query, qo, depth+1); err != nil {
 				return err
 			}
 		}
 	}
 	if sel.UnionAll != nil {
-		return e.rewriteExists(sel.UnionAll, qo, depth+1)
+		return e.rewriteExists(ctx, sel.UnionAll, qo, depth+1)
 	}
 	return nil
 }
@@ -524,17 +583,17 @@ func (e *Engine) rewriteExists(sel *sqlparse.Select, qo QueryOptions, depth int)
 
 type engineRuntime struct{ e *Engine }
 
-func (rt engineRuntime) ScanTable(source, table string) (exec.Iterator, error) {
+func (rt engineRuntime) ScanTable(ctx context.Context, source, table string) (exec.Iterator, error) {
 	// A bare scan outside a Remote ships the whole table.
-	return rt.RunRemote(source, &plan.Scan{Source: source, Table: table})
+	return rt.RunRemote(ctx, source, &plan.Scan{Source: source, Table: table})
 }
 
-func (rt engineRuntime) RunRemote(source string, subtree plan.Node) (exec.Iterator, error) {
+func (rt engineRuntime) RunRemote(ctx context.Context, source string, subtree plan.Node) (exec.Iterator, error) {
 	src, ok := rt.e.Source(source)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", source)
 	}
-	rows, err := src.Execute(subtree)
+	rows, err := federation.ExecuteWithContext(ctx, src, subtree)
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/datum"
 	"repro/internal/exec"
 	"repro/internal/federation"
+	"repro/internal/netsim"
 	"repro/internal/plan"
 )
 
@@ -96,21 +97,23 @@ func (f *queryFaults) fill(res *Result) {
 // via exec.FetchRemote (see execOptions).
 type queryRuntime struct {
 	e      *Engine
-	ctx    context.Context
+	ctx    context.Context // the query's derived context (deadline + cancel)
 	faults *queryFaults
 	opts   exec.Options // set after construction; used by ScanTable
+	// tracer, when non-nil, records one fetch span per remote attempt.
+	tracer *exec.QueryTracer
 	// sources is the immutable source map captured when the execution
 	// started; all remote fetches of this query resolve against it.
 	sources map[string]federation.Source
 }
 
-func (rt *queryRuntime) ScanTable(source, table string) (exec.Iterator, error) {
+func (rt *queryRuntime) ScanTable(ctx context.Context, source, table string) (exec.Iterator, error) {
 	// A bare scan outside a Remote ships the whole table; route it
 	// through the same retry/degradation pipeline as placed Remotes.
-	return exec.FetchRemote(rt, rt.opts, source, &plan.Scan{Source: source, Table: table})
+	return exec.FetchRemote(ctx, rt, rt.opts, source, &plan.Scan{Source: source, Table: table})
 }
 
-func (rt *queryRuntime) RunRemote(source string, subtree plan.Node) (exec.Iterator, error) {
+func (rt *queryRuntime) RunRemote(ctx context.Context, source string, subtree plan.Node) (exec.Iterator, error) {
 	src, ok := rt.sources[strings.ToLower(source)]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", source)
@@ -119,7 +122,19 @@ func (rt *queryRuntime) RunRemote(source string, subtree plan.Node) (exec.Iterat
 	if br != nil && !br.Allow() {
 		return nil, &BreakerOpenError{Source: source}
 	}
-	rows, err := federation.ExecuteWithContext(rt.ctx, src, subtree)
+	var fetchStart time.Time
+	var linkBefore netsim.Metrics
+	if rt.tracer != nil {
+		fetchStart = rt.tracer.Clock().Now()
+		linkBefore = src.Link().Metrics()
+	}
+	rows, err := federation.ExecuteWithContext(ctx, src, subtree)
+	if rt.tracer != nil {
+		delta := src.Link().Metrics()
+		delta.Sub(linkBefore)
+		rt.tracer.RecordFetch(source, fetchStart, rt.tracer.Clock().Since(fetchStart),
+			delta.SimTime, int64(len(rows)), delta.WireBytes, err)
+	}
 	if br != nil && !isContextErr(err) {
 		br.Record(err == nil)
 	}
@@ -164,7 +179,7 @@ func (e *Engine) execOptions(qo QueryOptions, rt *queryRuntime) exec.Options {
 				// fetch will not save it.
 				return nil, false
 			}
-			if rows, ok := e.replicaRows(source, subtree, qo.ReplicaMaxAge); ok {
+			if rows, ok := e.replicaRows(rt.ctx, source, subtree, qo.ReplicaMaxAge); ok {
 				faults.recordReplica(source)
 				return exec.NewSliceIterator(rows), true
 			}
@@ -183,7 +198,7 @@ type replicaRuntime struct {
 	maxAge time.Duration
 }
 
-func (rt *replicaRuntime) ScanTable(source, table string) (exec.Iterator, error) {
+func (rt *replicaRuntime) ScanTable(_ context.Context, source, table string) (exec.Iterator, error) {
 	if source != rt.source {
 		return nil, fmt.Errorf("core: replica fallback for %s scans foreign table %s.%s", rt.source, source, table)
 	}
@@ -197,20 +212,21 @@ func (rt *replicaRuntime) ScanTable(source, table string) (exec.Iterator, error)
 	return exec.NewSliceIterator(rows), nil
 }
 
-func (rt *replicaRuntime) RunRemote(string, plan.Node) (exec.Iterator, error) {
+func (rt *replicaRuntime) RunRemote(context.Context, string, plan.Node) (exec.Iterator, error) {
 	return nil, fmt.Errorf("core: nested Remote in replica fallback")
 }
 
 // replicaRows executes the failed source's pushed-down subtree against
 // the replica provider's table copies, when all of them are present and
-// fresh enough.
-func (e *Engine) replicaRows(source string, subtree plan.Node, maxAge time.Duration) ([]datum.Row, bool) {
+// fresh enough. It runs under the query's context: a cancelled query
+// does not fall back to replicas.
+func (e *Engine) replicaRows(ctx context.Context, source string, subtree plan.Node, maxAge time.Duration) ([]datum.Row, bool) {
 	rp := e.replicaProvider()
 	if rp == nil {
 		return nil, false
 	}
 	rt := &replicaRuntime{rp: rp, source: source, maxAge: maxAge}
-	it, err := exec.Build(subtree, rt, exec.Options{})
+	it, err := exec.Build(ctx, subtree, rt, exec.Options{})
 	if err != nil {
 		return nil, false
 	}

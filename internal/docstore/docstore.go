@@ -236,6 +236,13 @@ func (s *Store) Search(keywords ...string) ([]string, error) {
 // field yield NULL; fields whose value cannot coerce to the column type
 // count as conversion errors but do not abort the read.
 func (s *Store) Impose(sch *schema.Table, mapping map[string]string) ([]datum.Row, int, error) {
+	//lint:ignore ctxpropagate compatibility wrapper for context-free callers; the query path uses ImposeCtx
+	return s.ImposeCtx(context.Background(), sch, mapping)
+}
+
+// ImposeCtx is Impose under a caller context: the result transfer aborts
+// on cancellation instead of charging (or sleeping out) the link.
+func (s *Store) ImposeCtx(ctx context.Context, sch *schema.Table, mapping map[string]string) ([]datum.Row, int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ids := make([]string, 0, len(s.docs))
@@ -270,7 +277,7 @@ func (s *Store) Impose(sch *schema.Table, mapping map[string]string) ([]datum.Ro
 		rows = append(rows, row)
 		bytes += datum.RowWireSize(row)
 	}
-	if _, err := s.link.Transfer(64 + bytes); err != nil {
+	if _, err := s.link.TransferCtx(ctx, 64+bytes); err != nil {
 		return nil, errs, err
 	}
 	return rows, errs, nil
@@ -299,6 +306,7 @@ func (d *docSource) Capabilities() federation.Caps   { return federation.ScanOnl
 func (d *docSource) Link() *netsim.Link              { return d.store.link }
 
 func (d *docSource) Execute(subtree plan.Node) ([]datum.Row, error) {
+	//lint:ignore ctxpropagate Source interface compatibility shim; the query path uses ExecuteCtx
 	return d.ExecuteCtx(context.Background(), subtree)
 }
 
@@ -314,7 +322,7 @@ func (d *docSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.
 	if !strings.EqualFold(scan.Table, d.table.Name) {
 		return nil, fmt.Errorf("docstore: source %s has no table %s", d.store.name, scan.Table)
 	}
-	rows, _, err := d.store.Impose(d.table, d.mapping)
+	rows, _, err := d.store.ImposeCtx(ctx, d.table, d.mapping)
 	if err != nil {
 		return nil, err
 	}

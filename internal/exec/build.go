@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -14,12 +15,14 @@ import (
 // tables and how to dispatch Remote subtrees. The mediator's runtime sends
 // Remote subtrees to source wrappers over simulated links; a wrapper's own
 // runtime binds Scans to its local tables and never sees Remote nodes.
+// Both calls receive the query's context so scans and remote dispatches
+// observe cancellation and deadlines.
 type Runtime interface {
 	// ScanTable opens a cursor over a base table.
-	ScanTable(source, table string) (Iterator, error)
+	ScanTable(ctx context.Context, source, table string) (Iterator, error)
 	// RunRemote executes a pushed-down subtree at the named source and
 	// returns its result rows.
-	RunRemote(source string, subtree plan.Node) (Iterator, error)
+	RunRemote(ctx context.Context, source string, subtree plan.Node) (Iterator, error)
 }
 
 // Options tunes plan execution.
@@ -44,6 +47,10 @@ type Options struct {
 	// Trace, when non-nil, instruments every operator with row counters
 	// (EXPLAIN ANALYZE).
 	Trace *Trace
+	// Tracer, when non-nil, records the query-scoped span tree — one span
+	// per operator plus one per source-fetch attempt — that the engine
+	// surfaces as Result.Trace.
+	Tracer *QueryTracer
 	// SemiJoin enables semi-join reduction: for an equi-join whose
 	// build side is a Remote subtree at a filter-capable source, the
 	// probe side's distinct join keys are shipped to the source as an
@@ -108,9 +115,12 @@ func (o Options) workers(hint int) int {
 
 // Build compiles a logical plan into an executable row iterator — the
 // engine-boundary entry point. Internally the plan runs vectorized; the
-// returned iterator adapts batches back to rows.
-func Build(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
-	it, err := BuildBatch(n, rt, opts)
+// returned iterator adapts batches back to rows. The context threads into
+// every scan, remote dispatch and parallel operator; a cancellable context
+// additionally instruments each operator boundary with a per-batch
+// cancellation check.
+func Build(ctx context.Context, n plan.Node, rt Runtime, opts Options) (Iterator, error) {
+	it, err := BuildBatch(ctx, n, rt, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -118,10 +128,15 @@ func Build(n plan.Node, rt Runtime, opts Options) (Iterator, error) {
 }
 
 // BuildBatch compiles a logical plan into an executable batch iterator.
-func BuildBatch(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
-	it, err := buildNode(n, rt, opts)
+func BuildBatch(ctx context.Context, n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
+	it, err := buildNode(ctx, n, rt, opts)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.Done() != nil {
+		// Only cancellable contexts pay for the per-batch check; the
+		// context-free wrappers (Background at the leaves) skip it.
+		it = &cancelBatchIter{ctx: ctx, in: it}
 	}
 	if opts.Stats != nil {
 		it = &statsBatchIter{in: it, stats: opts.Stats}
@@ -129,17 +144,38 @@ func BuildBatch(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 	if opts.Trace != nil {
 		it = opts.Trace.wrap(n, it)
 	}
+	if opts.Tracer != nil {
+		it = opts.Tracer.wrapOp(n, it)
+	}
 	return it, nil
 }
 
-func buildNode(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
+// cancelBatchIter injects a cancellation check at one operator boundary:
+// every NextBatch pull observes ctx.Done() before asking the input for
+// more work, so a cancelled query stops within one batch at every level
+// of the operator tree.
+type cancelBatchIter struct {
+	ctx context.Context
+	in  BatchIterator
+}
+
+func (c *cancelBatchIter) NextBatch() (Batch, error) {
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.in.NextBatch()
+}
+
+func (c *cancelBatchIter) Close() { c.in.Close() }
+
+func buildNode(ctx context.Context, n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
 		if x.Source == "" && x.Table == "" {
 			// FROM-less select: one empty row.
 			return newSliceBatchIter([]datum.Row{{}}, opts.batchSize()), nil
 		}
-		it, err := rt.ScanTable(x.Source, x.Table)
+		it, err := rt.ScanTable(ctx, x.Source, x.Table)
 		if err != nil {
 			return nil, err
 		}
@@ -147,22 +183,22 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 
 	case *plan.Remote:
 		if opts.Parallel {
-			return prefetchBatches(opts.batchSize(), func() (BatchIterator, error) {
-				it, err := FetchRemote(rt, opts, x.Source, x.Child)
+			return prefetchBatches(ctx, opts.batchSize(), func() (BatchIterator, error) {
+				it, err := FetchRemote(ctx, rt, opts, x.Source, x.Child)
 				if err != nil {
 					return nil, err
 				}
 				return asBatchIterator(it, opts.batchSize()), nil
 			}), nil
 		}
-		it, err := FetchRemote(rt, opts, x.Source, x.Child)
+		it, err := FetchRemote(ctx, rt, opts, x.Source, x.Child)
 		if err != nil {
 			return nil, err
 		}
 		return asBatchIterator(it, opts.batchSize()), nil
 
 	case *plan.Filter:
-		in, err := BuildBatch(x.Input, rt, opts)
+		in, err := BuildBatch(ctx, x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -175,14 +211,14 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 			if opts.Stats != nil {
 				opts.Stats.noteParallelism(deg)
 			}
-			return newExchange(in, deg, func(_ int, b Batch) (Batch, error) {
+			return newExchange(ctx, in, deg, func(_ int, b Batch) (Batch, error) {
 				return FilterBatch(pred, b, nil)
 			}), nil
 		}
 		return &filterBatchIter{in: in, pred: pred}, nil
 
 	case *plan.Project:
-		in, err := BuildBatch(x.Input, rt, opts)
+		in, err := BuildBatch(ctx, x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -197,17 +233,17 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 			if opts.Stats != nil {
 				opts.Stats.noteParallelism(deg)
 			}
-			return newExchange(in, deg, func(_ int, b Batch) (Batch, error) {
+			return newExchange(ctx, in, deg, func(_ int, b Batch) (Batch, error) {
 				return ProjectBatch(fns, b, nil)
 			}), nil
 		}
 		return &projectBatchIter{in: in, exprs: fns}, nil
 
 	case *plan.Join:
-		return buildJoin(x, rt, opts)
+		return buildJoin(ctx, x, rt, opts)
 
 	case *plan.Aggregate:
-		in, err := BuildBatch(x.Input, rt, opts)
+		in, err := BuildBatch(ctx, x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +274,7 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 		}, nil
 
 	case *plan.Sort:
-		in, err := BuildBatch(x.Input, rt, opts)
+		in, err := BuildBatch(ctx, x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -254,14 +290,14 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 		return &sortBatchIter{in: in, keys: keys, desc: desc, size: opts.batchSize()}, nil
 
 	case *plan.Limit:
-		in, err := BuildBatch(x.Input, rt, opts)
+		in, err := BuildBatch(ctx, x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &limitBatchIter{in: in, count: x.Count, offset: x.Offset}, nil
 
 	case *plan.Distinct:
-		in, err := BuildBatch(x.Input, rt, opts)
+		in, err := BuildBatch(ctx, x.Input, rt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -272,12 +308,12 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 		for i, child := range x.Inputs {
 			child := child
 			if opts.Parallel {
-				inputs[i] = prefetchBatches(opts.batchSize(), func() (BatchIterator, error) {
-					return BuildBatch(child, rt, opts)
+				inputs[i] = prefetchBatches(ctx, opts.batchSize(), func() (BatchIterator, error) {
+					return BuildBatch(ctx, child, rt, opts)
 				})
 				continue
 			}
-			in, err := BuildBatch(child, rt, opts)
+			in, err := BuildBatch(ctx, child, rt, opts)
 			if err != nil {
 				for _, prev := range inputs[:i] {
 					prev.Close()
@@ -293,11 +329,11 @@ func buildNode(n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 	}
 }
 
-func buildJoin(x *plan.Join, rt Runtime, opts Options) (BatchIterator, error) {
+func buildJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (BatchIterator, error) {
 	// Semi-join reduction: materialize the left side, ship its distinct
 	// join keys into the right Remote as an IN-list filter.
 	if opts.SemiJoin && x.Cond != nil {
-		if it, ok, err := trySemiJoin(x, rt, opts); err != nil {
+		if it, ok, err := trySemiJoin(ctx, x, rt, opts); err != nil {
 			return nil, err
 		} else if ok {
 			return it, nil
@@ -307,12 +343,12 @@ func buildJoin(x *plan.Join, rt Runtime, opts Options) (BatchIterator, error) {
 	buildSide := func(n plan.Node) (BatchIterator, error) {
 		if opts.Parallel {
 			if _, isRemote := n.(*plan.Remote); isRemote {
-				return prefetchBatches(opts.batchSize(), func() (BatchIterator, error) {
-					return BuildBatch(n, rt, opts)
+				return prefetchBatches(ctx, opts.batchSize(), func() (BatchIterator, error) {
+					return BuildBatch(ctx, n, rt, opts)
 				}), nil
 			}
 		}
-		return BuildBatch(n, rt, opts)
+		return BuildBatch(ctx, n, rt, opts)
 	}
 	left, err := buildSide(x.Left)
 	if err != nil {
@@ -323,11 +359,11 @@ func buildJoin(x *plan.Join, rt Runtime, opts Options) (BatchIterator, error) {
 		left.Close()
 		return nil, err
 	}
-	return assembleJoin(x, left, right, opts)
+	return assembleJoin(ctx, x, left, right, opts)
 }
 
 // assembleJoin wires a hash or nested-loop join over already-built inputs.
-func assembleJoin(x *plan.Join, left, right BatchIterator, opts Options) (BatchIterator, error) {
+func assembleJoin(ctx context.Context, x *plan.Join, left, right BatchIterator, opts Options) (BatchIterator, error) {
 	leftCols := x.Left.Columns()
 	rightCols := x.Right.Columns()
 	joinedCols := x.Columns()
@@ -337,6 +373,7 @@ func assembleJoin(x *plan.Join, left, right BatchIterator, opts Options) (BatchI
 		lk, rk, residual := extractEquiKeys(x.Cond, leftCols, rightCols)
 		if len(lk) > 0 {
 			h := &hashJoinBatchIter{
+				ctx:  ctx,
 				left: left, right: right,
 				leftJoin:   leftJoin,
 				rightArity: len(rightCols),
@@ -389,7 +426,7 @@ func assembleJoin(x *plan.Join, left, right BatchIterator, opts Options) (BatchI
 // the reducible side's source as an IN-list, and only matching rows come
 // back. It returns ok=false (and no error) when the hint does not apply
 // after all, in which case the caller runs the regular join.
-func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (BatchIterator, bool, error) {
+func trySemiJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (BatchIterator, bool, error) {
 	if x.SemiJoin == plan.SemiJoinNone {
 		return nil, false, nil
 	}
@@ -434,13 +471,13 @@ func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (BatchIterator, bool, e
 	assemble := func(probeRows []datum.Row, reducedIt BatchIterator) (BatchIterator, error) {
 		probe := newSliceBatchIter(probeRows, opts.batchSize())
 		if reduceRight {
-			return assembleJoin(x, probe, reducedIt, opts)
+			return assembleJoin(ctx, x, probe, reducedIt, opts)
 		}
-		return assembleJoin(x, reducedIt, probe, opts)
+		return assembleJoin(ctx, x, reducedIt, probe, opts)
 	}
 
 	// Materialize the probe side and collect its distinct key values.
-	probeIt, err := BuildBatch(probeNode, rt, opts)
+	probeIt, err := BuildBatch(ctx, probeNode, rt, opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -478,7 +515,7 @@ func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (BatchIterator, bool, e
 		if len(keys) > opts.maxKeys() {
 			// Too many keys to ship; run the regular join over the
 			// already-materialized probe side.
-			full, err := BuildBatch(reduceNode, rt, opts)
+			full, err := BuildBatch(ctx, reduceNode, rt, opts)
 			if err != nil {
 				return nil, false, err
 			}
@@ -496,7 +533,7 @@ func trySemiJoin(x *plan.Join, rt Runtime, opts Options) (BatchIterator, bool, e
 		reduced = &plan.Filter{Input: remote.Child,
 			Cond: &sqlparse.InExpr{Child: reduceRef, List: keys}}
 	}
-	reducedIt, err := FetchRemote(rt, opts, remote.Source, reduced)
+	reducedIt, err := FetchRemote(ctx, rt, opts, remote.Source, reduced)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ type localRuntime struct {
 	tables map[string]*storage.Table
 }
 
-func (rt *localRuntime) ScanTable(source, table string) (Iterator, error) {
+func (rt *localRuntime) ScanTable(_ context.Context, source, table string) (Iterator, error) {
 	t, ok := rt.tables[source+"."+table]
 	if !ok {
 		return nil, fmt.Errorf("no table %s.%s", source, table)
@@ -26,8 +27,8 @@ func (rt *localRuntime) ScanTable(source, table string) (Iterator, error) {
 	return NewSliceIterator(t.Snapshot()), nil
 }
 
-func (rt *localRuntime) RunRemote(source string, subtree plan.Node) (Iterator, error) {
-	return Build(subtree, rt, Options{})
+func (rt *localRuntime) RunRemote(_ context.Context, source string, subtree plan.Node) (Iterator, error) {
+	return Build(context.Background(), subtree, rt, Options{})
 }
 
 // fixture builds a two-source catalog with data: crm.customers and
@@ -95,7 +96,7 @@ func run(t *testing.T, g *catalog.Global, rt Runtime, sql string) []datum.Row {
 	if err != nil {
 		t.Fatalf("plan %q: %v", sql, err)
 	}
-	it, err := Build(p, rt, Options{})
+	it, err := Build(context.Background(), p, rt, Options{})
 	if err != nil {
 		t.Fatalf("build %q: %v", sql, err)
 	}
@@ -326,7 +327,7 @@ func TestArithmeticErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	it, err := Build(p, rt, Options{})
+	it, err := Build(context.Background(), p, rt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +365,7 @@ func TestParallelExecutionMatchesSequential(t *testing.T) {
 		}
 		return n
 	})
-	seq, err := Build(p, rt, Options{})
+	seq, err := Build(context.Background(), p, rt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestParallelExecutionMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Build(p, rt, Options{Parallel: true})
+	par, err := Build(context.Background(), p, rt, Options{Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -43,7 +44,7 @@ func leakRows(n int) []datum.Row {
 // busy. Everything must unwind.
 func TestExchangeAbandonedNoLeak(t *testing.T) {
 	base := runtime.NumGoroutine()
-	ex := newExchange(newSliceBatchIter(leakRows(200000), 64), 8, func(w int, b Batch) (Batch, error) {
+	ex := newExchange(context.Background(), newSliceBatchIter(leakRows(200000), 64), 8, func(w int, b Batch) (Batch, error) {
 		return append(Batch(nil), b...), nil
 	})
 	if _, err := ex.NextBatch(); err != nil {
@@ -57,7 +58,7 @@ func TestExchangeAbandonedNoLeak(t *testing.T) {
 // a batch — no goroutines were ever started, and Close must not hang.
 func TestExchangeUnstartedCloseNoLeak(t *testing.T) {
 	base := runtime.NumGoroutine()
-	ex := newExchange(newSliceBatchIter(leakRows(1000), 64), 4, func(w int, b Batch) (Batch, error) {
+	ex := newExchange(context.Background(), newSliceBatchIter(leakRows(1000), 64), 4, func(w int, b Batch) (Batch, error) {
 		return b, nil
 	})
 	ex.Close()
@@ -68,7 +69,7 @@ func TestExchangeUnstartedCloseNoLeak(t *testing.T) {
 // surfaces and Close runs, the pool must be gone.
 func TestExchangeErrorNoLeak(t *testing.T) {
 	base := runtime.NumGoroutine()
-	ex := newExchange(newSliceBatchIter(leakRows(100000), 64), 8, func(w int, b Batch) (Batch, error) {
+	ex := newExchange(context.Background(), newSliceBatchIter(leakRows(100000), 64), 8, func(w int, b Batch) (Batch, error) {
 		if v, _ := b[0][0].AsInt(); v >= 4096 {
 			return nil, fmt.Errorf("boom at %d", v)
 		}
@@ -84,7 +85,7 @@ func TestExchangeErrorNoLeak(t *testing.T) {
 // exited by the time Close returns.
 func TestExchangeDrainedNoLeak(t *testing.T) {
 	base := runtime.NumGoroutine()
-	ex := newExchange(newSliceBatchIter(leakRows(50000), 128), 4, func(w int, b Batch) (Batch, error) {
+	ex := newExchange(context.Background(), newSliceBatchIter(leakRows(50000), 128), 4, func(w int, b Batch) (Batch, error) {
 		return append(Batch(nil), b...), nil
 	})
 	rows, err := DrainBatches(ex)
@@ -102,7 +103,7 @@ func TestExchangeDrainedNoLeak(t *testing.T) {
 // outlive the test.
 func TestPrefetchAbandonedNoLeak(t *testing.T) {
 	base := runtime.NumGoroutine()
-	it := prefetchBatches(64, func() (BatchIterator, error) {
+	it := prefetchBatches(context.Background(), 64, func() (BatchIterator, error) {
 		return newSliceBatchIter(leakRows(10000), 64), nil
 	})
 	if _, err := it.NextBatch(); err != nil {

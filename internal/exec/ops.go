@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -208,6 +209,7 @@ func (t *joinTable) probeBatch(b Batch, leftKeys []EvalFunc, residual EvalFunc, 
 // runs through an ordered exchange, so output order (and float arithmetic)
 // is identical to the sequential plan.
 type hashJoinBatchIter struct {
+	ctx        context.Context
 	left       BatchIterator
 	right      BatchIterator
 	leftKeys   []EvalFunc
@@ -243,7 +245,7 @@ func (h *hashJoinBatchIter) build() error {
 		for i := range scratches {
 			scratches[i] = make(datum.Row, len(h.leftKeys))
 		}
-		h.ex = newExchange(h.left, h.degree, func(w int, b Batch) (Batch, error) {
+		h.ex = newExchange(h.ctx, h.left, h.degree, func(w int, b Batch) (Batch, error) {
 			return h.table.probeBatch(b, h.leftKeys, h.residual, h.leftJoin, h.rightArity, scratches[w], nil)
 		})
 	}
@@ -848,8 +850,12 @@ func (p *prefetchIter) Next() (datum.Row, error) {
 func (p *prefetchIter) Close() {}
 
 // prefetchBatchIter is the batch form of Prefetch: the fetch is kicked off
-// immediately, the rows are served batch-windowed once ready.
+// immediately, the rows are served batch-windowed once ready. A cancelled
+// query context unblocks the consumer immediately; the background fetch
+// observes the same context through FetchRemote/BuildBatch, finishes
+// early, and parks its result in the buffered channel — never a leak.
 type prefetchBatchIter struct {
+	ctx   context.Context
 	ch    chan prefetchResult
 	size  int
 	inner *sliceBatchIter
@@ -857,8 +863,8 @@ type prefetchBatchIter struct {
 	got   bool
 }
 
-func prefetchBatches(size int, fetch func() (BatchIterator, error)) BatchIterator {
-	p := &prefetchBatchIter{ch: make(chan prefetchResult, 1), size: size}
+func prefetchBatches(ctx context.Context, size int, fetch func() (BatchIterator, error)) BatchIterator {
+	p := &prefetchBatchIter{ctx: ctx, ch: make(chan prefetchResult, 1), size: size}
 	go func() {
 		it, err := fetch()
 		if err != nil {
@@ -873,9 +879,13 @@ func prefetchBatches(size int, fetch func() (BatchIterator, error)) BatchIterato
 
 func (p *prefetchBatchIter) NextBatch() (Batch, error) {
 	if !p.got {
-		r := <-p.ch
-		p.inner, p.err = newSliceBatchIter(r.rows, p.size), r.err
-		p.got = true
+		select {
+		case r := <-p.ch:
+			p.inner, p.err = newSliceBatchIter(r.rows, p.size), r.err
+			p.got = true
+		case <-p.ctx.Done():
+			return nil, p.ctx.Err()
+		}
 	}
 	if p.err != nil {
 		return nil, p.err

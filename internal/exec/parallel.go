@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,8 +29,12 @@ const morselRows = 1024
 // Cancellation contract: Close (idempotent) stops the feeder and workers
 // via the done channel, waits for them to exit, then closes the input.
 // After natural EOF all goroutines have already returned; Close then only
-// closes the input. No goroutines survive Close.
+// closes the input. No goroutines survive Close. Cancelling the query
+// context has the same effect as Close on the pool — feeder, workers and
+// merger all select on ctx.Done() and abort within one batch — but the
+// caller must still Close to join the goroutines and release the input.
 type exchangeIter struct {
+	ctx     context.Context
 	in      BatchIterator
 	fn      func(worker int, b Batch) (Batch, error)
 	workers int
@@ -66,8 +71,8 @@ type exchangeResult struct {
 // safe for concurrent invocation with distinct worker ids and must return
 // batches it does not reuse (the merger buffers out-of-order results); an
 // empty result batch is fine and is skipped on merge.
-func newExchange(in BatchIterator, degree int, fn func(worker int, b Batch) (Batch, error)) *exchangeIter {
-	return &exchangeIter{in: in, fn: fn, workers: degree}
+func newExchange(ctx context.Context, in BatchIterator, degree int, fn func(worker int, b Batch) (Batch, error)) *exchangeIter {
+	return &exchangeIter{ctx: ctx, in: in, fn: fn, workers: degree}
 }
 
 func (e *exchangeIter) start() {
@@ -102,6 +107,9 @@ func (e *exchangeIter) start() {
 			case <-e.done:
 				close(e.tasks)
 				return
+			case <-e.ctx.Done():
+				close(e.tasks)
+				return
 			}
 		}
 		e.feed <- exchangeResult{seq: seq, err: ferr}
@@ -122,6 +130,8 @@ func (e *exchangeIter) start() {
 				case e.results <- exchangeResult{seq: t.seq, b: out, err: err}:
 				case <-e.done:
 					return
+				case <-e.ctx.Done():
+					return
 				}
 			}
 		}()
@@ -139,6 +149,10 @@ func (e *exchangeIter) start() {
 func (e *exchangeIter) NextBatch() (Batch, error) {
 	if e.err != nil {
 		return nil, e.err
+	}
+	if cerr := e.ctx.Err(); cerr != nil {
+		e.err = cerr
+		return nil, cerr
 	}
 	if !e.started {
 		e.start()
@@ -190,6 +204,9 @@ func (e *exchangeIter) NextBatch() (Batch, error) {
 			e.pending[r.seq] = r
 		case f := <-e.feed:
 			e.endSeq, e.feedErr, e.feedEnd = f.seq, f.err, true
+		case <-e.ctx.Done():
+			e.err = e.ctx.Err()
+			return nil, e.err
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -20,6 +21,11 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	// CapBackoff bounds the exponential growth. Zero defaults to 1s.
 	CapBackoff time.Duration
+	// SleepBackoff makes each retry actually wait out its backoff in
+	// wall-clock time (on top of the virtual-time charge). The wait
+	// aborts immediately when the query's context is cancelled, so an
+	// expired deadline never sleeps out the full capped window.
+	SleepBackoff bool
 }
 
 func (p RetryPolicy) attempts() int {
@@ -77,22 +83,42 @@ func Retryable(err error) bool {
 // iterator (a replica read, or an empty result for partial-tolerant
 // queries). All Remote dispatches funnel through here so every fetch in a
 // plan gets the same fault handling.
-func FetchRemote(rt Runtime, opts Options, source string, subtree plan.Node) (Iterator, error) {
+//
+// Cancellation dominates retries: a done context aborts the loop before
+// the next attempt (and mid-backoff when SleepBackoff waits in wall-clock
+// time), returning ctx.Err() unwrapped — context.Canceled and
+// context.DeadlineExceeded are the caller's signals, never a source
+// failure, so degradation (OnRemoteFail) is not consulted for them.
+func FetchRemote(ctx context.Context, rt Runtime, opts Options, source string, subtree plan.Node) (Iterator, error) {
 	attempts := opts.Retry.attempts()
 	var err error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
+			backoff := opts.Retry.Backoff(attempt - 1)
 			if opts.ChargeBackoff != nil {
-				opts.ChargeBackoff(source, opts.Retry.Backoff(attempt-1))
+				opts.ChargeBackoff(source, backoff)
 			}
 			if opts.OnRetry != nil {
 				opts.OnRetry(source)
 			}
+			if opts.Retry.SleepBackoff {
+				if cerr := sleepBackoff(ctx, backoff); cerr != nil {
+					return nil, cerr
+				}
+			}
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
 		}
 		var it Iterator
-		it, err = rt.RunRemote(source, subtree)
+		it, err = rt.RunRemote(ctx, source, subtree)
 		if err == nil {
 			return it, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The attempt failed because (or while) the query was
+			// cancelled; propagate the context error unwrapped.
+			return nil, cerr
 		}
 		if opts.OnSourceError != nil {
 			opts.OnSourceError(source, attempt, err)
@@ -107,4 +133,20 @@ func FetchRemote(rt Runtime, opts Options, source string, subtree plan.Node) (It
 		}
 	}
 	return nil, err
+}
+
+// sleepBackoff blocks for one backoff window, waking early with ctx.Err()
+// when the query is cancelled or its deadline expires.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

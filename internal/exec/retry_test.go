@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -20,11 +21,11 @@ type flakyRuntime struct {
 	err   error
 }
 
-func (rt *flakyRuntime) ScanTable(source, table string) (Iterator, error) {
+func (rt *flakyRuntime) ScanTable(_ context.Context, source, table string) (Iterator, error) {
 	return nil, fmt.Errorf("no tables")
 }
 
-func (rt *flakyRuntime) RunRemote(source string, subtree plan.Node) (Iterator, error) {
+func (rt *flakyRuntime) RunRemote(_ context.Context, source string, subtree plan.Node) (Iterator, error) {
 	rt.calls++
 	if rt.calls <= rt.failN {
 		if rt.err != nil {
@@ -74,7 +75,7 @@ func TestFetchRemoteRetriesTransientFailures(t *testing.T) {
 		ChargeBackoff: func(source string, d time.Duration) { charged += d },
 		OnRetry:       func(source string) { retries++ },
 	}
-	it, err := Build(remoteScan(), rt, opts)
+	it, err := Build(context.Background(), remoteScan(), rt, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestFetchRemoteRetriesTransientFailures(t *testing.T) {
 func TestFetchRemoteDoesNotRetryPermanentErrors(t *testing.T) {
 	rt := &flakyRuntime{failN: 10, err: errors.New("capability violation")}
 	opts := Options{Retry: RetryPolicy{Attempts: 5}}
-	if _, err := Build(remoteScan(), rt, opts); err == nil {
+	if _, err := Build(context.Background(), remoteScan(), rt, opts); err == nil {
 		t.Fatal("want error")
 	}
 	if rt.calls != 1 {
@@ -111,7 +112,7 @@ func TestFetchRemoteFallbackAfterExhaustion(t *testing.T) {
 			return NewSliceIterator(nil), true
 		},
 	}
-	it, err := Build(remoteScan(), rt, opts)
+	it, err := Build(context.Background(), remoteScan(), rt, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,5 +122,90 @@ func TestFetchRemoteFallbackAfterExhaustion(t *testing.T) {
 	}
 	if rt.calls != 2 || failedSource != "s" {
 		t.Errorf("calls=%d failedSource=%q", rt.calls, failedSource)
+	}
+}
+
+// TestFetchRemoteCancelledContextAborts is the E15 regression test for
+// the backoff-vs-cancellation bug: a cancelled context must surface as
+// the unwrapped context error, before any retry attempt is spent.
+func TestFetchRemoteCancelledContextAborts(t *testing.T) {
+	rt := &flakyRuntime{failN: 10}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Retry: RetryPolicy{Attempts: 5, BaseBackoff: time.Millisecond}}
+	_, err := FetchRemote(ctx, rt, opts, "s", remoteScan())
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want unwrapped context.Canceled", err)
+	}
+	if rt.calls != 0 {
+		t.Errorf("cancelled fetch still made %d attempts", rt.calls)
+	}
+}
+
+// TestFetchRemoteBackoffAbortsOnCancel cancels a query while FetchRemote
+// is sleeping out a long wall-clock backoff (SleepBackoff): the sleep
+// must abort immediately instead of running out the capped window, and
+// the error must be the unwrapped context error.
+func TestFetchRemoteBackoffAbortsOnCancel(t *testing.T) {
+	rt := &flakyRuntime{failN: 10}
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{Retry: RetryPolicy{
+		Attempts: 3, BaseBackoff: 30 * time.Second, CapBackoff: 30 * time.Second,
+		SleepBackoff: true,
+	}}
+	time.AfterFunc(10*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := FetchRemote(ctx, rt, opts, "s", remoteScan())
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff slept %v through the cancellation", elapsed)
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want unwrapped context.Canceled", err)
+	}
+	if rt.calls != 1 {
+		t.Errorf("calls = %d, want 1 (cancel hit during the first backoff)", rt.calls)
+	}
+}
+
+// TestFetchRemoteBackoffAbortsOnDeadline is the deadline variant: an
+// expiring deadline cuts the backoff short and surfaces as unwrapped
+// context.DeadlineExceeded.
+func TestFetchRemoteBackoffAbortsOnDeadline(t *testing.T) {
+	rt := &flakyRuntime{failN: 10}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	opts := Options{Retry: RetryPolicy{
+		Attempts: 4, BaseBackoff: 30 * time.Second, SleepBackoff: true,
+	}}
+	start := time.Now()
+	_, err := FetchRemote(ctx, rt, opts, "s", remoteScan())
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff slept %v through the deadline", elapsed)
+	}
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want unwrapped context.DeadlineExceeded", err)
+	}
+}
+
+// TestFetchRemoteCancelSkipsDegradation checks cancellation dominates the
+// degradation path: a query aborted mid-retry must not fall back to
+// OnRemoteFail (replicas / empty results) on its way out.
+func TestFetchRemoteCancelSkipsDegradation(t *testing.T) {
+	rt := &flakyRuntime{failN: 10}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	degraded := false
+	opts := Options{
+		Retry: RetryPolicy{Attempts: 3},
+		OnRemoteFail: func(source string, subtree plan.Node, err error) (Iterator, bool) {
+			degraded = true
+			return NewSliceIterator(nil), true
+		},
+	}
+	if _, err := FetchRemote(ctx, rt, opts, "s", remoteScan()); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if degraded {
+		t.Error("cancelled fetch fell back to the degradation path")
 	}
 }

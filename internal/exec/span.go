@@ -1,0 +1,237 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/plan"
+)
+
+// Span is one node of a query's trace tree. Offsets and durations are
+// measured on the engine's clock: wall time under netsim.Wall, virtual
+// time under a VirtualClock (where most spans collapse to zero and the
+// interesting latency shows up in SimTime instead). Fetch spans carry the
+// per-attempt link accounting — virtual link time, wire bytes, rows — so
+// a traced query accounts for every round trip it caused.
+type Span struct {
+	// Name identifies the span: "query", "plan", "exec", "fetch", or an
+	// operator's Describe() line.
+	Name string `json:"name"`
+	// Source is the source a fetch span talked to.
+	Source string `json:"source,omitempty"`
+	// Attempt numbers a source's fetch attempts from 1; attempts > 1 are
+	// retries.
+	Attempt int `json:"attempt,omitempty"`
+	// Start is the span's offset from the start of the query.
+	Start time.Duration `json:"start"`
+	// Duration is the span's extent on the engine clock.
+	Duration time.Duration `json:"duration"`
+	// SimTime is the virtual link time a fetch charged (latency +
+	// serialization + backoff); non-zero even when the clock is virtual.
+	SimTime time.Duration `json:"simTime,omitempty"`
+	// Rows / Bytes / Batches count what flowed through the span: operator
+	// output rows and batches, or fetch result rows and wire bytes.
+	Rows    int64 `json:"rows,omitempty"`
+	Bytes   int64 `json:"bytes,omitempty"`
+	Batches int64 `json:"batches,omitempty"`
+	// Error records a failed fetch attempt's error text.
+	Error string `json:"error,omitempty"`
+	// Children are the nested spans.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// Render formats the span tree indented, one span per line.
+func (s *Span) Render() string {
+	var b strings.Builder
+	var walk func(*Span, int)
+	walk = func(sp *Span, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(sp.Name)
+		if sp.Source != "" {
+			fmt.Fprintf(&b, " %s", sp.Source)
+		}
+		if sp.Attempt > 1 {
+			fmt.Fprintf(&b, " (attempt %d)", sp.Attempt)
+		}
+		fmt.Fprintf(&b, " [start=%s dur=%s", sp.Start, sp.Duration)
+		if sp.SimTime > 0 {
+			fmt.Fprintf(&b, " sim=%s", sp.SimTime)
+		}
+		if sp.Rows > 0 {
+			fmt.Fprintf(&b, " rows=%d", sp.Rows)
+		}
+		if sp.Batches > 0 {
+			fmt.Fprintf(&b, " batches=%d", sp.Batches)
+		}
+		if sp.Bytes > 0 {
+			fmt.Fprintf(&b, " bytes=%d", sp.Bytes)
+		}
+		b.WriteByte(']')
+		if sp.Error != "" {
+			fmt.Fprintf(&b, " error=%q", sp.Error)
+		}
+		b.WriteByte('\n')
+		for _, c := range sp.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+	return b.String()
+}
+
+// Fetches returns every fetch span in the tree, in record order.
+func (s *Span) Fetches() []*Span {
+	var out []*Span
+	var walk func(*Span)
+	walk = func(sp *Span) {
+		if sp.Name == "fetch" {
+			out = append(out, sp)
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// QueryTracer collects the spans of one query while it executes and
+// materializes them into a Span tree at Finish. It is safe for concurrent
+// use: exchange workers and prefetch goroutines record through the same
+// tracer.
+type QueryTracer struct {
+	clock netsim.Clock
+	start time.Time
+
+	mu      sync.Mutex
+	ops     map[plan.Node]*opSpan
+	fetches []*Span
+}
+
+type opSpan struct {
+	started bool
+	start   time.Time
+	last    time.Time
+	rows    int64
+	batches int64
+}
+
+// NewQueryTracer starts a tracer on the given clock; nil means wall time.
+func NewQueryTracer(clock netsim.Clock) *QueryTracer {
+	if clock == nil {
+		clock = netsim.Wall
+	}
+	return &QueryTracer{clock: clock, start: clock.Now(), ops: make(map[plan.Node]*opSpan)}
+}
+
+// Clock returns the clock spans are measured on.
+func (t *QueryTracer) Clock() netsim.Clock { return t.clock }
+
+// Start returns the instant the tracer was created (query start).
+func (t *QueryTracer) Start() time.Time { return t.start }
+
+// RecordFetch appends one source-fetch attempt: wall extent on the engine
+// clock plus the virtual link time, wire bytes and rows the attempt
+// accounted for. Failed attempts record the error; the attempt number is
+// derived from the spans already recorded for the source.
+func (t *QueryTracer) RecordFetch(source string, start time.Time, d, simTime time.Duration, rows, bytes int64, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	attempt := 1
+	for _, f := range t.fetches {
+		if f.Source == source {
+			attempt++
+		}
+	}
+	sp := &Span{
+		Name: "fetch", Source: source, Attempt: attempt,
+		Start: start.Sub(t.start), Duration: d,
+		SimTime: simTime, Rows: rows, Bytes: bytes,
+	}
+	if err != nil {
+		sp.Error = err.Error()
+	}
+	t.fetches = append(t.fetches, sp)
+}
+
+// wrapOp instruments one operator boundary: the span opens on the first
+// NextBatch pull and extends through the last.
+func (t *QueryTracer) wrapOp(n plan.Node, it BatchIterator) BatchIterator {
+	return &spanBatchIter{t: t, n: n, in: it}
+}
+
+type spanBatchIter struct {
+	t  *QueryTracer
+	n  plan.Node
+	in BatchIterator
+}
+
+func (s *spanBatchIter) NextBatch() (Batch, error) {
+	b, err := s.in.NextBatch()
+	s.t.noteOp(s.n, int64(len(b)), b != nil && err == nil)
+	return b, err
+}
+
+func (s *spanBatchIter) Close() { s.in.Close() }
+
+func (t *QueryTracer) noteOp(n plan.Node, rows int64, isBatch bool) {
+	now := t.clock.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.ops[n]
+	if st == nil {
+		st = &opSpan{}
+		t.ops[n] = st
+	}
+	if !st.started {
+		st.started = true
+		st.start = now
+	}
+	st.last = now
+	if isBatch {
+		st.rows += rows
+		st.batches++
+	}
+}
+
+// Finish materializes the span tree for the executed plan: a root "query"
+// span covering planning plus execution, a "plan" child, an "exec" child
+// holding the operator tree (shaped like the plan, labeled by Describe),
+// and one fetch child per source-fetch attempt. planTime shifts execution
+// spans right so offsets are relative to query start.
+func (t *QueryTracer) Finish(root plan.Node, planTime time.Duration) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	execDur := t.clock.Since(t.start)
+
+	var opTree func(plan.Node) *Span
+	opTree = func(n plan.Node) *Span {
+		sp := &Span{Name: n.Describe(), Start: planTime}
+		if st, ok := t.ops[n]; ok && st.started {
+			sp.Start = planTime + st.start.Sub(t.start)
+			sp.Duration = st.last.Sub(st.start)
+			sp.Rows = st.rows
+			sp.Batches = st.batches
+		}
+		for _, k := range n.Children() {
+			sp.Children = append(sp.Children, opTree(k))
+		}
+		return sp
+	}
+
+	query := &Span{Name: "query", Duration: planTime + execDur}
+	query.Children = append(query.Children, &Span{Name: "plan", Duration: planTime})
+	execSpan := &Span{Name: "exec", Start: planTime, Duration: execDur}
+	if root != nil {
+		execSpan.Children = append(execSpan.Children, opTree(root))
+	}
+	query.Children = append(query.Children, execSpan)
+	for _, f := range t.fetches {
+		f.Start += planTime
+		query.Children = append(query.Children, f)
+	}
+	return query
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -126,7 +127,7 @@ func TestE14ParallelMatchesSequential(t *testing.T) {
 	g, rt := bigFixture(t, 12000)
 	for _, sql := range e14Queries {
 		base := buildPlan(t, g, sql)
-		it, err := Build(base, rt, Options{Parallelism: 1, BatchSize: 1})
+		it, err := Build(context.Background(), base, rt, Options{Parallelism: 1, BatchSize: 1})
 		if err != nil {
 			t.Fatalf("build baseline %q: %v", sql, err)
 		}
@@ -141,7 +142,7 @@ func TestE14ParallelMatchesSequential(t *testing.T) {
 				p := buildPlan(t, g, sql)
 				forceParallel(p, par)
 				stats := &ExecStats{}
-				it, err := BuildBatch(p, rt, Options{Parallelism: par, BatchSize: batch, Stats: stats})
+				it, err := BuildBatch(context.Background(), p, rt, Options{Parallelism: par, BatchSize: batch, Stats: stats})
 				if err != nil {
 					t.Fatalf("build %q batch=%d par=%d: %v", sql, batch, par, err)
 				}
@@ -171,7 +172,7 @@ func TestE14ParallelDegreeReported(t *testing.T) {
 	p := buildPlan(t, g, sql)
 	forceParallel(p, 8)
 	stats := &ExecStats{}
-	it, err := BuildBatch(p, rt, Options{Parallelism: 8, Stats: stats})
+	it, err := BuildBatch(context.Background(), p, rt, Options{Parallelism: 8, Stats: stats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestE14ParallelDegreeReported(t *testing.T) {
 
 	// Same hinted plan capped to sequential by Options.
 	stats = &ExecStats{}
-	it, err = BuildBatch(p, rt, Options{Parallelism: 1, Stats: stats})
+	it, err = BuildBatch(context.Background(), p, rt, Options{Parallelism: 1, Stats: stats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestExchangePreservesOrder(t *testing.T) {
 		rows[i] = datum.Row{datum.NewInt(int64(i))}
 	}
 	for _, workers := range []int{1, 2, 3, 8} {
-		ex := newExchange(newSliceBatchIter(rows, 16), workers, func(w int, b Batch) (Batch, error) {
+		ex := newExchange(context.Background(), newSliceBatchIter(rows, 16), workers, func(w int, b Batch) (Batch, error) {
 			out := make(Batch, 0, len(b))
 			return append(out, b...), nil
 		})
@@ -231,7 +232,7 @@ func TestExchangeWorkerError(t *testing.T) {
 	for i := range rows {
 		rows[i] = datum.Row{datum.NewInt(int64(i))}
 	}
-	ex := newExchange(newSliceBatchIter(rows, 32), 4, func(w int, b Batch) (Batch, error) {
+	ex := newExchange(context.Background(), newSliceBatchIter(rows, 32), 4, func(w int, b Batch) (Batch, error) {
 		if v, _ := b[0][0].AsInt(); v >= 2048 {
 			return nil, fmt.Errorf("injected failure at %d", v)
 		}

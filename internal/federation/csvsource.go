@@ -156,8 +156,9 @@ func parseCSVField(rec []string, col int, kind datum.Kind) (datum.Datum, error) 
 	}
 }
 
-// Execute implements Source.
+// Execute implements Source: the context-free compatibility path.
 func (s *CSVSource) Execute(subtree plan.Node) ([]datum.Row, error) {
+	//lint:ignore ctxpropagate Source interface compatibility shim; the query path uses ExecuteCtx
 	return s.ExecuteCtx(context.Background(), subtree)
 }
 
@@ -169,7 +170,7 @@ func (s *CSVSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.
 	if err := validateSubtree(s.name, s.Capabilities(), subtree); err != nil {
 		return nil, err
 	}
-	rows, err := execLocal(s.name, subtree, func(table string) (exec.Iterator, error) {
+	rows, err := execLocal(ctx, s.name, subtree, func(table string) (exec.Iterator, error) {
 		t, ok := s.tables[strings.ToLower(table)]
 		if !ok {
 			return nil, fmt.Errorf("federation: source %s has no table %s", s.name, table)
@@ -182,7 +183,7 @@ func (s *CSVSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return shipResult(s.link, rows)
+	return shipResult(ctx, s.link, rows)
 }
 
 var (

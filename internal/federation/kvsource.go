@@ -98,6 +98,7 @@ func (s *KVSource) RefreshStats() {
 
 // Execute implements Source: only bare scans are accepted.
 func (s *KVSource) Execute(subtree plan.Node) ([]datum.Row, error) {
+	//lint:ignore ctxpropagate Source interface compatibility shim; the query path uses ExecuteCtx
 	return s.ExecuteCtx(context.Background(), subtree)
 }
 
@@ -117,7 +118,7 @@ func (s *KVSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.R
 	if !ok {
 		return nil, fmt.Errorf("federation: source %s has no table %s", s.name, scan.Table)
 	}
-	return shipResult(s.link, t.Snapshot())
+	return shipResult(ctx, s.link, t.Snapshot())
 }
 
 // Lookup answers a point read by primary key, charging the link only for
@@ -136,7 +137,8 @@ func (s *KVSource) Lookup(table string, key datum.Row) ([]datum.Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("federation: source %s table %s has no primary index", s.name, table)
 	}
-	return shipResult(s.link, rows)
+	//lint:ignore ctxpropagate Lookup is the context-free point-read API of the linkage and search layers
+	return shipResult(context.Background(), s.link, rows)
 }
 
 // Insert implements Updatable.

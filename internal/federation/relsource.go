@@ -110,8 +110,9 @@ func (s *RelationalSource) RefreshStats() {
 	}
 }
 
-// Execute implements Source.
+// Execute implements Source: the context-free compatibility path.
 func (s *RelationalSource) Execute(subtree plan.Node) ([]datum.Row, error) {
+	//lint:ignore ctxpropagate Source interface compatibility shim; the query path uses ExecuteCtx
 	return s.ExecuteCtx(context.Background(), subtree)
 }
 
@@ -124,7 +125,7 @@ func (s *RelationalSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([
 	if err := validateSubtree(s.name, s.caps, subtree); err != nil {
 		return nil, err
 	}
-	rows, err := execLocal(s.name, subtree, func(table string) (exec.Iterator, error) {
+	rows, err := execLocal(ctx, s.name, subtree, func(table string) (exec.Iterator, error) {
 		t, ok := s.Table(table)
 		if !ok {
 			return nil, fmt.Errorf("federation: source %s has no table %s", s.name, table)
@@ -137,7 +138,7 @@ func (s *RelationalSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return shipResult(s.link, rows)
+	return shipResult(ctx, s.link, rows)
 }
 
 // Insert implements Updatable.

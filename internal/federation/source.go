@@ -127,13 +127,14 @@ const requestOverheadBytes = 256
 
 // shipResult charges the link for one round trip carrying rows and returns
 // the rows unchanged. A failed round trip (injected fault, outage) loses
-// the payload: the caller gets the link's error and no rows.
-func shipResult(link *netsim.Link, rows []datum.Row) ([]datum.Row, error) {
+// the payload: the caller gets the link's error and no rows. The context
+// aborts a blocking (RealSleep) transfer early on cancellation.
+func shipResult(ctx context.Context, link *netsim.Link, rows []datum.Row) ([]datum.Row, error) {
 	bytes := requestOverheadBytes
 	for _, r := range rows {
 		bytes += datum.RowWireSize(r)
 	}
-	if _, err := link.Transfer(bytes); err != nil {
+	if _, err := link.TransferCtx(ctx, bytes); err != nil {
 		return nil, err
 	}
 	return rows, nil
@@ -282,21 +283,23 @@ type tableRuntime struct {
 	tables func(name string) (exec.Iterator, error)
 }
 
-func (rt *tableRuntime) ScanTable(source, table string) (exec.Iterator, error) {
+func (rt *tableRuntime) ScanTable(_ context.Context, source, table string) (exec.Iterator, error) {
 	if source != rt.source {
 		return nil, fmt.Errorf("federation: source %s asked to scan foreign table %s.%s", rt.source, source, table)
 	}
 	return rt.tables(table)
 }
 
-func (rt *tableRuntime) RunRemote(string, plan.Node) (exec.Iterator, error) {
+func (rt *tableRuntime) RunRemote(context.Context, string, plan.Node) (exec.Iterator, error) {
 	return nil, fmt.Errorf("federation: nested Remote inside a pushed-down subtree")
 }
 
-// execLocal runs a subtree against the given table provider.
-func execLocal(source string, subtree plan.Node, tables func(string) (exec.Iterator, error)) ([]datum.Row, error) {
+// execLocal runs a subtree against the given table provider under the
+// query's context: long local evaluations at the source abort when the
+// mediator's query is cancelled.
+func execLocal(ctx context.Context, source string, subtree plan.Node, tables func(string) (exec.Iterator, error)) ([]datum.Row, error) {
 	rt := &tableRuntime{source: source, tables: tables}
-	it, err := exec.Build(subtree, rt, exec.Options{})
+	it, err := exec.Build(ctx, subtree, rt, exec.Options{})
 	if err != nil {
 		return nil, err
 	}

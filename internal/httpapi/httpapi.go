@@ -9,12 +9,24 @@
 //	POST /explain  {"sql": "..."}                   -> optimized plan + pushdown SQL
 //	GET  /catalog                                   -> sources, tables, views
 //	GET  /healthz                                   -> breaker states + plan-cache stats
+//	GET  /queries                                   -> in-flight queries (id, sql, elapsed)
+//	POST /queries/cancel?id=N                       -> cancel an in-flight query
+//
+// Every query runs under the request's context: a client disconnect
+// cancels the whole query tree (exchange workers, remote fetches, retry
+// backoffs), and a cancelled or deadline-exceeded query answers with
+// status 499 (client closed request) carrying whatever partial-result
+// accounting the engine collected. `POST /query?trace=1` (or
+// {"trace": true}) attaches the query's span tree to the response.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -49,6 +61,9 @@ type QueryRequest struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// BatchSize overrides the executor's rows-per-batch (0 = default).
 	BatchSize int `json:"batchSize,omitempty"`
+	// Trace attaches the query-scoped span tree to the response (also
+	// settable per request with the ?trace=1 URL parameter).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PrepareResponse is the body returned by /prepare.
@@ -92,7 +107,35 @@ type QueryResponse struct {
 	ExecParallelism int `json:"execParallelism"`
 	// BatchesProcessed counts execution batches across all operators.
 	BatchesProcessed int64 `json:"batchesProcessed"`
+	// QueryID is the engine-assigned in-flight query ID.
+	QueryID uint64 `json:"queryId,omitempty"`
+	// Trace is the query's span tree, present when the request asked for
+	// it (?trace=1 or {"trace": true}).
+	Trace *exec.Span `json:"trace,omitempty"`
 }
+
+// QueriesResponse is the body returned by GET /queries.
+type QueriesResponse struct {
+	Queries []InflightQuery `json:"queries"`
+}
+
+// InflightQuery describes one running query: the cancel handle is its ID,
+// accepted by POST /queries/cancel.
+type InflightQuery struct {
+	ID      uint64 `json:"id"`
+	SQL     string `json:"sql,omitempty"`
+	Elapsed string `json:"elapsed"`
+}
+
+// CancelResponse is the body returned by POST /queries/cancel.
+type CancelResponse struct {
+	// Canceled is true when the ID named a running query.
+	Canceled bool `json:"canceled"`
+}
+
+// StatusClientClosedRequest is the nginx-convention status for a query
+// aborted by cancellation (client disconnect, /queries/cancel, deadline).
+const StatusClientClosedRequest = 499
 
 // HealthResponse is the body returned by /healthz.
 type HealthResponse struct {
@@ -148,9 +191,20 @@ type ViewInfo struct {
 	SQL  string `json:"sql"`
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. A cancelled or failed query that
+// produced partial accounting (fault ledger, retries) carries it here so
+// the client can see what the query had reached when it died.
 type errorBody struct {
 	Error string `json:"error"`
+	// Canceled is true when the query was aborted by its context —
+	// client disconnect, /queries/cancel, or deadline.
+	Canceled bool `json:"canceled,omitempty"`
+	// Partial and the source maps mirror QueryResponse for queries that
+	// failed after collecting fault accounting (AllowPartial runs).
+	Partial        bool           `json:"partial,omitempty"`
+	SkippedSources []string       `json:"skippedSources,omitempty"`
+	SourceErrors   map[string]int `json:"sourceErrors,omitempty"`
+	Retries        map[string]int `json:"retries,omitempty"`
 }
 
 // NewHandler builds the HTTP API over a mediator.
@@ -196,7 +250,10 @@ func NewHandlerLogged(engine *core.Engine, logFn func(RequestLogEntry)) http.Han
 		if !ok {
 			return
 		}
-		res, err := h.runQuery(req)
+		if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+			req.Trace = true
+		}
+		res, err := h.runQuery(r.Context(), req)
 		if h.logFn != nil {
 			entry := RequestLogEntry{SQL: req.SQL, Err: err}
 			if req.SQL == "" {
@@ -211,10 +268,37 @@ func NewHandlerLogged(engine *core.Engine, logFn func(RequestLogEntry)) http.Han
 			h.logFn(entry)
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeQueryError(w, res, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, toQueryResponse(res))
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		resp := QueriesResponse{Queries: []InflightQuery{}}
+		for _, q := range engine.InflightQueries() {
+			resp.Queries = append(resp.Queries, InflightQuery{
+				ID:      q.ID(),
+				SQL:     q.SQL(),
+				Elapsed: q.Elapsed().Round(time.Microsecond).String(),
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/queries/cancel", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad or missing id: %w", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, CancelResponse{Canceled: engine.CancelQuery(id)})
 	})
 	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := readQueryRequest(w, r)
@@ -268,7 +352,7 @@ func (h *handler) lookup(id string) (*core.PreparedStatement, bool) {
 // runQuery executes one /query request: a registered statement handle, a
 // parameterized ad-hoc statement, or plain SQL through the transparent
 // cache.
-func (h *handler) runQuery(req QueryRequest) (*core.Result, error) {
+func (h *handler) runQuery(ctx context.Context, req QueryRequest) (*core.Result, error) {
 	params, err := paramsToDatums(req.Params)
 	if err != nil {
 		return nil, err
@@ -281,7 +365,7 @@ func (h *handler) runQuery(req QueryRequest) (*core.Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown statement %q (prepare it first)", req.ID)
 		}
-		return ps.Execute(params...)
+		return ps.ExecuteCtx(ctx, params...)
 	}
 	qo := queryOptions(req)
 	if len(params) > 0 {
@@ -289,9 +373,9 @@ func (h *handler) runQuery(req QueryRequest) (*core.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ps.Execute(params...)
+		return ps.ExecuteCtx(ctx, params...)
 	}
-	return h.engine.QueryOpts(req.SQL, qo)
+	return h.engine.QueryOptsCtx(ctx, req.SQL, qo)
 }
 
 // queryOptions maps request knobs to engine options.
@@ -310,6 +394,7 @@ func queryOptions(req QueryRequest) core.QueryOptions {
 	}
 	qo.Parallelism = req.Parallelism
 	qo.BatchSize = req.BatchSize
+	qo.Trace = req.Trace
 	return qo
 }
 
@@ -394,6 +479,8 @@ func toQueryResponse(res *core.Result) QueryResponse {
 	out.Retries = res.Retries
 	out.ExecParallelism = res.ExecParallelism
 	out.BatchesProcessed = res.BatchesProcessed
+	out.QueryID = res.QueryID
+	out.Trace = res.Trace
 	return out
 }
 
@@ -453,4 +540,26 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// writeQueryError maps a failed query to its HTTP shape: cancellation and
+// deadline expiry answer 499 (client closed request), everything else 400.
+// The engine hands back a non-nil Result alongside execution errors; its
+// fault ledger (partial flags, per-source errors, retries) rides along in
+// the error body so a cancelled AllowPartial query still shows what it
+// had reached.
+func writeQueryError(w http.ResponseWriter, res *core.Result, err error) {
+	body := errorBody{Error: err.Error()}
+	status := http.StatusBadRequest
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		status = StatusClientClosedRequest
+		body.Canceled = true
+	}
+	if res != nil {
+		body.Partial = res.Partial
+		body.SkippedSources = res.SkippedSources
+		body.SourceErrors = res.SourceErrors
+		body.Retries = res.Retries
+	}
+	writeJSON(w, status, body)
 }

@@ -11,6 +11,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -228,15 +229,30 @@ func (l *Link) injectFault() (*FaultError, time.Duration) {
 }
 
 // Transfer charges one round trip carrying the given logical payload and
-// returns the virtual time it took. With RealSleep set it also blocks for
-// that duration (capped), so concurrent transfers over different links
-// overlap in wall-clock time the way real federated fetches do.
+// returns the virtual time it took. It is the context-free compatibility
+// wrapper around TransferCtx for callers outside any query (warm-up
+// loads, offline refresh): the transfer can never be cancelled.
+func (l *Link) Transfer(logicalBytes int) (time.Duration, error) {
+	//lint:ignore ctxpropagate compatibility wrapper for context-free callers (offline loads); the query path uses TransferCtx
+	return l.TransferCtx(context.Background(), logicalBytes)
+}
+
+// TransferCtx charges one round trip carrying the given logical payload
+// and returns the virtual time it took. With RealSleep set it also blocks
+// for that duration (capped), so concurrent transfers over different links
+// overlap in wall-clock time the way real federated fetches do; the block
+// aborts early — returning ctx.Err() — when the query's context is
+// cancelled. A transfer starting on an already-cancelled context fails
+// immediately without charging the link.
 //
 // When fault injection is configured (SetFaultProfile / SetDown), a round
 // trip may fail: the link charges the latency it still cost (plus the
 // spike for timeouts), counts the failure, and returns a *FaultError. No
 // payload bytes are accounted for a failed trip.
-func (l *Link) Transfer(logicalBytes int) (time.Duration, error) {
+func (l *Link) TransferCtx(ctx context.Context, logicalBytes int) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	l.mu.Lock()
 	l.transfers++
 	if ferr, cost := l.injectFault(); ferr != nil {
@@ -246,7 +262,9 @@ func (l *Link) Transfer(logicalBytes int) (time.Duration, error) {
 		sleep := l.RealSleep
 		maxSleep := l.MaxSleep
 		l.mu.Unlock()
-		l.maybeSleep(sleep, maxSleep, cost)
+		if err := l.maybeSleep(ctx, sleep, maxSleep, cost); err != nil {
+			return cost, err
+		}
 		return cost, ferr
 	}
 	wire := int64(float64(logicalBytes) * l.SerializationFactor)
@@ -258,13 +276,18 @@ func (l *Link) Transfer(logicalBytes int) (time.Duration, error) {
 	sleep := l.RealSleep
 	maxSleep := l.MaxSleep
 	l.mu.Unlock()
-	l.maybeSleep(sleep, maxSleep, d)
+	if err := l.maybeSleep(ctx, sleep, maxSleep, d); err != nil {
+		return d, err
+	}
 	return d, nil
 }
 
-func (l *Link) maybeSleep(sleep bool, maxSleep, d time.Duration) {
+// maybeSleep blocks for min(d, maxSleep) when sleep is set, waking early
+// with ctx.Err() on cancellation. The virtual clock has already been
+// charged by the caller; only the wall-clock wait is interruptible.
+func (l *Link) maybeSleep(ctx context.Context, sleep bool, maxSleep, d time.Duration) error {
 	if !sleep {
-		return
+		return nil
 	}
 	if maxSleep <= 0 {
 		maxSleep = 50 * time.Millisecond
@@ -272,7 +295,17 @@ func (l *Link) maybeSleep(sleep bool, maxSleep, d time.Duration) {
 	if d > maxSleep {
 		d = maxSleep
 	}
-	time.Sleep(d)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // TransferCost prices a hypothetical transfer without recording it; the

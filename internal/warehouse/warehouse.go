@@ -7,6 +7,7 @@
 package warehouse
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -103,11 +104,19 @@ func (w *Warehouse) AddFeed(src federation.Source, table string) error {
 // network cost lands on each source's link, exactly like an EII scan of
 // the whole table would. It returns the number of rows loaded.
 func (w *Warehouse) Refresh() (int, error) {
+	//lint:ignore ctxpropagate compatibility wrapper for context-free ETL batch jobs; RefreshCtx is the bounded path
+	return w.RefreshCtx(context.Background())
+}
+
+// RefreshCtx is Refresh under a caller context: an ETL window deadline or
+// shutdown cancels the remaining extractions mid-batch (already-loaded
+// feeds keep their new rows).
+func (w *Warehouse) RefreshCtx(ctx context.Context) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	total := 0
 	for _, f := range w.feeds {
-		n, err := w.refreshFeed(f)
+		n, err := w.refreshFeed(ctx, f)
 		if err != nil {
 			return total, err
 		}
@@ -118,17 +127,23 @@ func (w *Warehouse) Refresh() (int, error) {
 
 // RefreshTable re-extracts a single feed.
 func (w *Warehouse) RefreshTable(table string) (int, error) {
+	//lint:ignore ctxpropagate compatibility wrapper for context-free ETL batch jobs; RefreshTableCtx is the bounded path
+	return w.RefreshTableCtx(context.Background(), table)
+}
+
+// RefreshTableCtx is RefreshTable under a caller context.
+func (w *Warehouse) RefreshTableCtx(ctx context.Context, table string) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for _, f := range w.feeds {
 		if strings.EqualFold(f.Table, table) {
-			return w.refreshFeed(f)
+			return w.refreshFeed(ctx, f)
 		}
 	}
 	return 0, fmt.Errorf("warehouse: no feed for table %s", table)
 }
 
-func (w *Warehouse) refreshFeed(f *Feed) (int, error) {
+func (w *Warehouse) refreshFeed(ctx context.Context, f *Feed) (int, error) {
 	sch, ok := f.Source.Catalog().Table(f.Table)
 	if !ok {
 		return 0, fmt.Errorf("warehouse: source %s dropped table %s", f.Source.Name(), f.Table)
@@ -137,7 +152,7 @@ func (w *Warehouse) refreshFeed(f *Feed) (int, error) {
 	for i, c := range sch.Columns {
 		cols[i] = plan.ColMeta{Table: f.Table, Name: c.Name, Kind: c.Kind}
 	}
-	rows, err := f.Source.Execute(&plan.Scan{
+	rows, err := federation.ExecuteWithContext(ctx, f.Source, &plan.Scan{
 		Source: f.Source.Name(), Table: f.Table, Alias: f.Table, Cols: cols,
 	})
 	if err != nil {
