@@ -4,9 +4,9 @@
 GO ?= go
 RACE_PKGS := ./...
 
-.PHONY: check fmt vet lint build test race race-cancel bench bench-smoke
+.PHONY: check fmt vet lint build test race race-cancel race-overload bench bench-smoke
 
-check: fmt vet lint build test race race-cancel bench-smoke
+check: fmt vet lint build test race race-cancel race-overload bench-smoke
 
 fmt:
 	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
@@ -38,6 +38,13 @@ race:
 race-cancel:
 	$(GO) test -race -run 'TestE15CancelStorm' -count=3 ./internal/core
 
+# E16 overload storm: mixed-tenant clients past saturation with random
+# cancels under admission control, repeated under the race detector. The
+# admission queue's grant-vs-cancel window only opens under contention,
+# so this hammers exactly that path.
+race-overload:
+	$(GO) test -race -run 'TestE16MixedTenantCancelStorm' -count=3 ./internal/core
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -45,9 +52,9 @@ bench:
 # benchmarks: cheap enough for every `make check`, it keeps the benchmark
 # code itself compiling and running (a broken bench otherwise goes
 # unnoticed until someone runs the full suite), and it leaves
-# machine-readable BENCH_E13.json / BENCH_E14.json / BENCH_E15.json
-# artifacts.
+# machine-readable BENCH_E13.json / BENCH_E14.json / BENCH_E15.json /
+# BENCH_E16.json artifacts.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel|BenchmarkE16OpenLoop' \
 		-benchtime 10x -benchmem -json . \
-		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json
+		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json E16=BENCH_E16.json

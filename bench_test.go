@@ -600,8 +600,8 @@ func TestExperimentTablesQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(tables))
 	}
 }
 
@@ -689,4 +689,93 @@ func BenchmarkE15TraceOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- E16: admission control under open-loop overload ---
+
+// e16Engine is the small CRM federation over blocking links with the
+// gold/bronze tenant quotas the E16 experiment uses.
+func e16Engine(b *testing.B) *core.Engine {
+	b.Helper()
+	cfg := workload.DefaultCRM()
+	cfg.Customers = 60
+	cfg.InvoicesPerCustomer = 2
+	cfg.TicketsPerCustomer = 1
+	cfg.LinkLatency = time.Millisecond
+	fed, err := workload.BuildCRM(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range fed.Engine.Sources() {
+		src, _ := fed.Engine.Source(name)
+		src.Link().RealSleep = true
+		src.Link().MaxSleep = 10 * time.Millisecond
+	}
+	fed.Engine.EnableAdmission(core.AdmissionConfig{RetryAfter: 20 * time.Millisecond})
+	for _, tc := range []core.TenantConfig{
+		{Name: "gold", Priority: 3, MaxConcurrent: 4, MaxQueueDepth: 8},
+		{Name: "bronze", Priority: 1, MaxConcurrent: 2, MaxQueueDepth: 4},
+	} {
+		if err := fed.Engine.DefineTenant(tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fed.Engine
+}
+
+// BenchmarkE16OpenLoop drives the gold/bronze admission federation with
+// an open-loop Poisson mix at roughly 2x its saturation rate for a fixed
+// window per iteration. The reported metrics are what E16 claims:
+// bounded tail latency, fast structured shedding of the excess, bounded
+// queue depth, and zero goroutine growth after drain.
+func BenchmarkE16OpenLoop(b *testing.B) {
+	engine := e16Engine(b)
+	const sql = "SELECT id, name, amount FROM customer360 WHERE id < 40"
+	qo := core.QueryOptions{Parallel: true}
+	// Pin the offered load to a measured 2x saturation of the 6-slot
+	// quota capacity.
+	warm := 8
+	start := time.Now()
+	for i := 0; i < warm; i++ {
+		if _, err := engine.QueryOpts(sql, qo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	service := time.Since(start) / time.Duration(warm)
+	rate := 2 * 6 * float64(time.Second) / float64(service)
+
+	var issued, shed, failed int
+	var p999, maxQ, growth float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := workload.RunOpenLoop(context.Background(), engine, workload.OpenLoopConfig{
+			Duration:       150 * time.Millisecond,
+			Seed:           int64(416 + i),
+			MaxOutstanding: 512,
+			Loads: []workload.TenantLoad{
+				{Tenant: "gold", Rate: rate * 0.6, SQL: sql, Options: qo},
+				{Tenant: "bronze", Rate: rate * 0.4, SQL: sql, Options: qo},
+			},
+		})
+		issued += rep.Issued
+		shed += rep.Shed
+		failed += rep.Failed
+		if v := float64(rep.P999.Nanoseconds()); v > p999 {
+			p999 = v
+		}
+		if v := float64(rep.MaxQueueDepth); v > maxQ {
+			maxQ = v
+		}
+		if v := float64(rep.GoroutineGrowth); v > growth {
+			growth = v
+		}
+	}
+	b.StopTimer()
+	if failed > 0 {
+		b.Fatalf("%d queries failed with non-overload errors", failed)
+	}
+	b.ReportMetric(p999, "p999-ns")
+	b.ReportMetric(100*float64(shed)/float64(issued), "shed%")
+	b.ReportMetric(maxQ, "max-queue")
+	b.ReportMetric(growth, "leaked-goroutines")
 }

@@ -13,6 +13,7 @@
 //	--deadline 100ms     per-query deadline
 //	--partial            answer from the surviving sources, with a warning
 //	--trace              print the query's span tree (plan / fetch / operator spans)
+//	--tenant gold        run queries under the named admission tenant
 //
 // Statements may contain ? or $n placeholders; bind values with repeated
 // --param flags (typed: integers, floats, and strings are recognized), or
@@ -54,6 +55,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the query-scoped span tree after each result")
 	parallelism := flag.Int("parallelism", 0, "intra-query worker cap (0: GOMAXPROCS, 1: sequential)")
 	batchSize := flag.Int("batch", 0, "rows per execution batch (0: default 1024, 1: row-at-a-time)")
+	tenant := flag.String("tenant", "", `admission tenant to run queries under (default: the "default" tenant)`)
 	var params []datum.Datum
 	flag.Func("param", "bind a placeholder value, in order (repeatable)", func(s string) error {
 		params = append(params, parseParam(s))
@@ -83,7 +85,7 @@ func main() {
 	qo := core.QueryOptions{
 		AllowPartial: *partial, Deadline: *deadline,
 		Parallelism: *parallelism, BatchSize: *batchSize,
-		Trace: *trace,
+		Trace: *trace, Tenant: *tenant,
 	}
 	if *retries > 1 {
 		qo.Retry = exec.RetryPolicy{Attempts: *retries}

@@ -3,11 +3,19 @@
 //
 // Usage:
 //
-//	eiiserver [-addr :8080] [-customers 500]
+//	eiiserver [-addr :8080] [-customers 500] [-tenant gold:3:8:16 -tenant bronze:1:2:4]
 //
 //	curl -s localhost:8080/catalog
 //	curl -s localhost:8080/query -d '{"sql":"SELECT region, COUNT(*) FROM customer360 GROUP BY region"}'
+//	curl -s localhost:8080/query -H 'X-EII-Tenant: gold' -d '{"sql":"SELECT COUNT(*) FROM customer360"}'
 //	curl -s localhost:8080/explain -d '{"sql":"SELECT name FROM crm.customers WHERE region = ''west''"}'
+//
+// Each -tenant flag declares an admission bucket as
+// name:priority:maxConcurrent:maxQueueDepth; declaring any tenant enables
+// admission control, and requests name their bucket with the X-EII-Tenant
+// header (absent: the "default" tenant). /healthz then reports per-tenant
+// admitted / queued / shed / memory-in-use counters, and shed queries are
+// answered 429 with a Retry-After header.
 package main
 
 import (
@@ -15,15 +23,46 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/httpapi"
 	"repro/internal/workload"
 )
 
+// parseTenant decodes name:priority:maxConcurrent:maxQueueDepth (the
+// numeric fields optional from the right).
+func parseTenant(s string) (core.TenantConfig, error) {
+	parts := strings.Split(s, ":")
+	tc := core.TenantConfig{Name: parts[0]}
+	nums := []*int{&tc.Priority, &tc.MaxConcurrent, &tc.MaxQueueDepth}
+	if len(parts) > len(nums)+1 {
+		return tc, fmt.Errorf("tenant %q: want name:priority:maxConcurrent:maxQueueDepth", s)
+	}
+	for i, p := range parts[1:] {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return tc, fmt.Errorf("tenant %q: field %d: %v", s, i+2, err)
+		}
+		*nums[i] = n
+	}
+	return tc, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	customers := flag.Int("customers", 500, "customers in the demo federation")
+	var tenants []core.TenantConfig
+	flag.Func("tenant", "declare an admission tenant as name:priority:maxConcurrent:maxQueueDepth (repeatable; enables admission control)", func(s string) error {
+		tc, err := parseTenant(s)
+		if err != nil {
+			return err
+		}
+		tenants = append(tenants, tc)
+		return nil
+	})
 	flag.Parse()
 
 	cfg := workload.DefaultCRM()
@@ -31,6 +70,14 @@ func main() {
 	fed, err := workload.BuildCRM(cfg)
 	if err != nil {
 		log.Fatalf("eiiserver: building federation: %v", err)
+	}
+	for _, tc := range tenants {
+		if err := fed.Engine.DefineTenant(tc); err != nil {
+			log.Fatalf("eiiserver: %v", err)
+		}
+	}
+	if len(tenants) > 0 {
+		log.Printf("admission control on: %d tenant(s) declared", len(tenants))
 	}
 	// Per-request log: plan-cache outcome and the planning-vs-execution
 	// time split, so cache effectiveness is visible from the console.

@@ -93,6 +93,7 @@ func All() []*Analyzer {
 		SnapshotMut,
 		ErrDrop,
 		CtxPropagate,
+		AcquireRelease,
 	}
 }
 

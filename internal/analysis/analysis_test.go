@@ -197,6 +197,10 @@ func TestCtxPropagateApprovedRoot(t *testing.T) {
 	expectClean(t, CtxPropagate, "ctxpropagate", "repro/cmd/eiiquery")
 }
 
+func TestAcquireReleaseFixture(t *testing.T) {
+	runFixture(t, AcquireRelease, "acquirerelease", "repro/internal/analysis/fixture")
+}
+
 // TestCtxPropagateRule2OutOfScope checks that outside the fetch path only
 // rule 1 applies: the ctx-dropping-wrapper finding disappears while the
 // stray-root findings stay.

@@ -1,0 +1,82 @@
+// Fixture for the acquirerelease analyzer: admission slots must be
+// bound and deferred-released on the acquire path, or returned to the
+// caller whole.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// acquire stands in for admissionController.Acquire: any call whose
+// results include a *core.AdmissionSlot is in scope.
+func acquire(ctx context.Context) (*core.AdmissionSlot, error) {
+	var slot *core.AdmissionSlot
+	return slot, ctx.Err()
+}
+
+func acquireOnly() *core.AdmissionSlot { return nil }
+
+type holder struct {
+	slot *core.AdmissionSlot
+}
+
+// --- clean shapes ---
+
+func missDeferredRelease(ctx context.Context) error {
+	slot, err := acquire(ctx)
+	defer slot.Release() // nil-safe: covers the err != nil path too
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func missVarDecl(ctx context.Context) {
+	var slot, _ = acquire(ctx)
+	defer slot.Release()
+}
+
+func missReturnTransfer(ctx context.Context) (*core.AdmissionSlot, error) {
+	return acquire(ctx) // ownership moves to the caller
+}
+
+func missIgnoredDiscard(ctx context.Context) {
+	//lint:ignore acquirerelease fixture: a justified leak
+	acquireOnly()
+	_ = ctx
+}
+
+// --- leaks ---
+
+func hitNoDefer(ctx context.Context) error {
+	slot, err := acquire(ctx) // want "has no deferred Release"
+	if err != nil {
+		return err
+	}
+	_ = slot
+	return nil
+}
+
+func hitBlankBinding(ctx context.Context) error {
+	_, err := acquire(ctx) // want "blank identifier"
+	return err
+}
+
+func hitDiscardedResult() {
+	acquireOnly() // want "discarded"
+}
+
+func hitStoredInField(h *holder) {
+	h.slot = acquireOnly() // want "stored outside a local variable"
+}
+
+func hitReleaseNotDeferred(ctx context.Context) error {
+	slot, err := acquire(ctx) // want "has no deferred Release"
+	if err != nil {
+		return err
+	}
+	slot.Release() // a plain call misses panic/early-return paths
+	return nil
+}

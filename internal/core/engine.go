@@ -38,6 +38,8 @@ type Engine struct {
 	plans      *plancache.Cache
 	clock      netsim.Clock
 	inflight   inflightRegistry
+	admission  *admissionController
+	governor   *exec.Governor
 }
 
 // DefaultPlanCacheSize is the number of compiled plans the engine retains.
@@ -224,6 +226,10 @@ type QueryOptions struct {
 	// Trace records the query-scoped span tree — plan, per-operator exec
 	// and per-source-fetch spans — into Result.Trace.
 	Trace bool
+	// Tenant names the admission-control bucket this query is charged
+	// against. Empty (or an unknown name) runs under the "default" tenant.
+	// Ignored while admission control is disabled.
+	Tenant string
 }
 
 // Result is a completed query.
@@ -273,6 +279,13 @@ type Result struct {
 	// Trace is the query's span tree, recorded when QueryOptions.Trace is
 	// set: plan, per-operator exec and per-source-fetch spans.
 	Trace *exec.Span
+	// Tenant is the admission bucket the query ran under (empty while
+	// admission control is disabled).
+	Tenant string
+	// QueueTime is how long the query waited in the admission queue before
+	// it started executing (zero when admitted immediately or admission is
+	// disabled).
+	QueueTime time.Duration
 }
 
 // Query plans and executes a SQL statement with default options: parallel
@@ -394,11 +407,30 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 	ctx, q := e.beginQuery(ctx, sql)
 	defer e.endQuery(q)
 
+	// Admission: acquire the tenant's slot (possibly waiting in its FIFO
+	// queue) before any execution work. CancelQuery on a queued query
+	// cancels the derived ctx, which removes the waiter from the queue —
+	// no quota is leaked. Release is nil-safe, so the deferred call covers
+	// the admission-disabled path too.
+	slot, admitErr := e.admissionController().Acquire(ctx, qo.Tenant, clock)
+	defer slot.Release()
+	if admitErr != nil {
+		return nil, admitErr
+	}
+
 	// One immutable view of the federation for the whole execution: a
 	// source registered or dropped mid-query cannot change which sources
 	// this query talks to.
-	rt := &queryRuntime{e: e, ctx: ctx, faults: newQueryFaults(), sources: e.sourcesSnapshot()}
+	rt := &queryRuntime{e: e, ctx: ctx, faults: newQueryFaults(), sources: e.sourcesSnapshot(), slot: slot}
 	rt.opts = e.execOptions(qo, rt)
+	if gov := e.workerGovernor(); gov != nil && slot != nil {
+		// Under contention every running query's exchange worker share
+		// shrinks in proportion to its tenant's priority weight —
+		// backpressure degrades parallelism before it degrades admission.
+		ticket := gov.Register(slot.Priority())
+		defer ticket.Close()
+		rt.opts.Governor = ticket
+	}
 	stats := &exec.ExecStats{}
 	rt.opts.Stats = stats
 	if qo.Trace {
@@ -426,6 +458,8 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 		ExecParallelism:  stats.MaxParallelism(),
 		BatchesProcessed: stats.Batches(),
 		QueryID:          q.ID(),
+		Tenant:           slot.Tenant(),
+		QueueTime:        slot.QueueTime(),
 	}
 	for i, c := range cols {
 		res.Columns[i] = c.Name

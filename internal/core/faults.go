@@ -105,6 +105,9 @@ type queryRuntime struct {
 	// sources is the immutable source map captured when the execution
 	// started; all remote fetches of this query resolve against it.
 	sources map[string]federation.Source
+	// slot is the query's admission hold (nil when admission control is
+	// disabled); remote fetches charge scanned bytes against it.
+	slot *AdmissionSlot
 }
 
 func (rt *queryRuntime) ScanTable(ctx context.Context, source, table string) (exec.Iterator, error) {
@@ -141,6 +144,15 @@ func (rt *queryRuntime) RunRemote(ctx context.Context, source string, subtree pl
 	if err != nil {
 		return nil, fmt.Errorf("core: source %s: %w", source, err)
 	}
+	// Scan-byte accounting happens after the breaker has been fed: the
+	// fetch itself succeeded, so a tripped scan budget is a tenant quota
+	// rejection, not a source fault.
+	if len(rows) > 0 {
+		bytes := int64(datum.RowWireSize(rows[0])) * int64(len(rows))
+		if qerr := rt.slot.ChargeScan(bytes); qerr != nil {
+			return nil, qerr
+		}
+	}
 	return exec.NewSliceIterator(rows), nil
 }
 
@@ -166,14 +178,27 @@ func (e *Engine) execOptions(qo QueryOptions, rt *queryRuntime) exec.Options {
 		},
 		OnRetry: faults.recordRetry,
 		OnSourceError: func(source string, attempt int, err error) {
+			if IsOverload(err) {
+				// Admission rejections are not source faults: keep them
+				// out of the E12 ledger and the caller's error hook.
+				return
+			}
 			faults.recordError(source)
 			if qo.OnSourceError != nil {
 				qo.OnSourceError(source, attempt, err)
 			}
 		},
 	}
+	if rt.slot != nil {
+		opts.Memory = rt.slot
+	}
 	if qo.AllowPartial {
 		opts.OnRemoteFail = func(source string, subtree plan.Node, err error) (exec.Iterator, bool) {
+			if IsOverload(err) {
+				// A quota rejection must fail the query, not silently
+				// degrade it to a partial answer.
+				return nil, false
+			}
 			if isContextErr(err) && rt.ctx.Err() != nil {
 				// The whole query's deadline passed; degrading one
 				// fetch will not save it.

@@ -77,6 +77,16 @@ type Options struct {
 	// fallback or an empty result for partial-tolerant queries) instead
 	// of failing the query.
 	OnRemoteFail func(source string, subtree plan.Node, err error) (Iterator, bool)
+	// Governor, when non-nil, is the query's claim on the shared morsel
+	// worker pool: each operator's exchange degree is additionally capped
+	// by the ticket's current share, so concurrent queries split workers
+	// by tenant priority instead of each taking the full machine.
+	Governor *GovernorTicket
+	// Memory, when non-nil, receives in-flight batch memory charges at
+	// every operator boundary (admission control's per-tenant memory
+	// quota). A Grow error aborts the query with the reservation's
+	// structured overload error.
+	Memory MemoryReservation
 }
 
 func (o Options) maxKeys() int {
@@ -107,6 +117,9 @@ func (o Options) workers(hint int) int {
 	if max < 1 {
 		max = 1
 	}
+	if share := o.Governor.Share(); share < max {
+		max = share
+	}
 	if hint < max {
 		return hint
 	}
@@ -132,6 +145,9 @@ func BuildBatch(ctx context.Context, n plan.Node, rt Runtime, opts Options) (Bat
 	it, err := buildNode(ctx, n, rt, opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Memory != nil {
+		it = &memBatchIter{in: it, mem: opts.Memory}
 	}
 	if ctx.Done() != nil {
 		// Only cancellable contexts pay for the per-batch check; the

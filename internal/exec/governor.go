@@ -1,0 +1,92 @@
+package exec
+
+// The worker governor implements priority-aware backpressure for
+// morsel-driven parallelism (E16). Every running query registers a ticket
+// weighted by its tenant's priority; an operator resolving its exchange
+// degree asks the ticket for its current share of the global worker
+// capacity. With one query running the share is the full capacity; as
+// contention rises each query's share shrinks in proportion to its
+// weight — parallelism degrades before admission does, so whole queries
+// queue only once per-tenant concurrency limits are reached.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Governor divides a fixed worker capacity between concurrently running
+// queries, weighted by priority. Safe for concurrent use.
+type Governor struct {
+	mu       sync.Mutex
+	capacity int
+	total    int // summed weight of live tickets
+}
+
+// NewGovernor creates a governor over the given worker capacity
+// (0 or negative: GOMAXPROCS).
+func NewGovernor(capacity int) *Governor {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	return &Governor{capacity: capacity}
+}
+
+// Register enrolls one running query with the given priority weight
+// (values below 1 count as 1) and returns its ticket. Close the ticket
+// when the query finishes.
+func (g *Governor) Register(weight int) *GovernorTicket {
+	if weight < 1 {
+		weight = 1
+	}
+	g.mu.Lock()
+	g.total += weight
+	g.mu.Unlock()
+	return &GovernorTicket{g: g, weight: weight}
+}
+
+// GovernorTicket is one query's claim on the shared worker pool.
+type GovernorTicket struct {
+	g      *Governor
+	weight int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Share returns the query's current worker allotment:
+// max(1, capacity * weight / totalWeight). It is re-evaluated at every
+// operator build, so a query started under contention widens again as
+// competitors finish. A nil ticket imposes no cap.
+func (t *GovernorTicket) Share() int {
+	if t == nil {
+		return int(^uint(0) >> 1)
+	}
+	t.g.mu.Lock()
+	capacity, total := t.g.capacity, t.g.total
+	t.g.mu.Unlock()
+	if total <= t.weight {
+		return capacity
+	}
+	share := capacity * t.weight / total
+	if share < 1 {
+		return 1
+	}
+	return share
+}
+
+// Close returns the ticket's weight to the pool. Idempotent and nil-safe.
+func (t *GovernorTicket) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	done := t.closed
+	t.closed = true
+	t.mu.Unlock()
+	if done {
+		return
+	}
+	t.g.mu.Lock()
+	t.g.total -= t.weight
+	t.g.mu.Unlock()
+}

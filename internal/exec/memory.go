@@ -1,0 +1,65 @@
+package exec
+
+// In-flight memory accounting for admission control (E16). Every operator
+// boundary wraps its output in a memBatchIter that charges the current
+// batch's estimated wire size to the query's MemoryReservation and
+// releases the previous batch's charge — the summed charge across all
+// live operators approximates the query's resident working set without
+// per-row bookkeeping.
+
+import "repro/internal/datum"
+
+// MemoryReservation is the accounting sink execution-batch memory is
+// charged to (the engine's admission slot implements it per tenant). Grow
+// returns an error once the tenant's in-flight memory limit is exceeded;
+// the failed charge stays in place until Shrink (or the slot's release)
+// undoes it.
+type MemoryReservation interface {
+	Grow(n int64) error
+	Shrink(n int64)
+}
+
+// batchBytes estimates a batch's resident size from its first row —
+// cheap, deterministic, and consistent with the optimizer's wire-size
+// estimates.
+func batchBytes(b Batch) int64 {
+	if len(b) == 0 {
+		return 0
+	}
+	return int64(datum.RowWireSize(b[0])) * int64(len(b))
+}
+
+// memBatchIter charges one operator boundary's live batch to the
+// reservation: each pull releases the previous batch and charges the new
+// one; Close releases the residual.
+type memBatchIter struct {
+	in      BatchIterator
+	mem     MemoryReservation
+	charged int64
+}
+
+func (m *memBatchIter) NextBatch() (Batch, error) {
+	if m.charged > 0 {
+		m.mem.Shrink(m.charged)
+		m.charged = 0
+	}
+	b, err := m.in.NextBatch()
+	if err != nil {
+		return b, err
+	}
+	if n := batchBytes(b); n > 0 {
+		m.charged = n
+		if gerr := m.mem.Grow(n); gerr != nil {
+			return nil, gerr
+		}
+	}
+	return b, nil
+}
+
+func (m *memBatchIter) Close() {
+	if m.charged > 0 {
+		m.mem.Shrink(m.charged)
+		m.charged = 0
+	}
+	m.in.Close()
+}

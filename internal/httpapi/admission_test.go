@@ -1,0 +1,162 @@
+package httpapi
+
+// E16 endpoint tests: the X-EII-Tenant header routes requests to their
+// admission bucket, a shed query is answered 429 + Retry-After (never
+// hung), and /healthz carries the per-tenant admission accounting.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// postTenant posts a query under the named admission tenant.
+func postTenant(t *testing.T, url, tenant string, body QueryRequest) (*http.Response, []byte) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TenantHeader, tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// waitActive polls until the tenant shows n active queries.
+func waitActive(t *testing.T, e *core.Engine, tenant string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, s := range e.AdmissionStats() {
+			if s.Tenant == tenant && s.Active == n {
+				return
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("tenant %s never reached %d active queries: %+v", tenant, n, e.AdmissionStats())
+}
+
+// TestTenantHeaderAnd429 saturates a one-slot tenant and checks the
+// second request is answered 429 with the structured overload body and a
+// Retry-After header — immediately, not after the running query ends.
+func TestTenantHeaderAnd429(t *testing.T) {
+	srv, e := slowServer(t, 4, 30*time.Millisecond)
+	e.EnableAdmission(core.AdmissionConfig{RetryAfter: 1500 * time.Millisecond})
+	if err := e.DefineTenant(core.TenantConfig{Name: "vip", MaxConcurrent: 1, MaxQueueDepth: -1}); err != nil {
+		t.Fatal(err)
+	}
+
+	holder := make(chan struct{})
+	go func() {
+		defer close(holder)
+		resp, body := postTenant(t, srv.URL+"/query", "vip", QueryRequest{SQL: "SELECT COUNT(*) FROM wide"})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("holder status = %d: %s", resp.StatusCode, body)
+			return
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Error(err)
+			return
+		}
+		if qr.Tenant != "vip" {
+			t.Errorf("holder response tenant = %q, want vip", qr.Tenant)
+		}
+	}()
+	waitActive(t, e, "vip", 1)
+
+	start := time.Now()
+	resp, body := postTenant(t, srv.URL+"/query", "vip", QueryRequest{SQL: "SELECT COUNT(*) FROM wide"})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", resp.StatusCode, body)
+	}
+	if elapsed > 25*time.Millisecond {
+		t.Errorf("shed request took %v; a 429 must not wait out the running query", elapsed)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want %q (1500ms rounded up to whole seconds)", got, "2")
+	}
+	var eb struct {
+		Error        string `json:"error"`
+		Overloaded   bool   `json:"overloaded"`
+		Tenant       string `json:"tenant"`
+		RetryAfterMs int64  `json:"retryAfterMs"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if !eb.Overloaded || eb.Tenant != "vip" || eb.RetryAfterMs != 1500 {
+		t.Errorf("overload body = %+v, want overloaded vip 1500ms", eb)
+	}
+	<-holder
+
+	// /healthz reports the bucket's accounting: one admitted, one shed.
+	hresp, hbody := postTenant(t, srv.URL+"/healthz", "", QueryRequest{})
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d: %s", hresp.StatusCode, hbody)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(hbody, &hr); err != nil {
+		t.Fatal(err)
+	}
+	var vip *core.TenantAdmissionStats
+	for i := range hr.Admission {
+		if hr.Admission[i].Tenant == "vip" {
+			vip = &hr.Admission[i]
+		}
+	}
+	if vip == nil {
+		t.Fatalf("healthz admission stats missing tenant vip: %s", hbody)
+	}
+	if vip.Admitted != 1 || vip.Shed != 1 || vip.Active != 0 {
+		t.Errorf("vip stats = %+v, want admitted=1 shed=1 active=0", vip)
+	}
+}
+
+// TestQueueTimeOnWire checks a query that waited for admission reports
+// its queue time in the response body.
+func TestQueueTimeOnWire(t *testing.T) {
+	srv, e := slowServer(t, 4, 20*time.Millisecond)
+	if err := e.DefineTenant(core.TenantConfig{Name: "q", MaxConcurrent: 1, MaxQueueDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	holder := make(chan struct{})
+	go func() {
+		defer close(holder)
+		postTenant(t, srv.URL+"/query", "q", QueryRequest{SQL: "SELECT COUNT(*) FROM wide"})
+	}()
+	waitActive(t, e, "q", 1)
+
+	resp, body := postTenant(t, srv.URL+"/query", "q", QueryRequest{SQL: "SELECT COUNT(*) FROM wide"})
+	<-holder
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued query status = %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Tenant != "q" {
+		t.Errorf("tenant = %q, want q", qr.Tenant)
+	}
+	if qr.QueueTime == "" {
+		t.Errorf("queued query reported no queueTime: %s", body)
+	}
+}

@@ -64,7 +64,14 @@ type QueryRequest struct {
 	// Trace attaches the query-scoped span tree to the response (also
 	// settable per request with the ?trace=1 URL parameter).
 	Trace bool `json:"trace,omitempty"`
+	// Tenant names the admission bucket the query runs under. The
+	// X-EII-Tenant request header takes precedence; absent both, the
+	// query runs as the "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
+
+// TenantHeader is the request header naming the admission tenant.
+const TenantHeader = "X-EII-Tenant"
 
 // PrepareResponse is the body returned by /prepare.
 type PrepareResponse struct {
@@ -112,6 +119,11 @@ type QueryResponse struct {
 	// Trace is the query's span tree, present when the request asked for
 	// it (?trace=1 or {"trace": true}).
 	Trace *exec.Span `json:"trace,omitempty"`
+	// Tenant is the admission bucket the query ran under (present when
+	// admission control is enabled).
+	Tenant string `json:"tenant,omitempty"`
+	// QueueTime is how long the query waited for admission.
+	QueueTime string `json:"queueTime,omitempty"`
 }
 
 // QueriesResponse is the body returned by GET /queries.
@@ -147,6 +159,9 @@ type HealthResponse struct {
 	PlanCache plancache.Stats `json:"planCache"`
 	// CatalogVersion is the current catalog version.
 	CatalogVersion uint64 `json:"catalogVersion"`
+	// Admission is the per-tenant admission accounting (admitted, queued,
+	// shed, memory in use), present when admission control is enabled.
+	Admission []core.TenantAdmissionStats `json:"admission,omitempty"`
 }
 
 // RequestLogEntry describes one completed /query request for the server's
@@ -205,6 +220,13 @@ type errorBody struct {
 	SkippedSources []string       `json:"skippedSources,omitempty"`
 	SourceErrors   map[string]int `json:"sourceErrors,omitempty"`
 	Retries        map[string]int `json:"retries,omitempty"`
+	// Overloaded is true when admission control shed the query (HTTP 429;
+	// the Retry-After header carries the back-off hint).
+	Overloaded bool `json:"overloaded,omitempty"`
+	// Tenant is the admission bucket an overloaded query was charged to.
+	Tenant string `json:"tenant,omitempty"`
+	// RetryAfterMs mirrors the Retry-After header in milliseconds.
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
 }
 
 // NewHandler builds the HTTP API over a mediator.
@@ -230,6 +252,7 @@ func NewHandlerLogged(engine *core.Engine, logFn func(RequestLogEntry)) http.Han
 				resp.Status = "degraded"
 			}
 		}
+		resp.Admission = engine.AdmissionStats()
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/prepare", func(w http.ResponseWriter, r *http.Request) {
@@ -395,6 +418,7 @@ func queryOptions(req QueryRequest) core.QueryOptions {
 	qo.Parallelism = req.Parallelism
 	qo.BatchSize = req.BatchSize
 	qo.Trace = req.Trace
+	qo.Tenant = req.Tenant
 	return qo
 }
 
@@ -452,6 +476,9 @@ func readQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, boo
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
 		return req, false
 	}
+	if t := r.Header.Get(TenantHeader); t != "" {
+		req.Tenant = t
+	}
 	return req, true
 }
 
@@ -481,6 +508,10 @@ func toQueryResponse(res *core.Result) QueryResponse {
 	out.BatchesProcessed = res.BatchesProcessed
 	out.QueryID = res.QueryID
 	out.Trace = res.Trace
+	out.Tenant = res.Tenant
+	if res.QueueTime > 0 {
+		out.QueueTime = res.QueueTime.Round(time.Microsecond).String()
+	}
 	return out
 }
 
@@ -542,16 +573,27 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// writeQueryError maps a failed query to its HTTP shape: cancellation and
-// deadline expiry answer 499 (client closed request), everything else 400.
-// The engine hands back a non-nil Result alongside execution errors; its
-// fault ledger (partial flags, per-source errors, retries) rides along in
-// the error body so a cancelled AllowPartial query still shows what it
-// had reached.
+// writeQueryError maps a failed query to its HTTP shape: admission
+// rejections answer 429 (too many requests) with a Retry-After header,
+// cancellation and deadline expiry answer 499 (client closed request),
+// everything else 400. The engine hands back a non-nil Result alongside
+// execution errors; its fault ledger (partial flags, per-source errors,
+// retries) rides along in the error body so a cancelled AllowPartial
+// query still shows what it had reached.
 func writeQueryError(w http.ResponseWriter, res *core.Result, err error) {
 	body := errorBody{Error: err.Error()}
 	status := http.StatusBadRequest
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if o, ok := core.AsOverload(err); ok {
+		status = http.StatusTooManyRequests
+		body.Overloaded = true
+		body.Tenant = o.Tenant
+		body.RetryAfterMs = o.RetryAfter.Milliseconds()
+		secs := int64((o.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		status = StatusClientClosedRequest
 		body.Canceled = true
 	}
