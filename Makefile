@@ -4,9 +4,9 @@
 GO ?= go
 RACE_PKGS := ./...
 
-.PHONY: check fmt vet lint build test race race-cancel race-overload bench bench-smoke
+.PHONY: check fmt vet lint build test alloc-guard race race-cancel race-overload bench bench-smoke
 
-check: fmt vet lint build test race race-cancel race-overload bench-smoke
+check: fmt vet lint build test alloc-guard race race-cancel race-overload bench-smoke
 
 fmt:
 	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
@@ -45,6 +45,12 @@ race-cancel:
 race-overload:
 	$(GO) test -race -run 'TestE16MixedTenantCancelStorm' -count=3 ./internal/core
 
+# E17 allocation fence: the warm plan-cache-hit path must stay inside its
+# allocs/op and bytes/op budget (see alloc_guard_test.go). -count=1 defeats
+# the test cache so the guard actually measures on every check.
+alloc-guard:
+	$(GO) test -run 'TestE17AllocGuard' -count=1 .
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -53,8 +59,8 @@ bench:
 # code itself compiling and running (a broken bench otherwise goes
 # unnoticed until someone runs the full suite), and it leaves
 # machine-readable BENCH_E13.json / BENCH_E14.json / BENCH_E15.json /
-# BENCH_E16.json artifacts.
+# BENCH_E16.json / BENCH_E17.json artifacts.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel|BenchmarkE16OpenLoop' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel|BenchmarkE16OpenLoop|BenchmarkE17FrontEnd' \
 		-benchtime 10x -benchmem -json . \
-		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json E16=BENCH_E16.json
+		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json E16=BENCH_E16.json E17=BENCH_E17.json

@@ -1,0 +1,71 @@
+// E17 allocation guard: the warm plan-cache-hit path must stay inside a
+// fixed allocation budget, or tier-1 fails. This is the regression fence
+// behind the arena-backed front end — a change that quietly reintroduces
+// per-query heap work (an AST node off the slab path, a closure in the
+// fetch loop, a lost scratch buffer) trips it long before a profile would.
+// `make alloc-guard` runs exactly this test; `make check` includes it.
+//
+// Excluded under the race detector: its instrumentation allocates on its
+// own behalf, so allocs/op there measures the detector, not the engine.
+
+//go:build !race
+
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The E17 acceptance budget for one warm cached-hit query end to end
+// (parse → cache hit → arena bind → scratch execute → result copy-out).
+// Measured headroom at the time of writing: ~95 allocs, ~23 KB. The caps
+// leave room for harness noise, not for regressions.
+const (
+	e17MaxAllocsPerOp = 100
+	e17MaxBytesPerOp  = 64 << 10
+)
+
+func TestE17AllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard runs a benchmark loop; skipped in -short")
+	}
+	cfg := workload.DefaultCRM()
+	cfg.Customers = 120
+	fed, err := workload.BuildCRM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := fed.Engine
+	qo := core.QueryOptions{}
+	// Warm the plan cache across every constant rotation so the measured
+	// loop is pure cache hits.
+	for i := 0; i < 128; i++ {
+		if _, err := engine.QueryOpts(e13BenchSQL(i), qo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.QueryOpts(e13BenchSQL(i), qo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if hr := engine.PlanCacheStats().HitRate(); hr < 0.95 {
+		t.Fatalf("guard loop is not measuring the cached path: hit rate %.2f", hr)
+	}
+	if a := res.AllocsPerOp(); a > e17MaxAllocsPerOp {
+		t.Errorf("warm cached-hit query allocates %d objects/op, budget is %d (E17)",
+			a, int(e17MaxAllocsPerOp))
+	}
+	if n := res.AllocedBytesPerOp(); n > e17MaxBytesPerOp {
+		t.Errorf("warm cached-hit query allocates %d bytes/op, budget is %d (E17)",
+			n, int(e17MaxBytesPerOp))
+	}
+	t.Logf("warm cached-hit: %d allocs/op, %d bytes/op (budget %d / %d)",
+		res.AllocsPerOp(), res.AllocedBytesPerOp(), e17MaxAllocsPerOp, e17MaxBytesPerOp)
+}

@@ -518,6 +518,69 @@ func BenchmarkE14VectorizedParallelFanOut(b *testing.B) {
 	}
 }
 
+// --- E17: zero-allocation query front end ---
+
+// e17PreparedSQL is the explicit-placeholder spelling of the E13 portal
+// shape, for the prepared-statement path where the client binds values.
+const e17PreparedSQL = "SELECT name, amount, status FROM customer360 WHERE id = $1 AND amount > $2"
+
+// BenchmarkE17FrontEnd measures the arena-backed front end on the three
+// paths a portal exercises: a cold compile (plan cache off — every op
+// runs lex, parse, bind, optimize), a warm cached hit (the steady-state
+// path the E17 allocation budget governs; see TestE17AllocGuard), and
+// prepared-statement execution (parse amortized away entirely, only
+// bind + execute per op). allocs/op on all three lands in BENCH_E17.json
+// via `make bench-smoke`.
+func BenchmarkE17FrontEnd(b *testing.B) {
+	fed := mustCRM(b, 120)
+	engine := fed.Engine
+
+	b.Run("cold-parse", func(b *testing.B) {
+		qo := core.QueryOptions{NoPlanCache: true}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.QueryOpts(e13BenchSQL(i), qo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("cached-hit", func(b *testing.B) {
+		qo := core.QueryOptions{}
+		for i := 0; i < 64; i++ { // warm the template
+			if _, err := engine.QueryOpts(e13BenchSQL(i), qo); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.QueryOpts(e13BenchSQL(i), qo); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(engine.PlanCacheStats().HitRate()*100, "hit%")
+	})
+
+	b.Run("prepared-exec", func(b *testing.B) {
+		ps, err := engine.Prepare(e17PreparedSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := datum.NewInt(int64(1 + i%97))
+			floor := datum.NewInt(int64(100 + 50*(i%9)))
+			if _, err := ps.ExecuteCtx(ctx, id, floor); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Engine micro-benchmarks ---
 
 func BenchmarkMicroParse(b *testing.B) {

@@ -94,6 +94,7 @@ func All() []*Analyzer {
 		ErrDrop,
 		CtxPropagate,
 		AcquireRelease,
+		ArenaEscape,
 	}
 }
 

@@ -281,3 +281,13 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("eiilint finding on main tree: %s", d)
 	}
 }
+
+func TestArenaEscapeFixture(t *testing.T) {
+	runFixture(t, ArenaEscape, "arenaescape", "repro/internal/analysis/fixture")
+}
+
+func TestArenaEscapeInsideAllocatorPackages(t *testing.T) {
+	// The allocator packages build arena-backed structures by design; the
+	// check must not fire inside them.
+	expectClean(t, ArenaEscape, "arenaescape", "repro/internal/sqlparse")
+}

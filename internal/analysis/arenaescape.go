@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Packages whose allocators hand out query-lifetime memory. The analyzer
+// does not run inside them: sqlparse building its own arena-backed AST and
+// arena's slab internals are the mechanism, not a violation of it.
+const (
+	sqlparsePkgPath = "repro/internal/sqlparse"
+	arenaPkgPath    = "repro/internal/arena"
+)
+
+// ArenaEscape flags storing an arena- or scratch-backed value into a
+// struct field, package-level variable, or channel. Everything allocated
+// through a query's sqlparse.Arena, plan bind slabs, or exec.Scratch dies
+// at the engine's PutArena/scratch release on query exit; a store that
+// outlives the query dangles into recycled slab blocks. Copy to the heap
+// at the boundary (the engine block-clones result rows) or annotate an
+// owned per-query container with //lint:ignore arenaescape <why>.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc:  "no arena/scratch-backed value stored into fields, globals, or channels",
+	Run:  runArenaEscape,
+}
+
+func runArenaEscape(p *Pass) {
+	if p.Path == sqlparsePkgPath || p.Path == arenaPkgPath ||
+		strings.HasPrefix(p.Path, sqlparsePkgPath+".") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			p.checkArenaEscapes(fn.Body)
+		}
+	}
+}
+
+// checkArenaEscapes walks one function body tracking which locals hold
+// arena-backed values (assigned from a producer call), then flags stores
+// of those values — or of producer results directly — into targets that
+// outlive the query.
+func (p *Pass) checkArenaEscapes(body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !p.arenaProducer(rhs) && !p.taintedExpr(tainted, rhs) {
+					// Reassignment from a clean source clears a local's
+					// taint (p is rebound to a heap compile on the
+					// uncached path, for example). A single clean call
+					// feeding a tuple clears every target.
+					lhs := st.Lhs
+					if len(st.Rhs) == len(st.Lhs) {
+						lhs = st.Lhs[i : i+1]
+					}
+					for _, l := range lhs {
+						if id, ok := l.(*ast.Ident); ok {
+							if obj := p.objectOf(id); obj != nil {
+								delete(tainted, obj)
+							}
+						}
+					}
+					continue
+				}
+				// One producer call can feed a tuple (v, err := ...);
+				// taint/flag every non-error LHS.
+				lhs := st.Lhs
+				if len(st.Rhs) == len(st.Lhs) {
+					lhs = st.Lhs[i : i+1]
+				}
+				for _, l := range lhs {
+					if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+						if obj := p.objectOf(id); obj != nil && !isPackageLevel2(obj) {
+							tainted[obj] = true
+							continue
+						}
+					}
+					if kind, name := p.retentionTarget(l); kind != "" {
+						p.reportArenaEscape(st.Pos(), kind, name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if p.arenaProducer(st.Value) || p.taintedExpr(tainted, st.Value) {
+				p.Reportf(st.Pos(),
+					"sending an arena-backed value on a channel lets it escape the query that owns the arena; copy it to the heap first")
+			}
+		}
+		return true
+	})
+}
+
+func (p *Pass) reportArenaEscape(pos token.Pos, kind, name string) {
+	p.Reportf(pos,
+		"storing an arena-backed value into %s %q retains it past the arena's Reset on query exit; copy it to the heap or annotate an owned per-query container",
+		kind, name)
+}
+
+// taintedExpr reports whether e reads a tracked arena-backed local,
+// directly or through a slice/index/field/conversion of one.
+func (p *Pass) taintedExpr(tainted map[types.Object]bool, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := p.objectOf(x)
+		return obj != nil && tainted[obj]
+	case *ast.IndexExpr:
+		return p.taintedExpr(tainted, x.X)
+	case *ast.SliceExpr:
+		return p.taintedExpr(tainted, x.X)
+	case *ast.SelectorExpr:
+		return p.taintedExpr(tainted, x.X)
+	case *ast.CallExpr:
+		// A conversion keeps the backing memory: datum.Row(scratchSlice).
+		if tv, ok := p.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return p.taintedExpr(tainted, x.Args[0])
+		}
+	case *ast.ParenExpr:
+		return p.taintedExpr(tainted, x.X)
+	case *ast.StarExpr:
+		return p.taintedExpr(tainted, x.X)
+	}
+	return false
+}
+
+// arenaProducer reports whether e is a call that returns arena- or
+// scratch-backed memory: sqlparse.ParseArena, plan.BindParamsIn (arena
+// mode shares the statement's lifetime either way), exec's scratch-backed
+// drains, any Make*/New/Copy method on exec.Scratch or arena.Slab, and
+// any allocating method on sqlparse.Arena.
+func (p *Pass) arenaProducer(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	// Package-qualified producers.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.objectOf(id).(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case sqlparsePkgPath:
+				return name == "ParseArena"
+			case "repro/internal/plan":
+				return name == "BindParamsIn"
+			case "repro/internal/exec":
+				return name == "DrainBatchesScratch"
+			}
+			return false
+		}
+	}
+	// Method producers, by receiver type.
+	recv := p.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if rn, ok := namedFrom(recv, "repro/internal/exec"); ok && rn == "Scratch" {
+		return strings.HasPrefix(name, "Make")
+	}
+	if rn, ok := namedFrom(recv, arenaPkgPath); ok && rn == "Slab" {
+		return name == "New" || name == "Make" || name == "Copy"
+	}
+	if rn, ok := namedFrom(recv, sqlparsePkgPath); ok && rn == "Arena" {
+		// RenderSQL returns a fresh string; everything else allocating
+		// on the arena shares its lifetime.
+		return name != "Reset" && name != "Bytes" && name != "RenderSQL" &&
+			name != "Ext" && name != "SetExt"
+	}
+	return false
+}
+
+// isPackageLevel2 reports whether obj is declared at package scope (the
+// var-specific helper in batchretain.go takes *types.Var).
+func isPackageLevel2(obj types.Object) bool {
+	if v, ok := obj.(*types.Var); ok {
+		return isPackageLevel(v)
+	}
+	return false
+}

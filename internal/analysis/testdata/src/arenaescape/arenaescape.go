@@ -1,0 +1,105 @@
+// Fixture for the arenaescape analyzer: hit, miss, and ignore cases.
+package fixture
+
+import (
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+)
+
+type holder struct {
+	sel   *sqlparse.Select
+	plan  plan.Node
+	rows  []datum.Row
+	cells []datum.Datum
+}
+
+var globalSel *sqlparse.Select
+
+var rowCh = make(chan []datum.Row, 1)
+
+func (h *holder) hitFieldStoreParse(a *sqlparse.Arena, sql string) error {
+	sel, err := sqlparse.ParseArena(a, sql)
+	if err != nil {
+		return err
+	}
+	h.sel = sel // want "storing an arena-backed value into struct field \"sel\""
+	return nil
+}
+
+func (h *holder) hitDirectFieldStore(s *exec.Scratch) {
+	h.cells = s.MakeDatums(8) // want "storing an arena-backed value into struct field \"cells\""
+}
+
+func (h *holder) hitBoundPlanStore(a *sqlparse.Arena, n plan.Node, params []datum.Datum) error {
+	bound, err := plan.BindParamsIn(a, n, params)
+	if err != nil {
+		return err
+	}
+	h.plan = bound // want "storing an arena-backed value into struct field \"plan\""
+	return nil
+}
+
+func hitGlobalStore(a *sqlparse.Arena, sql string) {
+	sel, _ := sqlparse.ParseArena(a, sql)
+	globalSel = sel // want "storing an arena-backed value into package variable \"globalSel\""
+}
+
+func hitChannelSend(it exec.BatchIterator, s *exec.Scratch) error {
+	rows, err := exec.DrainBatchesScratch(it, s)
+	if err != nil {
+		return err
+	}
+	rowCh <- rows // want "sending an arena-backed value on a channel"
+	return nil
+}
+
+func (h *holder) hitSlicedScratchStore(s *exec.Scratch) {
+	rows := s.MakeRows(16)
+	h.rows = rows[:4] // want "storing an arena-backed value into struct field \"rows\""
+}
+
+func (h *holder) hitLiteralStore(a *sqlparse.Arena, v datum.Datum) {
+	lit := a.NewLiteral(v)
+	var e sqlparse.Expr = lit
+	_ = e
+	h.sel = nil
+	h.plan = nil
+	h.cells = nil
+	globalSel = nil
+	h.rows = datum.CloneRowsBlock(rows(a)) // heap copy at the boundary: fine
+}
+
+func rows(*sqlparse.Arena) []datum.Row { return nil }
+
+func missHeapParse(h *holder, sql string) error {
+	sel, err := sqlparse.Parse(sql) // retain-safe heap parse
+	if err != nil {
+		return err
+	}
+	h.sel = sel
+	return nil
+}
+
+func missLocalUse(a *sqlparse.Arena, sql string) int {
+	sel, err := sqlparse.ParseArena(a, sql)
+	if err != nil {
+		return 0
+	}
+	return len(sel.Items) // locals die with the frame; no escape
+}
+
+func missHeapCopy(it exec.BatchIterator, s *exec.Scratch, h *holder) error {
+	scratchRows, err := exec.DrainBatchesScratch(it, s)
+	if err != nil {
+		return err
+	}
+	h.rows = datum.CloneRowsBlock(scratchRows) // deep copy: the scratch can recycle
+	return nil
+}
+
+func (h *holder) ignoreOwnedContainer(s *exec.Scratch) {
+	//lint:ignore arenaescape holder is itself per-query state released before PutArena
+	h.cells = s.MakeDatums(8)
+}

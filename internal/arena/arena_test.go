@@ -1,0 +1,98 @@
+package arena
+
+import "testing"
+
+type node struct {
+	name string
+	next *node
+}
+
+func TestNewPointerStability(t *testing.T) {
+	var s Slab[node]
+	ptrs := make([]*node, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		ptrs = append(ptrs, s.New(node{name: "n"}))
+	}
+	// Growth must never move previously handed-out values.
+	for i, p := range ptrs {
+		p.name = "set"
+		if i > 0 {
+			p.next = ptrs[i-1]
+		}
+	}
+	for _, p := range ptrs {
+		if p.name != "set" {
+			t.Fatal("slab value moved or was clobbered during growth")
+		}
+	}
+	if s.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", s.Len())
+	}
+}
+
+func TestMakeIsZeroedAndCapped(t *testing.T) {
+	var s Slab[int]
+	a := s.Make(10)
+	for i := range a {
+		a[i] = i + 1
+	}
+	b := s.Make(10)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("Make returned dirty memory at %d: %d", i, v)
+		}
+	}
+	if cap(a) != len(a) {
+		t.Fatalf("Make slice cap %d != len %d; appends would clobber neighbors", cap(a), len(a))
+	}
+	// Appending past cap must reallocate, not overwrite b.
+	a = append(a, 99)
+	if b[0] != 0 {
+		t.Fatal("append to a Make slice overwrote the next allocation")
+	}
+	// Oversized requests get their own block.
+	big := s.Make(10 * maxBlockElems)
+	if len(big) != 10*maxBlockElems {
+		t.Fatalf("big Make len = %d", len(big))
+	}
+}
+
+func TestCopy(t *testing.T) {
+	var s Slab[string]
+	src := []string{"a", "b", "c"}
+	dst := s.Copy(src)
+	src[0] = "mutated"
+	if dst[0] != "a" || dst[2] != "c" {
+		t.Fatalf("Copy = %v", dst)
+	}
+	if s.Copy(nil) != nil {
+		t.Fatal("Copy(nil) must be nil")
+	}
+}
+
+func TestResetReusesBlocks(t *testing.T) {
+	var s Slab[node]
+	warm := func() {
+		for i := 0; i < 300; i++ {
+			s.New(node{name: "x"})
+		}
+		s.Reset()
+	}
+	warm() // populate blocks
+	allocs := testing.AllocsPerRun(20, warm)
+	if allocs > 1 {
+		t.Fatalf("warm New cycle allocates %.1f times per run; blocks are not being reused", allocs)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("after Reset: Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+}
+
+func TestBytes(t *testing.T) {
+	var s Slab[int64]
+	s.Make(8)
+	s.New(1)
+	if got := s.Bytes(); got != 9*8 {
+		t.Fatalf("Bytes = %d, want 72", got)
+	}
+}

@@ -134,6 +134,7 @@ func (e *Engine) SetBreakerConfig(cfg BreakerConfig) {
 	e.mu.Lock()
 	e.breakerCfg = cfg
 	e.breakers = make(map[string]*breaker)
+	e.invalidateTopo()
 	e.mu.Unlock()
 	// Resetting breakers changes source availability, which changes how
 	// plans place remote work; retire plans compiled under the old state.
@@ -153,6 +154,9 @@ func (e *Engine) breakerFor(source string) *breaker {
 	if !ok {
 		b = newBreaker(e.breakerCfg, e.clock)
 		e.breakers[key] = b
+		// The cached availability topology holds breaker pointers; a
+		// newly materialized breaker must appear in it.
+		e.invalidateTopo()
 	}
 	return b
 }

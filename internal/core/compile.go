@@ -31,6 +31,9 @@ import (
 type compiledPlan struct {
 	tmpl    plan.Node
 	nParams int
+	// cost is the optimizer's estimate for the template, computed once at
+	// insertion so cached executions don't re-walk the plan per query.
+	cost opt.PlanCost
 }
 
 // compile runs the planning pipeline over one catalog snapshot:
@@ -83,30 +86,44 @@ func optionsFingerprint(qo QueryOptions) string {
 // the mask also lets a breaker's timed open→half-open transition surface
 // as a cache miss rather than a stale plan.
 func (e *Engine) availabilityMask() string {
-	// One lock acquisition for the whole mask: this runs on every cached
-	// query, so it must not re-lock per source the way Sources() +
-	// SourceAvailable() would.
+	// The name-sorted breaker list is topology, not state: it changes
+	// only when sources register/deregister or breakers reset, so it is
+	// cached on the engine and rebuilt lazily after invalidation. Only
+	// the per-breaker State() reads happen per query.
 	e.mu.RLock()
-	names := make([]string, 0, len(e.sources))
-	for k := range e.sources {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	breakers := make([]*breaker, len(names))
-	for i, n := range names {
-		breakers[i] = e.breakers[n]
-	}
+	breakers := e.maskBreakers
 	e.mu.RUnlock()
+	if breakers == nil {
+		e.mu.Lock()
+		if e.maskBreakers == nil {
+			names := make([]string, 0, len(e.sources))
+			for k := range e.sources {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			bs := make([]*breaker, len(names))
+			for i, n := range names {
+				bs[i] = e.breakers[n]
+			}
+			e.maskBreakers = bs
+		}
+		breakers = e.maskBreakers
+		e.mu.Unlock()
+	}
 
-	var b strings.Builder
+	var stack [64]byte
+	buf := stack[:0]
+	if len(breakers) > len(stack) {
+		buf = make([]byte, 0, len(breakers))
+	}
 	for _, br := range breakers {
 		if br == nil || br.State() != BreakerOpen {
-			b.WriteByte('1')
+			buf = append(buf, '1')
 		} else {
-			b.WriteByte('0')
+			buf = append(buf, '0')
 		}
 	}
-	return b.String()
+	return string(buf)
 }
 
 // planKey builds the cache key for a normalized statement under the
@@ -212,13 +229,13 @@ func (ps *PreparedStatement) NumParams() int { return ps.nParams }
 // SQL returns the normalized statement text.
 func (ps *PreparedStatement) SQL() string { return ps.text }
 
-// cachedTemplate returns the compiled plan template for a normalized
+// cachedTemplate returns the compiled plan-cache entry for a normalized
 // statement, consulting the plan cache first. The bool reports whether it
 // was a cache hit.
-func (e *Engine) cachedTemplate(ctx context.Context, normSQL string, qo QueryOptions, snap *catalog.Snapshot) (plan.Node, bool, error) {
+func (e *Engine) cachedTemplate(ctx context.Context, normSQL string, qo QueryOptions, snap *catalog.Snapshot) (*compiledPlan, bool, error) {
 	key := e.planKey(normSQL, snap.Version(), qo)
 	if v, ok := e.plans.Get(key); ok {
-		return v.(*compiledPlan).tmpl, true, nil
+		return v.(*compiledPlan), true, nil
 	}
 	sel, err := sqlparse.Parse(normSQL)
 	if err != nil {
@@ -228,8 +245,9 @@ func (e *Engine) cachedTemplate(ctx context.Context, normSQL string, qo QueryOpt
 	if err != nil {
 		return nil, false, err
 	}
-	e.plans.Put(key, &compiledPlan{tmpl: tmpl, nParams: sqlparse.MaxParamIndex(sel)})
-	return tmpl, false, nil
+	cp := &compiledPlan{tmpl: tmpl, nParams: sqlparse.MaxParamIndex(sel), cost: opt.Cost(tmpl, e.env())}
+	e.plans.Put(key, cp)
+	return cp, false, nil
 }
 
 // Execute binds parameter values ($1 = params[0], ...) and runs the
@@ -252,32 +270,48 @@ func (ps *PreparedStatement) ExecuteCtx(ctx context.Context, params ...datum.Dat
 	planStart := clock.Now()
 	snap := e.catalog.Snapshot()
 
+	// Bound parameter subtrees live in the query's arena (see QueryOptsCtx
+	// for the lifecycle argument); the template itself stays on the heap.
+	ar := sqlparse.GetArena()
+	defer sqlparse.PutArena(ar)
+
 	var tmpl plan.Node
+	var est opt.PlanCost
 	var hit bool
 	var err error
 	if ps.cacheable && !ps.qo.NoPlanCache {
-		tmpl, hit, err = e.cachedTemplate(ctx, ps.text, ps.qo, snap)
+		var cp *compiledPlan
+		cp, hit, err = e.cachedTemplate(ctx, ps.text, ps.qo, snap)
+		if err == nil {
+			tmpl, est = cp.tmpl, cp.cost
+		}
 	} else {
 		var sel *sqlparse.Select
 		sel, err = sqlparse.Parse(ps.text)
 		if err == nil {
 			tmpl, err = e.compile(ctx, sel, ps.qo, snap)
 		}
+		if err == nil {
+			est = opt.Cost(tmpl, e.env())
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	bound, err := plan.BindParams(tmpl, params)
+	bound, err := plan.BindParamsIn(ar, tmpl, params)
 	if err != nil {
 		return nil, err
 	}
 	planTime := clock.Since(planStart)
 
-	res, err := e.executeCtx(ctx, bound, ps.qo, ps.text, planTime)
+	res, err := e.executeCtx(ctx, bound, ps.qo, ps.text, planTime, est)
 	if res != nil {
 		res.PlanTime = planTime
 		res.CacheHit = hit
 		res.CatalogVersion = snap.Version()
+		// Report the retained template, not the arena-backed bound plan.
+		res.Plan = tmpl
+		res.ArenaBytes += ar.Bytes()
 	}
 	return res, err
 }

@@ -40,6 +40,21 @@ type Engine struct {
 	inflight   inflightRegistry
 	admission  *admissionController
 	governor   *exec.Governor
+
+	// Topology caches, rebuilt lazily and dropped (set nil) on any
+	// source or breaker mutation; guarded by mu. srcSnap is the
+	// immutable source map handed to query executions; maskBreakers is
+	// the name-sorted breaker list the availability mask reads. Both are
+	// consulted on every query, so they must not be rebuilt per query.
+	srcSnap      map[string]federation.Source
+	maskBreakers []*breaker
+}
+
+// invalidateTopo drops the cached topology snapshots. Callers must hold
+// e.mu for writing.
+func (e *Engine) invalidateTopo() {
+	e.srcSnap = nil
+	e.maskBreakers = nil
 }
 
 // DefaultPlanCacheSize is the number of compiled plans the engine retains.
@@ -68,6 +83,7 @@ func (e *Engine) SetClock(c netsim.Clock) {
 	e.mu.Lock()
 	e.clock = c
 	e.breakers = make(map[string]*breaker)
+	e.invalidateTopo()
 	e.mu.Unlock()
 }
 
@@ -117,6 +133,7 @@ func (e *Engine) Register(src federation.Source) error {
 		return err
 	}
 	e.sources[key] = src
+	e.invalidateTopo()
 	e.invalidateStalePlans()
 	return nil
 }
@@ -128,6 +145,7 @@ func (e *Engine) Deregister(name string) {
 	defer e.mu.Unlock()
 	delete(e.sources, strings.ToLower(name))
 	delete(e.breakers, strings.ToLower(name))
+	e.invalidateTopo()
 	e.catalog.RemoveSource(name)
 	e.invalidateStalePlans()
 }
@@ -140,17 +158,28 @@ func (e *Engine) Source(name string) (federation.Source, bool) {
 	return s, ok
 }
 
-// sourcesSnapshot copies the source map once so an execution resolves
-// sources without further locking and without seeing mid-query
-// registration churn.
+// sourcesSnapshot returns an immutable copy of the source map so an
+// execution resolves sources without further locking and without seeing
+// mid-query registration churn. The copy is cached across queries —
+// registration is rare, queries are not — and rebuilt only after a
+// source mutation invalidates it. Callers must never mutate the result.
 func (e *Engine) sourcesSnapshot() map[string]federation.Source {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	snap := make(map[string]federation.Source, len(e.sources))
-	for k, v := range e.sources {
-		snap[k] = v
+	snap := e.srcSnap
+	e.mu.RUnlock()
+	if snap != nil {
+		return snap
 	}
-	return snap
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.srcSnap == nil {
+		m := make(map[string]federation.Source, len(e.sources))
+		for k, v := range e.sources {
+			m[k] = v
+		}
+		e.srcSnap = m
+	}
+	return e.srcSnap
 }
 
 // Sources lists registered source names, sorted.
@@ -286,6 +315,11 @@ type Result struct {
 	// it started executing (zero when admitted immediately or admission is
 	// disabled).
 	QueueTime time.Duration
+	// ArenaBytes is the payload footprint of the query's front-end arena —
+	// tokens, AST nodes, normalized parameter subtrees and bound predicates
+	// — recycled when the query finished. Zero for plans executed directly
+	// via ExecuteCtx, which never touch the arena.
+	ArenaBytes int64
 }
 
 // Query plans and executes a SQL statement with default options: parallel
@@ -325,25 +359,39 @@ func (e *Engine) QueryOpts(sql string, qo QueryOptions) (*Result, error) {
 func (e *Engine) QueryOptsCtx(ctx context.Context, sql string, qo QueryOptions) (*Result, error) {
 	clock := e.Clock()
 	planStart := clock.Now()
-	sel, err := sqlparse.Parse(sql)
+
+	// Per-query arena: tokens, AST nodes, normalized parameter subtrees and
+	// bound predicates all come from it, so a warm cached-hit execution is
+	// near-zero-alloc in the front end. The single deferred PutArena covers
+	// every exit path — parse/compile error, admission shed, cancellation,
+	// success — and is safe because executeCtx joins all query goroutines
+	// before returning, so nothing touches arena memory after release.
+	ar := sqlparse.GetArena()
+	defer sqlparse.PutArena(ar)
+
+	sel, err := sqlparse.ParseArena(ar, sql)
 	if err != nil {
 		return nil, err
 	}
 	snap := e.catalog.Snapshot()
 
 	var p plan.Node
+	var tmpl plan.Node
+	var est opt.PlanCost
 	var hit bool
 	cached := false
 	if !qo.NoPlanCache {
 		// Normalization mutates the statement (literals become $n), so
 		// it only runs when the cache path will bind them back.
-		if params, cacheable := sqlparse.ExtractParams(sel); cacheable {
-			tmpl, h, err := e.cachedTemplate(ctx, sel.SQL(), qo, snap)
+		if params, cacheable := sqlparse.ExtractParamsIn(ar, sel); cacheable {
+			cp, h, err := e.cachedTemplate(ctx, ar.RenderSQL(sel), qo, snap)
 			if err != nil {
 				return nil, err
 			}
 			hit = h
-			p, err = plan.BindParams(tmpl, params)
+			tmpl = cp.tmpl
+			est = cp.cost
+			p, err = plan.BindParamsIn(ar, cp.tmpl, params)
 			if err != nil {
 				return nil, err
 			}
@@ -351,18 +399,32 @@ func (e *Engine) QueryOptsCtx(ctx context.Context, sql string, qo QueryOptions) 
 		}
 	}
 	if !cached {
-		p, err = e.compile(ctx, sel, qo, snap)
+		// Fresh compiles retain the AST beyond this query — the optimized
+		// plan escapes into Result.Plan and the plan cache — so re-parse
+		// onto the heap instead of handing compile arena-backed nodes.
+		heapSel, err := sqlparse.Parse(sql)
 		if err != nil {
 			return nil, err
 		}
+		p, err = e.compile(ctx, heapSel, qo, snap)
+		if err != nil {
+			return nil, err
+		}
+		tmpl = p
+		est = opt.Cost(p, e.env())
 	}
 	planTime := clock.Since(planStart)
 
-	res, err := e.executeCtx(ctx, p, qo, sql, planTime)
+	res, err := e.executeCtx(ctx, p, qo, sql, planTime, est)
 	if res != nil {
 		res.PlanTime = planTime
 		res.CacheHit = hit
 		res.CatalogVersion = snap.Version()
+		// On the cached path the bound plan references arena memory about
+		// to be recycled; report the retained heap template instead so
+		// Result.Plan stays valid for the caller.
+		res.Plan = tmpl
+		res.ArenaBytes += ar.Bytes()
 	}
 	return res, err
 }
@@ -387,15 +449,17 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 // ExecuteCtx runs an optimized plan under a caller context. Like
 // QueryOptsCtx, a non-nil *Result may accompany an execution error.
 func (e *Engine) ExecuteCtx(ctx context.Context, p plan.Node, qo QueryOptions) (*Result, error) {
-	return e.executeCtx(ctx, p, qo, "", 0)
+	return e.executeCtx(ctx, p, qo, "", 0, opt.Cost(p, e.env()))
 }
 
 // executeCtx is the single execution path: it derives the query's context
 // (deadline, cancel handle), registers the query in the in-flight
 // registry, and runs the plan with every leaf observing that context.
 // planTime positions trace spans relative to query start (planning
-// happened immediately before this call).
-func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, sql string, planTime time.Duration) (*Result, error) {
+// happened immediately before this call). est is the optimizer's cost
+// prediction, computed by the caller (once per cached template, not per
+// execution).
+func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, sql string, planTime time.Duration, est opt.PlanCost) (*Result, error) {
 	before := e.linkTotals()
 	clock := e.Clock()
 	start := clock.Now()
@@ -404,6 +468,17 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 		ctx, cancel = context.WithTimeout(ctx, qo.Deadline)
 		defer cancel()
 	}
+	// Query-scoped exec scratch: batch containers and projected datums,
+	// including those of remote subtrees executed inside source wrappers
+	// (which pick it up from the context), come from this pooled
+	// allocator and are recycled on return. Release is safe on every exit
+	// path because all query goroutines join before executeCtx returns;
+	// Result.Rows is block-copied above, so nothing scratch-backed
+	// escapes.
+	scratch := exec.GetScratch()
+	defer exec.PutScratch(scratch)
+	ctx = exec.WithScratch(ctx, scratch)
+
 	ctx, q := e.beginQuery(ctx, sql)
 	defer e.endQuery(q)
 
@@ -421,8 +496,9 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 	// One immutable view of the federation for the whole execution: a
 	// source registered or dropped mid-query cannot change which sources
 	// this query talks to.
-	rt := &queryRuntime{e: e, ctx: ctx, faults: newQueryFaults(), sources: e.sourcesSnapshot(), slot: slot}
+	rt := &queryRuntime{e: e, ctx: ctx, sources: e.sourcesSnapshot(), slot: slot}
 	rt.opts = e.execOptions(qo, rt)
+	rt.opts.Scratch = scratch
 	if gov := e.workerGovernor(); gov != nil && slot != nil {
 		// Under contention every running query's exchange worker share
 		// shrinks in proportion to its tenant's priority weight —
@@ -431,7 +507,7 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 		defer ticket.Close()
 		rt.opts.Governor = ticket
 	}
-	stats := &exec.ExecStats{}
+	stats := &rt.stats // rides the runtime's allocation
 	rt.opts.Stats = stats
 	if qo.Trace {
 		rt.tracer = exec.NewQueryTracer(clock)
@@ -440,7 +516,11 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 	it, err := exec.BuildBatch(ctx, p, rt, rt.opts)
 	var rows []datum.Row
 	if err == nil {
-		rows, err = exec.DrainBatches(it)
+		rows, err = exec.DrainBatchesScratch(it, scratch)
+		// Result rows may alias shared storage snapshots (sources hand the
+		// executor header-only views); block-copy so callers own — and may
+		// freely mutate — everything reachable from Result.Rows.
+		rows = datum.CloneRowsBlock(rows)
 	}
 	after := e.linkTotals()
 	after.Sub(before)
@@ -452,7 +532,7 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 		Rows:     rows,
 		Plan:     p,
 		Network:  after,
-		Estimate: opt.Cost(p, e.env()),
+		Estimate: est,
 		Elapsed:  clock.Since(start),
 
 		ExecParallelism:  stats.MaxParallelism(),
@@ -460,6 +540,7 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 		QueryID:          q.ID(),
 		Tenant:           slot.Tenant(),
 		QueueTime:        slot.QueueTime(),
+		ArenaBytes:       scratch.Bytes(),
 	}
 	for i, c := range cols {
 		res.Columns[i] = c.Name

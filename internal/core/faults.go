@@ -23,7 +23,8 @@ import (
 )
 
 // queryFaults is one query's fault ledger. Remote fetches may run
-// concurrently (Prefetch), so it locks.
+// concurrently (Prefetch), so it locks. The maps initialize lazily: the
+// overwhelmingly common fault-free query never allocates them.
 type queryFaults struct {
 	mu       sync.Mutex
 	errors   map[string]int
@@ -32,35 +33,38 @@ type queryFaults struct {
 	replicas map[string]bool
 }
 
-func newQueryFaults() *queryFaults {
-	return &queryFaults{
-		errors:   make(map[string]int),
-		retries:  make(map[string]int),
-		skipped:  make(map[string]bool),
-		replicas: make(map[string]bool),
-	}
-}
-
 func (f *queryFaults) recordError(source string) {
 	f.mu.Lock()
+	if f.errors == nil {
+		f.errors = make(map[string]int)
+	}
 	f.errors[source]++
 	f.mu.Unlock()
 }
 
 func (f *queryFaults) recordRetry(source string) {
 	f.mu.Lock()
+	if f.retries == nil {
+		f.retries = make(map[string]int)
+	}
 	f.retries[source]++
 	f.mu.Unlock()
 }
 
 func (f *queryFaults) recordSkip(source string) {
 	f.mu.Lock()
+	if f.skipped == nil {
+		f.skipped = make(map[string]bool)
+	}
 	f.skipped[source] = true
 	f.mu.Unlock()
 }
 
 func (f *queryFaults) recordReplica(source string) {
 	f.mu.Lock()
+	if f.replicas == nil {
+		f.replicas = make(map[string]bool)
+	}
 	f.replicas[source] = true
 	f.mu.Unlock()
 }
@@ -98,7 +102,7 @@ func (f *queryFaults) fill(res *Result) {
 type queryRuntime struct {
 	e      *Engine
 	ctx    context.Context // the query's derived context (deadline + cancel)
-	faults *queryFaults
+	faults queryFaults
 	opts   exec.Options // set after construction; used by ScanTable
 	// tracer, when non-nil, records one fetch span per remote attempt.
 	tracer *exec.QueryTracer
@@ -108,6 +112,36 @@ type queryRuntime struct {
 	// slot is the query's admission hold (nil when admission control is
 	// disabled); remote fetches charge scanned bytes against it.
 	slot *AdmissionSlot
+	// stats is the query's execution counters, embedded here so the
+	// per-query allocation is shared with the runtime's.
+	stats exec.ExecStats
+	// userOnSourceError is the caller's QueryOptions.OnSourceError hook,
+	// invoked from this runtime's own OnSourceError (see exec.FetchHooks).
+	userOnSourceError func(source string, attempt int, err error)
+}
+
+// queryRuntime implements exec.FetchHooks so the engine hands exec all
+// three retry/fault callbacks as one interface value instead of three
+// per-query closures.
+
+func (rt *queryRuntime) ChargeBackoff(source string, d time.Duration) {
+	if src, ok := rt.sources[source]; ok {
+		src.Link().ChargeDelay(d)
+	}
+}
+
+func (rt *queryRuntime) OnRetry(source string) { rt.faults.recordRetry(source) }
+
+func (rt *queryRuntime) OnSourceError(source string, attempt int, err error) {
+	if IsOverload(err) {
+		// Admission rejections are not source faults: keep them out of
+		// the E12 ledger and the caller's error hook.
+		return
+	}
+	rt.faults.recordError(source)
+	if rt.userOnSourceError != nil {
+		rt.userOnSourceError(source, attempt, err)
+	}
 }
 
 func (rt *queryRuntime) ScanTable(ctx context.Context, source, table string) (exec.Iterator, error) {
@@ -164,30 +198,15 @@ func isContextErr(err error) bool {
 // backoff charged to the failing source's virtual clock, fault ledger
 // hooks, and — when the query tolerates it — the degradation callback.
 func (e *Engine) execOptions(qo QueryOptions, rt *queryRuntime) exec.Options {
-	faults := rt.faults
+	faults := &rt.faults
+	rt.userOnSourceError = qo.OnSourceError
 	opts := exec.Options{
 		Parallel:    qo.Parallel || qo.Parallelism > 1,
 		Parallelism: qo.Parallelism,
 		BatchSize:   qo.BatchSize,
 		SemiJoin:    !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
 		Retry:       qo.Retry,
-		ChargeBackoff: func(source string, d time.Duration) {
-			if src, ok := e.Source(source); ok {
-				src.Link().ChargeDelay(d)
-			}
-		},
-		OnRetry: faults.recordRetry,
-		OnSourceError: func(source string, attempt int, err error) {
-			if IsOverload(err) {
-				// Admission rejections are not source faults: keep them
-				// out of the E12 ledger and the caller's error hook.
-				return
-			}
-			faults.recordError(source)
-			if qo.OnSourceError != nil {
-				qo.OnSourceError(source, attempt, err)
-			}
-		},
+		Hooks:       rt,
 	}
 	if rt.slot != nil {
 		opts.Memory = rt.slot

@@ -275,3 +275,44 @@ func TestConcurrentQueriesVsCatalogChurn(t *testing.T) {
 
 	wg.Wait()
 }
+
+func TestQueryCacheNormalizesWhitespaceAndCase(t *testing.T) {
+	e := newFederation(t)
+	// The cache key is the normalized statement rendered from the AST, so
+	// spellings differing only in insignificant whitespace, keyword case
+	// and literal constants must all share one cached plan.
+	variants := []string{
+		"SELECT name FROM customer360 WHERE region = 'west' AND amount > 60 ORDER BY name",
+		"select name from customer360 where region = 'west' and amount > 60 order by name",
+		"SELECT   name\n\tFROM customer360\n\tWHERE region = 'west' AND amount > 60\n\tORDER BY name",
+		"Select name From customer360 Where region = 'east' AND amount > 10 Order By name",
+	}
+	r0, err := e.Query(variants[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.CacheHit {
+		t.Fatal("first execution cannot be a cache hit")
+	}
+	for _, sql := range variants[1:] {
+		r, err := e.Query(sql)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", sql, err)
+		}
+		if !r.CacheHit {
+			t.Errorf("Query(%q) missed the cache; respelled statement must share the plan", sql)
+		}
+	}
+	// Hit-rate regression: all variants after the first must be hits, so
+	// one miss total across the workload.
+	st := e.PlanCacheStats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 across %d respelled executions", st.Misses, len(variants))
+	}
+	if want := uint64(len(variants) - 1); st.Hits < want {
+		t.Errorf("hits = %d, want at least %d", st.Hits, want)
+	}
+	if rate := st.HitRate(); rate < 0.7 {
+		t.Errorf("hit rate = %.2f, want >= 0.75 for a respelled single-shape workload", rate)
+	}
+}

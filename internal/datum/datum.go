@@ -173,6 +173,56 @@ func (d Datum) String() string {
 	}
 }
 
+// AppendSQL appends the SQL-literal rendering of d to b and returns the
+// extended slice. The deparser uses it to render literals without a
+// per-value allocation. Unlike String (display), whole-number floats keep
+// a ".0" marker so the rendering lexes back as a float.
+func (d Datum) AppendSQL(b []byte) []byte {
+	switch d.kind {
+	case KindNull:
+		return append(b, "NULL"...)
+	case KindBool:
+		if d.b {
+			return append(b, "TRUE"...)
+		}
+		return append(b, "FALSE"...)
+	case KindInt:
+		return strconv.AppendInt(b, d.i, 10)
+	case KindFloat:
+		return appendFloatSQL(b, d.f)
+	case KindString:
+		b = append(b, '\'')
+		for i := 0; i < len(d.s); i++ {
+			b = append(b, d.s[i])
+			if d.s[i] == '\'' {
+				b = append(b, '\'')
+			}
+		}
+		return append(b, '\'')
+	case KindTime:
+		b = append(b, '\'')
+		b = d.t.AppendFormat(b, time.RFC3339Nano)
+		return append(b, '\'')
+	default:
+		return fmt.Appendf(b, "Datum(%d)", uint8(d.kind))
+	}
+}
+
+// appendFloatSQL renders a float so it lexes back as a float: shortest
+// 'g' form, with ".0" appended when that form carries neither a decimal
+// point nor an exponent (e.g. 2 for 2.0), which would otherwise re-parse
+// as an integer literal and break deparse round-trips.
+func appendFloatSQL(b []byte, f float64) []byte {
+	mark := len(b)
+	b = strconv.AppendFloat(b, f, 'g', -1, 64)
+	for _, c := range b[mark:] {
+		if c == '.' || c == 'e' || c == 'E' || c == 'N' || c == 'I' || c == 'n' {
+			return b
+		}
+	}
+	return append(b, ".0"...)
+}
+
 // Display renders the datum for tabular output (strings unquoted).
 func (d Datum) Display() string {
 	if d.kind == KindString {
@@ -380,6 +430,29 @@ type Row []Datum
 func CloneRow(r Row) Row {
 	out := make(Row, len(r))
 	copy(out, r)
+	return out
+}
+
+// CloneRowsBlock deep-copies a row set into one shared backing array: two
+// allocations total instead of one per row. Each returned row is capped at
+// its own length, so appending to one cannot clobber its neighbor. The
+// engine uses this at its public boundary to hand callers rows they own,
+// even when execution flowed shared storage-snapshot rows through.
+func CloneRowsBlock(rows []Row) []Row {
+	if len(rows) == 0 {
+		return rows
+	}
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	flat := make([]Datum, 0, total)
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		start := len(flat)
+		flat = append(flat, r...)
+		out[i] = Row(flat[start:len(flat):len(flat)])
+	}
 	return out
 }
 

@@ -127,7 +127,8 @@ func asBatchIterator(it Iterator, size int) BatchIterator {
 	switch x := it.(type) {
 	case *sliceIter:
 		if x.pos == 0 {
-			return newSliceBatchIter(x.rows, size)
+			x.size = size
+			return x
 		}
 	case *rowIterAdapter:
 		if x.cur == nil && x.pos == 0 {
@@ -142,6 +143,47 @@ func asBatchIterator(it Iterator, size int) BatchIterator {
 func DrainBatches(it BatchIterator) ([]datum.Row, error) {
 	defer it.Close()
 	return drainBatches(it)
+}
+
+// DrainBatchesScratch is DrainBatches with the accumulation buffer grown
+// from the query's scratch allocator instead of the heap. The returned
+// slice dies with the scratch: callers must copy anything that outlives
+// the query (the engine block-copies result rows at its boundary). A nil
+// scratch falls back to heap accumulation.
+func DrainBatchesScratch(it BatchIterator, s *Scratch) ([]datum.Row, error) {
+	defer it.Close()
+	return drainBatchesScratch(it, s)
+}
+
+// drainBatchesScratch materializes without closing, growing the
+// accumulation buffer from s (heap when s is nil).
+func drainBatchesScratch(it BatchIterator, s *Scratch) ([]datum.Row, error) {
+	if s == nil {
+		return drainBatches(it)
+	}
+	var out []datum.Row
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if need := len(out) + len(b); need > cap(out) {
+			newCap := 2 * cap(out)
+			if newCap < need {
+				newCap = need
+			}
+			if newCap < 64 {
+				newCap = 64
+			}
+			grown := s.MakeRows(newCap)[:len(out)]
+			copy(grown, out)
+			out = grown
+		}
+		out = append(out, b...)
+	}
 }
 
 // drainBatches materializes without closing (for operators that close
@@ -189,19 +231,3 @@ func (s *ExecStats) noteParallelism(d int) {
 		}
 	}
 }
-
-// statsBatchIter counts batches flowing out of one operator.
-type statsBatchIter struct {
-	in    BatchIterator
-	stats *ExecStats
-}
-
-func (s *statsBatchIter) NextBatch() (Batch, error) {
-	b, err := s.in.NextBatch()
-	if b != nil && err == nil {
-		s.stats.addBatch()
-	}
-	return b, err
-}
-
-func (s *statsBatchIter) Close() { s.in.Close() }

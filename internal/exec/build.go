@@ -64,6 +64,11 @@ type Options struct {
 	// Retry controls re-fetching of Remote subtrees after transient
 	// failures (see FetchRemote). Zero value: single attempt.
 	Retry RetryPolicy
+	// Hooks, when non-nil, receives the retry/fault callbacks as one
+	// interface value. The per-field closures below take precedence when
+	// set; engines that implement FetchHooks on an existing per-query
+	// object avoid allocating three closures per query.
+	Hooks FetchHooks
 	// ChargeBackoff, when non-nil, is called with each retry's backoff
 	// wait so the engine can charge it to the source's virtual clock.
 	ChargeBackoff func(source string, d time.Duration)
@@ -87,6 +92,11 @@ type Options struct {
 	// quota). A Grow error aborts the query with the reservation's
 	// structured overload error.
 	Memory MemoryReservation
+	// Scratch, when non-nil, is the query-scoped allocator batch
+	// operators draw row headers and projected datums from; everything it
+	// backs is recycled when the query finishes. Nil allocates from the
+	// heap.
+	Scratch *Scratch
 }
 
 func (o Options) maxKeys() int {
@@ -146,16 +156,17 @@ func BuildBatch(ctx context.Context, n plan.Node, rt Runtime, opts Options) (Bat
 	if err != nil {
 		return nil, err
 	}
-	if opts.Memory != nil {
-		it = &memBatchIter{in: it, mem: opts.Memory}
-	}
-	if ctx.Done() != nil {
-		// Only cancellable contexts pay for the per-batch check; the
-		// context-free wrappers (Background at the leaves) skip it.
-		it = &cancelBatchIter{ctx: ctx, in: it}
-	}
-	if opts.Stats != nil {
-		it = &statsBatchIter{in: it, stats: opts.Stats}
+	// Memory charging, cancellation checks and batch counting share one
+	// fused wrapper: every operator boundary pays for it, so three
+	// separate decorator allocations per operator would show up directly
+	// in the per-query allocation budget.
+	cancellable := ctx.Done() != nil // context-free leaves skip the per-batch check
+	if opts.Memory != nil || cancellable || opts.Stats != nil {
+		g := &guardBatchIter{in: it, mem: opts.Memory, stats: opts.Stats}
+		if cancellable {
+			g.ctx = ctx
+		}
+		it = g
 	}
 	if opts.Trace != nil {
 		it = opts.Trace.wrap(n, it)
@@ -166,23 +177,55 @@ func BuildBatch(ctx context.Context, n plan.Node, rt Runtime, opts Options) (Bat
 	return it, nil
 }
 
-// cancelBatchIter injects a cancellation check at one operator boundary:
-// every NextBatch pull observes ctx.Done() before asking the input for
-// more work, so a cancelled query stops within one batch at every level
-// of the operator tree.
-type cancelBatchIter struct {
-	ctx context.Context
-	in  BatchIterator
+// guardBatchIter is the fused per-operator boundary wrapper: an optional
+// cancellation check (every NextBatch pull observes ctx.Done() before
+// asking the input for more work, so a cancelled query stops within one
+// batch at every level of the operator tree), optional in-flight memory
+// accounting (each pull releases the previous batch's charge and charges
+// the new one; Close releases the residual), and optional batch counting.
+type guardBatchIter struct {
+	in      BatchIterator
+	ctx     context.Context   // nil: no cancellation check
+	mem     MemoryReservation // nil: no memory accounting
+	stats   *ExecStats        // nil: no batch counting
+	charged int64
 }
 
-func (c *cancelBatchIter) NextBatch() (Batch, error) {
-	if err := c.ctx.Err(); err != nil {
-		return nil, err
+func (g *guardBatchIter) NextBatch() (Batch, error) {
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
-	return c.in.NextBatch()
+	if g.charged > 0 {
+		g.mem.Shrink(g.charged)
+		g.charged = 0
+	}
+	b, err := g.in.NextBatch()
+	if err != nil {
+		return b, err
+	}
+	if g.mem != nil {
+		if n := batchBytes(b); n > 0 {
+			g.charged = n
+			if gerr := g.mem.Grow(n); gerr != nil {
+				return nil, gerr
+			}
+		}
+	}
+	if b != nil && g.stats != nil {
+		g.stats.addBatch()
+	}
+	return b, nil
 }
 
-func (c *cancelBatchIter) Close() { c.in.Close() }
+func (g *guardBatchIter) Close() {
+	if g.charged > 0 {
+		g.mem.Shrink(g.charged)
+		g.charged = 0
+	}
+	g.in.Close()
+}
 
 func buildNode(ctx context.Context, n plan.Node, rt Runtime, opts Options) (BatchIterator, error) {
 	switch x := n.(type) {
@@ -228,10 +271,14 @@ func buildNode(ctx context.Context, n plan.Node, rt Runtime, opts Options) (Batc
 				opts.Stats.noteParallelism(deg)
 			}
 			return newExchange(ctx, in, deg, func(_ int, b Batch) (Batch, error) {
-				return FilterBatch(pred, b, nil)
+				var dst Batch
+				if s := opts.Scratch; s != nil {
+					dst = Batch(s.MakeRows(len(b)))[:0]
+				}
+				return FilterBatch(pred, b, dst)
 			}), nil
 		}
-		return &filterBatchIter{in: in, pred: pred}, nil
+		return &filterBatchIter{in: in, pred: pred, scratch: opts.Scratch}, nil
 
 	case *plan.Project:
 		in, err := BuildBatch(ctx, x.Input, rt, opts)
@@ -250,10 +297,14 @@ func buildNode(ctx context.Context, n plan.Node, rt Runtime, opts Options) (Batc
 				opts.Stats.noteParallelism(deg)
 			}
 			return newExchange(ctx, in, deg, func(_ int, b Batch) (Batch, error) {
-				return ProjectBatch(fns, b, nil)
+				var dst Batch
+				if s := opts.Scratch; s != nil {
+					dst = Batch(s.MakeRows(len(b)))[:0]
+				}
+				return projectBatch(opts.Scratch, fns, b, dst)
 			}), nil
 		}
-		return &projectBatchIter{in: in, exprs: fns}, nil
+		return &projectBatchIter{in: in, exprs: fns, scratch: opts.Scratch}, nil
 
 	case *plan.Join:
 		return buildJoin(ctx, x, rt, opts)
@@ -380,13 +431,24 @@ func buildJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (Bat
 
 // assembleJoin wires a hash or nested-loop join over already-built inputs.
 func assembleJoin(ctx context.Context, x *plan.Join, left, right BatchIterator, opts Options) (BatchIterator, error) {
+	var lk, rk []sqlparse.Expr
+	var residual sqlparse.Expr
+	if x.Cond != nil {
+		lk, rk, residual = extractEquiKeys(x.Cond, x.Left.Columns(), x.Right.Columns())
+	}
+	return assembleJoinKeys(ctx, x, left, right, opts, lk, rk, residual)
+}
+
+// assembleJoinKeys is assembleJoin with the equi-key split already done —
+// trySemiJoin extracts the keys once for reduction planning and hands the
+// same split back here instead of re-deriving it.
+func assembleJoinKeys(ctx context.Context, x *plan.Join, left, right BatchIterator, opts Options, lk, rk []sqlparse.Expr, residual sqlparse.Expr) (BatchIterator, error) {
 	leftCols := x.Left.Columns()
 	rightCols := x.Right.Columns()
 	joinedCols := x.Columns()
 	leftJoin := x.Type == sqlparse.JoinLeft
 
 	if x.Cond != nil {
-		lk, rk, residual := extractEquiKeys(x.Cond, leftCols, rightCols)
 		if len(lk) > 0 {
 			h := &hashJoinBatchIter{
 				ctx:  ctx,
@@ -395,6 +457,7 @@ func assembleJoin(ctx context.Context, x *plan.Join, left, right BatchIterator, 
 				rightArity: len(rightCols),
 				degree:     opts.workers(x.Parallel),
 				stats:      opts.Stats,
+				scratch:    opts.Scratch,
 			}
 			for _, e := range lk {
 				f, err := Compile(e, leftCols)
@@ -455,7 +518,7 @@ func trySemiJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (B
 	if !isRemote || !remote.AllowKeyFilter {
 		return nil, false, nil
 	}
-	lk, rk, _ := extractEquiKeys(x.Cond, x.Left.Columns(), x.Right.Columns())
+	lk, rk, residual := extractEquiKeys(x.Cond, x.Left.Columns(), x.Right.Columns())
 	if len(lk) == 0 {
 		return nil, false, nil
 	}
@@ -472,7 +535,7 @@ func trySemiJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (B
 		if !isRef {
 			continue
 		}
-		if _, err := plan.ResolveColumn(remote.Child.Columns(), ref); err == nil {
+		if _, found := plan.FindColumn(remote.Child.Columns(), ref); found {
 			pairIdx = i
 			reduceRef = ref
 			break
@@ -487,9 +550,9 @@ func trySemiJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (B
 	assemble := func(probeRows []datum.Row, reducedIt BatchIterator) (BatchIterator, error) {
 		probe := newSliceBatchIter(probeRows, opts.batchSize())
 		if reduceRight {
-			return assembleJoin(ctx, x, probe, reducedIt, opts)
+			return assembleJoinKeys(ctx, x, probe, reducedIt, opts, lk, rk, residual)
 		}
-		return assembleJoin(ctx, x, reducedIt, probe, opts)
+		return assembleJoinKeys(ctx, x, reducedIt, probe, opts, lk, rk, residual)
 	}
 
 	// Materialize the probe side and collect its distinct key values.
@@ -497,7 +560,7 @@ func trySemiJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (B
 	if err != nil {
 		return nil, false, err
 	}
-	probeRows, err := DrainBatches(probeIt)
+	probeRows, err := DrainBatchesScratch(probeIt, opts.Scratch)
 	if err != nil {
 		return nil, false, err
 	}

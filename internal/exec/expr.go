@@ -743,7 +743,14 @@ func FilterBatch(pred EvalFunc, in Batch, dst Batch) (Batch, error) {
 // batch instead of one per row; the rows themselves are fresh and may be
 // retained by downstream operators.
 func ProjectBatch(exprs []EvalFunc, in Batch, dst Batch) (Batch, error) {
-	arena := make([]datum.Datum, len(exprs)*len(in))
+	return projectBatch(nil, exprs, in, dst)
+}
+
+// projectBatch is ProjectBatch drawing the per-batch datum arena from the
+// query scratch (heap when s is nil). Output rows then live exactly as
+// long as the query, which is all downstream retention ever needs.
+func projectBatch(s *Scratch, exprs []EvalFunc, in Batch, dst Batch) (Batch, error) {
+	arena := s.MakeDatums(len(exprs) * len(in))
 	for _, r := range in {
 		row := arena[:len(exprs):len(exprs)]
 		arena = arena[len(exprs):]

@@ -1,7 +1,7 @@
 package exec
 
 // In-flight memory accounting for admission control (E16). Every operator
-// boundary wraps its output in a memBatchIter that charges the current
+// boundary's guard wrapper (see BuildBatch) charges the current
 // batch's estimated wire size to the query's MemoryReservation and
 // releases the previous batch's charge — the summed charge across all
 // live operators approximates the query's resident working set without
@@ -27,39 +27,4 @@ func batchBytes(b Batch) int64 {
 		return 0
 	}
 	return int64(datum.RowWireSize(b[0])) * int64(len(b))
-}
-
-// memBatchIter charges one operator boundary's live batch to the
-// reservation: each pull releases the previous batch and charges the new
-// one; Close releases the residual.
-type memBatchIter struct {
-	in      BatchIterator
-	mem     MemoryReservation
-	charged int64
-}
-
-func (m *memBatchIter) NextBatch() (Batch, error) {
-	if m.charged > 0 {
-		m.mem.Shrink(m.charged)
-		m.charged = 0
-	}
-	b, err := m.in.NextBatch()
-	if err != nil {
-		return b, err
-	}
-	if n := batchBytes(b); n > 0 {
-		m.charged = n
-		if gerr := m.mem.Grow(n); gerr != nil {
-			return nil, gerr
-		}
-	}
-	return b, nil
-}
-
-func (m *memBatchIter) Close() {
-	if m.charged > 0 {
-		m.mem.Shrink(m.charged)
-		m.charged = 0
-	}
-	m.in.Close()
 }

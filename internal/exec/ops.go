@@ -19,10 +19,14 @@ type Iterator interface {
 	Close()
 }
 
-// sliceIter iterates a materialized row slice.
+// sliceIter iterates a materialized row slice. It doubles as a
+// BatchIterator (asBatchIterator sets the window size and returns it
+// as-is) so the ubiquitous materialized-rows case — every remote fetch —
+// costs one allocation, not an iterator plus an adapter.
 type sliceIter struct {
 	rows []datum.Row
 	pos  int
+	size int
 }
 
 // NewSliceIterator wraps materialized rows in an Iterator.
@@ -35,6 +39,23 @@ func (s *sliceIter) Next() (datum.Row, error) {
 	r := s.rows[s.pos]
 	s.pos++
 	return r, nil
+}
+
+func (s *sliceIter) NextBatch() (Batch, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	size := s.size
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	end := s.pos + size
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	b := Batch(s.rows[s.pos:end])
+	s.pos = end
+	return b, nil
 }
 
 func (s *sliceIter) Close() {}
@@ -61,9 +82,10 @@ func Drain(it Iterator) ([]datum.Row, error) {
 // --- Filter ---
 
 type filterBatchIter struct {
-	in   BatchIterator
-	pred EvalFunc
-	out  Batch
+	in      BatchIterator
+	pred    EvalFunc
+	out     Batch
+	scratch *Scratch
 }
 
 func (f *filterBatchIter) NextBatch() (Batch, error) {
@@ -71,6 +93,9 @@ func (f *filterBatchIter) NextBatch() (Batch, error) {
 		b, err := f.in.NextBatch()
 		if err != nil || b == nil {
 			return nil, err
+		}
+		if f.scratch != nil && cap(f.out) < len(b) {
+			f.out = Batch(f.scratch.MakeRows(len(b)))
 		}
 		out, err := FilterBatch(f.pred, b, f.out[:0])
 		if err != nil {
@@ -89,9 +114,10 @@ func (f *filterBatchIter) Close() { f.in.Close() }
 // --- Project ---
 
 type projectBatchIter struct {
-	in    BatchIterator
-	exprs []EvalFunc
-	out   Batch
+	in      BatchIterator
+	exprs   []EvalFunc
+	out     Batch
+	scratch *Scratch
 }
 
 func (p *projectBatchIter) NextBatch() (Batch, error) {
@@ -99,7 +125,10 @@ func (p *projectBatchIter) NextBatch() (Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
-	out, err := ProjectBatch(p.exprs, b, p.out[:0])
+	if p.scratch != nil && cap(p.out) < len(b) {
+		p.out = Batch(p.scratch.MakeRows(len(b)))
+	}
+	out, err := projectBatch(p.scratch, p.exprs, b, p.out[:0])
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +152,9 @@ type joinTable struct {
 	rows   []datum.Row
 	keys   []datum.Datum
 	shards []map[uint64][]int32
+	// shard1 backs shards for the sequential single-shard build, sparing
+	// the one-element slice allocation on the warm path.
+	shard1 [1]map[uint64][]int32
 }
 
 func (t *joinTable) keyOf(i int32) datum.Row {
@@ -160,7 +192,7 @@ func (t *joinTable) evalRange(keyFns []EvalFunc, hashes []uint64, null []bool, l
 // probeBatch probes every row of b against the table, appending joined
 // rows to dst. keyScratch must have len == nkeys and is reused across
 // rows; each caller (exchange worker) owns its own scratch.
-func (t *joinTable) probeBatch(b Batch, leftKeys []EvalFunc, residual EvalFunc, leftJoin bool, rightArity int, keyScratch datum.Row, dst Batch) (Batch, error) {
+func (t *joinTable) probeBatch(s *Scratch, b Batch, leftKeys []EvalFunc, residual EvalFunc, leftJoin bool, rightArity int, keyScratch datum.Row, dst Batch) (Batch, error) {
 	for _, l := range b {
 		matched := false
 		null := false
@@ -181,7 +213,8 @@ func (t *joinTable) probeBatch(b Batch, leftKeys []EvalFunc, residual EvalFunc, 
 					continue // hash collision
 				}
 				right := t.rows[idx]
-				joined := append(append(make(datum.Row, 0, len(l)+len(right)), l...), right...)
+				joined := datum.Row(s.MakeDatums(len(l) + len(right)))[:0]
+				joined = append(append(joined, l...), right...)
 				if residual != nil {
 					ok, err := EvalPredicate(residual, joined)
 					if err != nil {
@@ -196,7 +229,8 @@ func (t *joinTable) probeBatch(b Batch, leftKeys []EvalFunc, residual EvalFunc, 
 			}
 		}
 		if leftJoin && !matched {
-			dst = append(dst, append(append(make(datum.Row, 0, len(l)+rightArity), l...), nullRow(rightArity)...))
+			padded := datum.Row(s.MakeDatums(len(l) + rightArity))[:0]
+			dst = append(dst, append(append(padded, l...), nullRow(rightArity)...))
 		}
 	}
 	return dst, nil
@@ -219,6 +253,7 @@ type hashJoinBatchIter struct {
 	rightArity int
 	degree     int
 	stats      *ExecStats
+	scratch    *Scratch
 
 	built  bool
 	table  joinTable
@@ -229,11 +264,11 @@ type hashJoinBatchIter struct {
 
 func (h *hashJoinBatchIter) build() error {
 	h.built = true
-	rows, err := drainBatches(h.right)
+	rows, err := drainBatchesScratch(h.right, h.scratch)
 	if err != nil {
 		return err
 	}
-	if err := buildJoinTable(&h.table, rows, h.rightKeys, h.degree); err != nil {
+	if err := buildJoinTable(&h.table, h.scratch, rows, h.rightKeys, h.degree); err != nil {
 		return err
 	}
 	h.keyBuf = make(datum.Row, len(h.leftKeys))
@@ -246,7 +281,7 @@ func (h *hashJoinBatchIter) build() error {
 			scratches[i] = make(datum.Row, len(h.leftKeys))
 		}
 		h.ex = newExchange(h.ctx, h.left, h.degree, func(w int, b Batch) (Batch, error) {
-			return h.table.probeBatch(b, h.leftKeys, h.residual, h.leftJoin, h.rightArity, scratches[w], nil)
+			return h.table.probeBatch(h.scratch, b, h.leftKeys, h.residual, h.leftJoin, h.rightArity, scratches[w], nil)
 		})
 	}
 	return nil
@@ -266,7 +301,7 @@ func (h *hashJoinBatchIter) NextBatch() (Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		out, err := h.table.probeBatch(b, h.leftKeys, h.residual, h.leftJoin, h.rightArity, h.keyBuf, h.out[:0])
+		out, err := h.table.probeBatch(h.scratch, b, h.leftKeys, h.residual, h.leftJoin, h.rightArity, h.keyBuf, h.out[:0])
 		if err != nil {
 			return nil, err
 		}
@@ -865,7 +900,16 @@ type prefetchBatchIter struct {
 
 func prefetchBatches(ctx context.Context, size int, fetch func() (BatchIterator, error)) BatchIterator {
 	p := &prefetchBatchIter{ctx: ctx, ch: make(chan prefetchResult, 1), size: size}
+	// The fetch may allocate from the query's scratch (remote subtrees
+	// executed inside wrappers draw on it via the context). A consumer
+	// that abandons this prefetch lets the goroutine outlive the query's
+	// drain, so hold the scratch until the fetch parks its result —
+	// PutScratch waits, keeping the next query from recycling rows this
+	// goroutine still touches.
+	scratch := ScratchFrom(ctx)
+	scratch.Hold()
 	go func() {
+		defer scratch.Release()
 		it, err := fetch()
 		if err != nil {
 			p.ch <- prefetchResult{err: err}
@@ -927,10 +971,16 @@ func SplitConjuncts(e sqlparse.Expr) []sqlparse.Expr {
 	if e == nil {
 		return nil
 	}
+	return appendConjuncts(nil, e)
+}
+
+// appendConjuncts accumulates AND-ed terms into dst, avoiding the
+// per-level slice concatenation a naive recursive split would pay.
+func appendConjuncts(dst []sqlparse.Expr, e sqlparse.Expr) []sqlparse.Expr {
 	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == sqlparse.OpAnd {
-		return append(SplitConjuncts(b.Left), SplitConjuncts(b.Right)...)
+		return appendConjuncts(appendConjuncts(dst, b.Left), b.Right)
 	}
-	return []sqlparse.Expr{e}
+	return append(dst, e)
 }
 
 // CombineConjuncts rebuilds an AND tree; nil for an empty list.
@@ -952,7 +1002,7 @@ func resolvesAgainst(e sqlparse.Expr, cols []plan.ColMeta) bool {
 	ok := true
 	sqlparse.WalkExprs(e, func(x sqlparse.Expr) {
 		if ref, is := x.(*sqlparse.ColumnRef); is {
-			if _, err := plan.ResolveColumn(cols, ref); err != nil {
+			if _, found := plan.FindColumn(cols, ref); !found {
 				ok = false
 			}
 		}

@@ -229,13 +229,14 @@ func (e *exchangeIter) Close() {
 // parallel and each worker then owns one hash shard, inserting row indexes
 // in ascending order — bucket order, and therefore probe output order,
 // matches the sequential build exactly.
-func buildJoinTable(t *joinTable, rows []datum.Row, keyFns []EvalFunc, workers int) error {
+func buildJoinTable(t *joinTable, s *Scratch, rows []datum.Row, keyFns []EvalFunc, workers int) error {
 	t.rows = rows
 	t.nkeys = len(keyFns)
 	n := len(rows)
-	t.keys = make([]datum.Datum, n*t.nkeys)
-	hashes := make([]uint64, n)
-	null := make([]bool, n)
+	//lint:ignore arenaescape joinTable is per-query operator state torn down before the scratch recycles
+	t.keys = s.MakeDatums(n * t.nkeys)
+	hashes := s.MakeUint64s(n)
+	null := s.MakeBools(n)
 
 	if workers <= 1 || n < parallelMinRows {
 		if err := t.evalRange(keyFns, hashes, null, 0, n); err != nil {
@@ -247,7 +248,8 @@ func buildJoinTable(t *joinTable, rows []datum.Row, keyFns []EvalFunc, workers i
 				m[hashes[i]] = append(m[hashes[i]], int32(i))
 			}
 		}
-		t.shards = []map[uint64][]int32{m}
+		t.shard1[0] = m
+		t.shards = t.shard1[:]
 		return nil
 	}
 

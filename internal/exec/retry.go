@@ -59,6 +59,19 @@ func (p RetryPolicy) Backoff(retry int) time.Duration {
 	return d
 }
 
+// FetchHooks bundles the retry/fault observation callbacks of one query.
+// Implementing it on an already-allocated per-query runtime lets an engine
+// hand exec all three hooks as a single interface value (see
+// Options.Hooks) instead of three captured closures.
+type FetchHooks interface {
+	// ChargeBackoff charges one retry's backoff to the source's clock.
+	ChargeBackoff(source string, d time.Duration)
+	// OnRetry observes each retry attempt per source.
+	OnRetry(source string)
+	// OnSourceError observes every failed fetch attempt.
+	OnSourceError(source string, attempt int, err error)
+}
+
 // temporary matches netsim.FaultError and any other transient error type.
 type temporary interface{ Temporary() bool }
 
@@ -97,9 +110,13 @@ func FetchRemote(ctx context.Context, rt Runtime, opts Options, source string, s
 			backoff := opts.Retry.Backoff(attempt - 1)
 			if opts.ChargeBackoff != nil {
 				opts.ChargeBackoff(source, backoff)
+			} else if opts.Hooks != nil {
+				opts.Hooks.ChargeBackoff(source, backoff)
 			}
 			if opts.OnRetry != nil {
 				opts.OnRetry(source)
+			} else if opts.Hooks != nil {
+				opts.Hooks.OnRetry(source)
 			}
 			if opts.Retry.SleepBackoff {
 				if cerr := sleepBackoff(ctx, backoff); cerr != nil {
@@ -122,6 +139,8 @@ func FetchRemote(ctx context.Context, rt Runtime, opts Options, source string, s
 		}
 		if opts.OnSourceError != nil {
 			opts.OnSourceError(source, attempt, err)
+		} else if opts.Hooks != nil {
+			opts.Hooks.OnSourceError(source, attempt, err)
 		}
 		if !Retryable(err) {
 			break

@@ -261,7 +261,7 @@ func TestE14HashJoinProbeAllocations(t *testing.T) {
 		buildRows[i] = datum.Row{datum.NewInt(int64(i))}
 	}
 	var tbl joinTable
-	if err := buildJoinTable(&tbl, buildRows, []EvalFunc{keyFn}, 1); err != nil {
+	if err := buildJoinTable(&tbl, nil, buildRows, []EvalFunc{keyFn}, 1); err != nil {
 		t.Fatal(err)
 	}
 	probe := make(Batch, nProbe)
@@ -272,7 +272,7 @@ func TestE14HashJoinProbeAllocations(t *testing.T) {
 	dst := make(Batch, 0, nProbe)
 	allocs := testing.AllocsPerRun(20, func() {
 		var err error
-		dst, err = tbl.probeBatch(probe, []EvalFunc{keyFn}, nil, false, 1, scratch, dst[:0])
+		dst, err = tbl.probeBatch(nil, probe, []EvalFunc{keyFn}, nil, false, 1, scratch, dst[:0])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -297,7 +297,7 @@ func BenchmarkHashJoinProbe(b *testing.B) {
 		buildRows[i] = datum.Row{datum.NewInt(int64(i))}
 	}
 	var tbl joinTable
-	if err := buildJoinTable(&tbl, buildRows, []EvalFunc{keyFn}, 1); err != nil {
+	if err := buildJoinTable(&tbl, nil, buildRows, []EvalFunc{keyFn}, 1); err != nil {
 		b.Fatal(err)
 	}
 	probe := make(Batch, nProbe)
@@ -309,7 +309,7 @@ func BenchmarkHashJoinProbe(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dst, err = tbl.probeBatch(probe, []EvalFunc{keyFn}, nil, false, 1, scratch, dst[:0])
+		dst, err = tbl.probeBatch(nil, probe, []EvalFunc{keyFn}, nil, false, 1, scratch, dst[:0])
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -175,7 +175,8 @@ func (s *CSVSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.
 		if !ok {
 			return nil, fmt.Errorf("federation: source %s has no table %s", s.name, table)
 		}
-		return exec.NewSliceIterator(t.Snapshot()), nil
+		// Header-only snapshot; see RelationalSource.ExecuteCtx.
+		return exec.NewSliceIterator(t.SnapshotShared()), nil
 	})
 	if err != nil {
 		return nil, err

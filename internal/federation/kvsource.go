@@ -118,7 +118,8 @@ func (s *KVSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.R
 	if !ok {
 		return nil, fmt.Errorf("federation: source %s has no table %s", s.name, scan.Table)
 	}
-	return shipResult(ctx, s.link, t.Snapshot())
+	// Header-only snapshot; see RelationalSource.ExecuteCtx.
+	return shipResult(ctx, s.link, t.SnapshotShared())
 }
 
 // Lookup answers a point read by primary key, charging the link only for

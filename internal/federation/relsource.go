@@ -130,7 +130,10 @@ func (s *RelationalSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([
 		if !ok {
 			return nil, fmt.Errorf("federation: source %s has no table %s", s.name, table)
 		}
-		return exec.NewSliceIterator(t.Snapshot()), nil
+		// Header-only snapshot: stored rows are immutable and the exec
+		// layer never mutates batch rows, so sharing avoids cloning the
+		// whole table per scan. The engine copies rows that reach callers.
+		return exec.NewSliceIterator(t.SnapshotShared()), nil
 	})
 	if err != nil {
 		return nil, err

@@ -299,11 +299,15 @@ func (rt *tableRuntime) RunRemote(context.Context, string, plan.Node) (exec.Iter
 // mediator's query is cancelled.
 func execLocal(ctx context.Context, source string, subtree plan.Node, tables func(string) (exec.Iterator, error)) ([]datum.Row, error) {
 	rt := &tableRuntime{source: source, tables: tables}
-	it, err := exec.Build(ctx, subtree, rt, exec.Options{})
+	// Local execution inside a wrapper allocates from the calling query's
+	// scratch when one rides the context: the shipped result dies with
+	// that query. Batches are drained directly — no row-adapter hop.
+	scratch := exec.ScratchFrom(ctx)
+	it, err := exec.BuildBatch(ctx, subtree, rt, exec.Options{Scratch: scratch})
 	if err != nil {
 		return nil, err
 	}
-	return exec.Drain(it)
+	return exec.DrainBatchesScratch(it, scratch)
 }
 
 // validateSubtree checks that every scan in the subtree references the

@@ -407,6 +407,30 @@ func findCol(cols []ColMeta, ref *sqlparse.ColumnRef) (ColMeta, bool) {
 	return cols[idx], true
 }
 
+// FindColumn returns the offset of the column referenced by ref within
+// cols, or ok=false when the reference is missing or ambiguous. It is the
+// allocation-free probe for callers that test resolvability (semi-join key
+// extraction, pushdown eligibility) rather than report errors.
+func FindColumn(cols []ColMeta, ref *sqlparse.ColumnRef) (idx int, ok bool) {
+	found := -1
+	for i, c := range cols {
+		if !strings.EqualFold(c.Name, ref.Column) {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(c.Table, ref.Table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, false
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, false
+	}
+	return found, true
+}
+
 // ResolveColumn returns the offset of the column referenced by ref within
 // cols. Ambiguous or missing references return an error.
 func ResolveColumn(cols []ColMeta, ref *sqlparse.ColumnRef) (int, error) {
@@ -445,11 +469,39 @@ func Explain(n Node) string {
 	return b.String()
 }
 
-// Walk visits every node in the tree pre-order.
+// Walk visits every node in the tree pre-order. The recursion dispatches
+// on concrete node types rather than materializing Children() slices, so a
+// walk allocates nothing — it runs on every cached-plan execution
+// (pushdown validation, tracing) where per-node slices would dominate the
+// profile.
 func Walk(n Node, fn func(Node)) {
 	fn(n)
-	for _, k := range n.Children() {
-		Walk(k, fn)
+	switch x := n.(type) {
+	case *Filter:
+		Walk(x.Input, fn)
+	case *Project:
+		Walk(x.Input, fn)
+	case *Join:
+		Walk(x.Left, fn)
+		Walk(x.Right, fn)
+	case *Aggregate:
+		Walk(x.Input, fn)
+	case *Sort:
+		Walk(x.Input, fn)
+	case *Limit:
+		Walk(x.Input, fn)
+	case *Distinct:
+		Walk(x.Input, fn)
+	case *Union:
+		for _, k := range x.Inputs {
+			Walk(k, fn)
+		}
+	case *Remote:
+		Walk(x.Child, fn)
+	default:
+		for _, k := range n.Children() {
+			Walk(k, fn)
+		}
 	}
 }
 

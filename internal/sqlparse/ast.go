@@ -2,7 +2,6 @@ package sqlparse
 
 import (
 	"strconv"
-	"strings"
 
 	"repro/internal/datum"
 )
@@ -12,6 +11,51 @@ type Node interface {
 	// SQL renders the node back to SQL text. The rendering is
 	// re-parseable and is what the pushdown deparser emits.
 	SQL() string
+	// appendSQL appends the same rendering to b; SQL is a wrapper. The
+	// append form lets the plan-cache key path render a statement with a
+	// single buffer instead of one allocation per subtree.
+	appendSQL(b []byte) []byte
+}
+
+// appendIdent renders an identifier, double-quoting it when it is not a
+// bare word the lexer would scan back as one token — spaces, punctuation,
+// a leading digit, or a spelling that collides with a keyword. Keeping
+// bare identifiers unquoted keeps rendered statements (cache keys,
+// EXPLAIN, deparsed pushdowns) readable; quoting the rest makes
+// parse→deparse→parse an identity.
+func appendIdent(b []byte, s string) []byte {
+	if isBareIdent(s) {
+		return append(b, s...)
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// isBareIdent reports whether s lexes as a single plain identifier token.
+func isBareIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	_, isKw := keywordOf(s)
+	return !isKw
+}
+
+// nodeSQL renders any node through its appendSQL method.
+func nodeSQL(n Node) string {
+	return string(n.appendSQL(make([]byte, 0, 64)))
 }
 
 // Statement is the root of a parsed query.
@@ -40,66 +84,72 @@ type Select struct {
 func (*Select) stmt() {}
 
 // SQL renders the statement.
-func (s *Select) SQL() string {
-	var b strings.Builder
-	b.WriteString("SELECT ")
+func (s *Select) SQL() string { return nodeSQL(s) }
+
+// AppendSQL appends the statement's rendering to b and returns the
+// extended slice; it lets callers that render repeatedly (the plan-cache
+// key path) reuse one buffer.
+func (s *Select) AppendSQL(b []byte) []byte { return s.appendSQL(b) }
+
+func (s *Select) appendSQL(b []byte) []byte {
+	b = append(b, "SELECT "...)
 	if s.Distinct {
-		b.WriteString("DISTINCT ")
+		b = append(b, "DISTINCT "...)
 	}
 	for i, it := range s.Items {
 		if i > 0 {
-			b.WriteString(", ")
+			b = append(b, ", "...)
 		}
-		b.WriteString(it.SQL())
+		b = it.appendSQL(b)
 	}
 	if len(s.From) > 0 {
-		b.WriteString(" FROM ")
+		b = append(b, " FROM "...)
 		for i, t := range s.From {
 			if i > 0 {
-				b.WriteString(", ")
+				b = append(b, ", "...)
 			}
-			b.WriteString(t.SQL())
+			b = t.appendSQL(b)
 		}
 	}
 	if s.Where != nil {
-		b.WriteString(" WHERE ")
-		b.WriteString(s.Where.SQL())
+		b = append(b, " WHERE "...)
+		b = s.Where.appendSQL(b)
 	}
 	if len(s.GroupBy) > 0 {
-		b.WriteString(" GROUP BY ")
+		b = append(b, " GROUP BY "...)
 		for i, e := range s.GroupBy {
 			if i > 0 {
-				b.WriteString(", ")
+				b = append(b, ", "...)
 			}
-			b.WriteString(e.SQL())
+			b = e.appendSQL(b)
 		}
 	}
 	if s.Having != nil {
-		b.WriteString(" HAVING ")
-		b.WriteString(s.Having.SQL())
+		b = append(b, " HAVING "...)
+		b = s.Having.appendSQL(b)
 	}
 	if len(s.OrderBy) > 0 {
-		b.WriteString(" ORDER BY ")
+		b = append(b, " ORDER BY "...)
 		for i, o := range s.OrderBy {
 			if i > 0 {
-				b.WriteString(", ")
+				b = append(b, ", "...)
 			}
-			b.WriteString(o.SQL())
+			b = o.appendSQL(b)
 		}
 	}
 	if s.Limit != nil {
-		b.WriteString(" LIMIT ")
-		b.WriteString(s.Limit.SQL())
+		b = append(b, " LIMIT "...)
+		b = s.Limit.appendSQL(b)
 	}
 	if s.Offset != nil {
-		b.WriteString(" OFFSET ")
-		b.WriteString(s.Offset.SQL())
+		b = append(b, " OFFSET "...)
+		b = s.Offset.appendSQL(b)
 	}
 	if s.UnionAll != nil {
-		b.WriteString(" UNION ALL ")
-		b.WriteString(s.UnionAll.SQL())
+		b = append(b, " UNION ALL "...)
+		b = s.UnionAll.appendSQL(b)
 	}
-	return b.String()
+	return b
 }
 
 // SelectItem is one element of the select list.
@@ -113,18 +163,22 @@ type SelectItem struct {
 }
 
 // SQL renders the select item.
-func (it SelectItem) SQL() string {
+func (it SelectItem) SQL() string { return nodeSQL(it) }
+
+func (it SelectItem) appendSQL(b []byte) []byte {
 	if it.Star {
 		if it.TableQual != "" {
-			return it.TableQual + ".*"
+			b = appendIdent(b, it.TableQual)
+			return append(b, ".*"...)
 		}
-		return "*"
+		return append(b, '*')
 	}
-	s := it.Expr.SQL()
+	b = it.Expr.appendSQL(b)
 	if it.Alias != "" {
-		s += " AS " + it.Alias
+		b = append(b, " AS "...)
+		b = appendIdent(b, it.Alias)
 	}
-	return s
+	return b
 }
 
 // OrderItem is one ORDER BY element.
@@ -134,11 +188,14 @@ type OrderItem struct {
 }
 
 // SQL renders the order item.
-func (o OrderItem) SQL() string {
+func (o OrderItem) SQL() string { return nodeSQL(o) }
+
+func (o OrderItem) appendSQL(b []byte) []byte {
+	b = o.Expr.appendSQL(b)
 	if o.Desc {
-		return o.Expr.SQL() + " DESC"
+		return append(b, " DESC"...)
 	}
-	return o.Expr.SQL() + " ASC"
+	return append(b, " ASC"...)
 }
 
 // --- Table references ---
@@ -160,15 +217,19 @@ type BaseTable struct {
 func (*BaseTable) tableRef() {}
 
 // SQL renders the table reference.
-func (t *BaseTable) SQL() string {
-	s := t.Name
+func (t *BaseTable) SQL() string { return nodeSQL(t) }
+
+func (t *BaseTable) appendSQL(b []byte) []byte {
 	if t.Source != "" {
-		s = t.Source + "." + t.Name
+		b = appendIdent(b, t.Source)
+		b = append(b, '.')
 	}
+	b = appendIdent(b, t.Name)
 	if t.Alias != "" {
-		s += " AS " + t.Alias
+		b = append(b, " AS "...)
+		b = appendIdent(b, t.Alias)
 	}
-	return s
+	return b
 }
 
 // JoinType enumerates supported join types.
@@ -198,8 +259,16 @@ type Join struct {
 func (*Join) tableRef() {}
 
 // SQL renders the join.
-func (j *Join) SQL() string {
-	return j.Left.SQL() + " " + j.Type.String() + " " + j.Right.SQL() + " ON " + j.On.SQL()
+func (j *Join) SQL() string { return nodeSQL(j) }
+
+func (j *Join) appendSQL(b []byte) []byte {
+	b = j.Left.appendSQL(b)
+	b = append(b, ' ')
+	b = append(b, j.Type.String()...)
+	b = append(b, ' ')
+	b = j.Right.appendSQL(b)
+	b = append(b, " ON "...)
+	return j.On.appendSQL(b)
 }
 
 // SubqueryTable is a derived table: (SELECT ...) AS alias.
@@ -211,8 +280,13 @@ type SubqueryTable struct {
 func (*SubqueryTable) tableRef() {}
 
 // SQL renders the derived table.
-func (t *SubqueryTable) SQL() string {
-	return "(" + t.Query.SQL() + ") AS " + t.Alias
+func (t *SubqueryTable) SQL() string { return nodeSQL(t) }
+
+func (t *SubqueryTable) appendSQL(b []byte) []byte {
+	b = append(b, '(')
+	b = t.Query.appendSQL(b)
+	b = append(b, ") AS "...)
+	return appendIdent(b, t.Alias)
 }
 
 // --- Expressions ---
@@ -233,6 +307,8 @@ func (*Literal) expr() {}
 // SQL renders the literal.
 func (l *Literal) SQL() string { return l.Value.String() }
 
+func (l *Literal) appendSQL(b []byte) []byte { return l.Value.AppendSQL(b) }
+
 // Param is a placeholder literal (`?` or `$n`) whose value binds at
 // execute time, not plan time. Index is 1-based; `?` placeholders are
 // numbered left to right by the parser. A plan containing unbound Params
@@ -247,6 +323,11 @@ func (*Param) expr() {}
 // to the same index regardless of surrounding placeholders.
 func (p *Param) SQL() string { return "$" + strconv.Itoa(p.Index) }
 
+func (p *Param) appendSQL(b []byte) []byte {
+	b = append(b, '$')
+	return strconv.AppendInt(b, int64(p.Index), 10)
+}
+
 // ColumnRef references a column, optionally qualified by table alias/name.
 type ColumnRef struct {
 	Table  string // "" when unqualified
@@ -256,11 +337,14 @@ type ColumnRef struct {
 func (*ColumnRef) expr() {}
 
 // SQL renders the column reference.
-func (c *ColumnRef) SQL() string {
+func (c *ColumnRef) SQL() string { return nodeSQL(c) }
+
+func (c *ColumnRef) appendSQL(b []byte) []byte {
 	if c.Table != "" {
-		return c.Table + "." + c.Column
+		b = appendIdent(b, c.Table)
+		b = append(b, '.')
 	}
-	return c.Column
+	return appendIdent(b, c.Column)
 }
 
 // BinOp enumerates binary operators.
@@ -304,8 +388,16 @@ func (*BinaryExpr) expr() {}
 
 // SQL renders the expression fully parenthesized, which keeps the deparser
 // trivially correct with respect to precedence.
-func (b *BinaryExpr) SQL() string {
-	return "(" + b.Left.SQL() + " " + b.Op.String() + " " + b.Right.SQL() + ")"
+func (b *BinaryExpr) SQL() string { return nodeSQL(b) }
+
+func (x *BinaryExpr) appendSQL(b []byte) []byte {
+	b = append(b, '(')
+	b = x.Left.appendSQL(b)
+	b = append(b, ' ')
+	b = append(b, x.Op.String()...)
+	b = append(b, ' ')
+	b = x.Right.appendSQL(b)
+	return append(b, ')')
 }
 
 // UnaryExpr applies NOT or unary minus.
@@ -317,11 +409,16 @@ type UnaryExpr struct {
 func (*UnaryExpr) expr() {}
 
 // SQL renders the expression.
-func (u *UnaryExpr) SQL() string {
+func (u *UnaryExpr) SQL() string { return nodeSQL(u) }
+
+func (u *UnaryExpr) appendSQL(b []byte) []byte {
+	b = append(b, '(')
+	b = append(b, u.Op...)
 	if u.Op == "NOT" {
-		return "(NOT " + u.Child.SQL() + ")"
+		b = append(b, ' ')
 	}
-	return "(" + u.Op + u.Child.SQL() + ")"
+	b = u.Child.appendSQL(b)
+	return append(b, ')')
 }
 
 // IsNullExpr is `expr IS [NOT] NULL`.
@@ -333,11 +430,15 @@ type IsNullExpr struct {
 func (*IsNullExpr) expr() {}
 
 // SQL renders the predicate.
-func (e *IsNullExpr) SQL() string {
+func (e *IsNullExpr) SQL() string { return nodeSQL(e) }
+
+func (e *IsNullExpr) appendSQL(b []byte) []byte {
+	b = append(b, '(')
+	b = e.Child.appendSQL(b)
 	if e.Not {
-		return "(" + e.Child.SQL() + " IS NOT NULL)"
+		return append(b, " IS NOT NULL)"...)
 	}
-	return "(" + e.Child.SQL() + " IS NULL)"
+	return append(b, " IS NULL)"...)
 }
 
 // InExpr is `expr [NOT] IN (list)`.
@@ -350,16 +451,23 @@ type InExpr struct {
 func (*InExpr) expr() {}
 
 // SQL renders the predicate.
-func (e *InExpr) SQL() string {
-	parts := make([]string, len(e.List))
-	for i, x := range e.List {
-		parts[i] = x.SQL()
-	}
-	op := " IN ("
+func (e *InExpr) SQL() string { return nodeSQL(e) }
+
+func (e *InExpr) appendSQL(b []byte) []byte {
+	b = append(b, '(')
+	b = e.Child.appendSQL(b)
 	if e.Not {
-		op = " NOT IN ("
+		b = append(b, " NOT IN ("...)
+	} else {
+		b = append(b, " IN ("...)
 	}
-	return "(" + e.Child.SQL() + op + strings.Join(parts, ", ") + "))"
+	for i, x := range e.List {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = x.appendSQL(b)
+	}
+	return append(b, "))"...)
 }
 
 // InSubquery is `expr [NOT] IN (SELECT ...)`. Like EXISTS, the engine
@@ -373,12 +481,18 @@ type InSubquery struct {
 func (*InSubquery) expr() {}
 
 // SQL renders the predicate.
-func (e *InSubquery) SQL() string {
-	op := " IN ("
+func (e *InSubquery) SQL() string { return nodeSQL(e) }
+
+func (e *InSubquery) appendSQL(b []byte) []byte {
+	b = append(b, '(')
+	b = e.Child.appendSQL(b)
 	if e.Not {
-		op = " NOT IN ("
+		b = append(b, " NOT IN ("...)
+	} else {
+		b = append(b, " IN ("...)
 	}
-	return "(" + e.Child.SQL() + op + e.Query.SQL() + "))"
+	b = e.Query.appendSQL(b)
+	return append(b, "))"...)
 }
 
 // BetweenExpr is `expr [NOT] BETWEEN lo AND hi`.
@@ -390,12 +504,20 @@ type BetweenExpr struct {
 func (*BetweenExpr) expr() {}
 
 // SQL renders the predicate.
-func (e *BetweenExpr) SQL() string {
-	op := " BETWEEN "
+func (e *BetweenExpr) SQL() string { return nodeSQL(e) }
+
+func (e *BetweenExpr) appendSQL(b []byte) []byte {
+	b = append(b, '(')
+	b = e.Child.appendSQL(b)
 	if e.Not {
-		op = " NOT BETWEEN "
+		b = append(b, " NOT BETWEEN "...)
+	} else {
+		b = append(b, " BETWEEN "...)
 	}
-	return "(" + e.Child.SQL() + op + e.Lo.SQL() + " AND " + e.Hi.SQL() + ")"
+	b = e.Lo.appendSQL(b)
+	b = append(b, " AND "...)
+	b = e.Hi.appendSQL(b)
+	return append(b, ')')
 }
 
 // FuncExpr is a scalar or aggregate function call.
@@ -409,19 +531,24 @@ type FuncExpr struct {
 func (*FuncExpr) expr() {}
 
 // SQL renders the call.
-func (f *FuncExpr) SQL() string {
+func (f *FuncExpr) SQL() string { return nodeSQL(f) }
+
+func (f *FuncExpr) appendSQL(b []byte) []byte {
+	b = append(b, f.Name...)
 	if f.Star {
-		return f.Name + "(*)"
+		return append(b, "(*)"...)
 	}
-	parts := make([]string, len(f.Args))
-	for i, a := range f.Args {
-		parts[i] = a.SQL()
-	}
-	d := ""
+	b = append(b, '(')
 	if f.Distinct {
-		d = "DISTINCT "
+		b = append(b, "DISTINCT "...)
 	}
-	return f.Name + "(" + d + strings.Join(parts, ", ") + ")"
+	for i, a := range f.Args {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = a.appendSQL(b)
+	}
+	return append(b, ')')
 }
 
 // AggFuncs lists the recognized aggregate function names.
@@ -446,21 +573,21 @@ type CaseWhen struct {
 func (*CaseExpr) expr() {}
 
 // SQL renders the expression.
-func (c *CaseExpr) SQL() string {
-	var b strings.Builder
-	b.WriteString("CASE")
+func (c *CaseExpr) SQL() string { return nodeSQL(c) }
+
+func (c *CaseExpr) appendSQL(b []byte) []byte {
+	b = append(b, "CASE"...)
 	for _, w := range c.Whens {
-		b.WriteString(" WHEN ")
-		b.WriteString(w.Cond.SQL())
-		b.WriteString(" THEN ")
-		b.WriteString(w.Result.SQL())
+		b = append(b, " WHEN "...)
+		b = w.Cond.appendSQL(b)
+		b = append(b, " THEN "...)
+		b = w.Result.appendSQL(b)
 	}
 	if c.Else != nil {
-		b.WriteString(" ELSE ")
-		b.WriteString(c.Else.SQL())
+		b = append(b, " ELSE "...)
+		b = c.Else.appendSQL(b)
 	}
-	b.WriteString(" END")
-	return b.String()
+	return append(b, " END"...)
 }
 
 // CastExpr is CAST(expr AS type).
@@ -472,8 +599,14 @@ type CastExpr struct {
 func (*CastExpr) expr() {}
 
 // SQL renders the cast.
-func (c *CastExpr) SQL() string {
-	return "CAST(" + c.Child.SQL() + " AS " + c.Type.String() + ")"
+func (c *CastExpr) SQL() string { return nodeSQL(c) }
+
+func (c *CastExpr) appendSQL(b []byte) []byte {
+	b = append(b, "CAST("...)
+	b = c.Child.appendSQL(b)
+	b = append(b, " AS "...)
+	b = append(b, c.Type.String()...)
+	return append(b, ')')
 }
 
 // ExistsExpr is [NOT] EXISTS (subquery). The engine supports it only in
@@ -486,11 +619,16 @@ type ExistsExpr struct {
 func (*ExistsExpr) expr() {}
 
 // SQL renders the predicate.
-func (e *ExistsExpr) SQL() string {
+func (e *ExistsExpr) SQL() string { return nodeSQL(e) }
+
+func (e *ExistsExpr) appendSQL(b []byte) []byte {
 	if e.Not {
-		return "(NOT EXISTS (" + e.Query.SQL() + "))"
+		b = append(b, "(NOT EXISTS ("...)
+	} else {
+		b = append(b, "(EXISTS ("...)
 	}
-	return "(EXISTS (" + e.Query.SQL() + "))"
+	b = e.Query.appendSQL(b)
+	return append(b, "))"...)
 }
 
 // WalkExprs calls fn for e and every expression beneath it, pre-order.

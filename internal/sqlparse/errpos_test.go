@@ -1,0 +1,122 @@
+package sqlparse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorPositions exercises every parser error path and asserts
+// the uniform contract: a *ParseError carrying the 1-based line:col of
+// the offending token and that token's display text ("" at end of
+// input). One case per errf call site in parser.go.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name  string
+		sql   string
+		line  int
+		col   int
+		token string
+		msg   string // substring of the error message
+	}{
+		{"trailing-after-statement", "SELECT a FROM t )", 1, 17, ")", "after end of statement"},
+		{"expect-keyword", "SELECT a FROM t GROUP x", 1, 23, "x", "expected BY"},
+		{"expect-symbol", "SELECT f(a FROM t", 1, 12, "FROM", `expected ")"`},
+		{"expect-identifier", "SELECT a FROM 1", 1, 15, "1", "expected identifier"},
+		{"union-not-all", "SELECT a FROM t UNION SELECT b FROM u", 1, 23, "SELECT", "only UNION ALL"},
+		{"derived-table-alias", "SELECT a FROM (SELECT b FROM u)", 1, 32, "", "derived table requires an alias"},
+		{"misplaced-not", "SELECT a + NOT b FROM t", 1, 12, "NOT", "unexpected keyword"},
+		// The Pratt loop ends the expression at an unknown infix token;
+		// the statement-level trailing check then owns the error, still
+		// pointing at the token that stopped the parse.
+		{"keyword-as-infix", "SELECT a FROM t WHERE a SELECT b", 1, 25, "SELECT", "after end of statement"},
+		{"unexpected-infix-token", "SELECT a FROM t WHERE a , b", 1, 25, ",", "after end of statement"},
+		{"int-overflow", "SELECT 99999999999999999999 FROM t", 1, 8, "99999999999999999999", "bad integer literal"},
+		{"float-overflow", "SELECT 1.5e999999 FROM t", 1, 8, "1.5e999999", "bad float literal"},
+		{"param-zero", "SELECT a FROM t WHERE a = $0", 1, 27, "$0", "bad parameter placeholder"},
+		{"cast-unknown-type", "SELECT CAST(a AS BLOB) FROM t", 1, 18, "BLOB", "unknown type"},
+		{"star-non-count", "SELECT SUM(*) FROM t", 1, 12, "*", "SUM(*) is not supported"},
+		{"case-no-when", "SELECT CASE END FROM t", 1, 13, "END", "at least one WHEN arm"},
+		{"keyword-as-primary", "SELECT a FROM t WHERE a = GROUP", 1, 27, "GROUP", "unexpected keyword"},
+		{"eof-mid-expression", "SELECT a FROM t WHERE", 1, 22, "", ""},
+		// Position must survive line breaks: same GROUP error, second line.
+		{"multiline", "SELECT a FROM t\n  GROUP x", 2, 9, "x", "expected BY"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.sql)
+			if err == nil {
+				t.Fatalf("Parse(%q) should fail", tc.sql)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q) error is %T, want *ParseError: %v", tc.sql, err, err)
+			}
+			if pe.Line != tc.line || pe.Col != tc.col {
+				t.Errorf("Parse(%q) error at %d:%d, want %d:%d (%v)",
+					tc.sql, pe.Line, pe.Col, tc.line, tc.col, err)
+			}
+			if pe.Token != tc.token {
+				t.Errorf("Parse(%q) offending token %q, want %q (%v)",
+					tc.sql, pe.Token, tc.token, err)
+			}
+			if tc.msg != "" && !strings.Contains(pe.Msg, tc.msg) {
+				t.Errorf("Parse(%q) message %q, want substring %q", tc.sql, pe.Msg, tc.msg)
+			}
+			// The rendered error must carry the position for log greppability.
+			if !strings.Contains(err.Error(), "line ") {
+				t.Errorf("Parse(%q) rendered error lacks position: %v", tc.sql, err)
+			}
+		})
+	}
+}
+
+// TestParseExprErrorPositions covers the standalone-expression entry
+// point's own trailing-input error path.
+func TestParseExprErrorPositions(t *testing.T) {
+	_, err := ParseExpr("a + 1 b")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("ParseExpr error is %T, want *ParseError: %v", err, err)
+	}
+	if pe.Line != 1 || pe.Col != 7 || pe.Token != "b" {
+		t.Errorf("ParseExpr trailing error at %d:%d token %q, want 1:7 %q (%v)",
+			pe.Line, pe.Col, pe.Token, "b", err)
+	}
+}
+
+// TestLexErrorPositions asserts each lexer error path reports the
+// 1-based position of the offending byte.
+func TestLexErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		line int
+		col  int
+		msg  string
+	}{
+		{"unterminated-string", "SELECT 'abc", 1, 8, "unterminated"},
+		{"bad-character", "SELECT a @ b", 1, 10, ""},
+		{"unterminated-quoted-ident", "SELECT \"abc", 1, 8, "unterminated"},
+		{"multiline-bad-character", "SELECT a\nFROM t @", 2, 8, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Lex(tc.sql)
+			if err == nil {
+				t.Fatalf("Lex(%q) should fail", tc.sql)
+			}
+			var le *LexError
+			if !errors.As(err, &le) {
+				t.Fatalf("Lex(%q) error is %T, want *LexError: %v", tc.sql, err, err)
+			}
+			if le.Line != tc.line || le.Col != tc.col {
+				t.Errorf("Lex(%q) error at %d:%d, want %d:%d (%v)",
+					tc.sql, le.Line, le.Col, tc.line, tc.col, err)
+			}
+			if tc.msg != "" && !strings.Contains(le.Msg, tc.msg) {
+				t.Errorf("Lex(%q) message %q, want substring %q", tc.sql, le.Msg, tc.msg)
+			}
+		})
+	}
+}

@@ -1,7 +1,14 @@
-// Package sqlparse implements the SQL front end: a lexer, an AST, a
-// recursive-descent parser for the dialect described in DESIGN.md §5, and a
-// deparser that renders plan fragments back to SQL text for pushdown into
-// wrapped sources.
+// Package sqlparse implements the SQL front end: a hand-rolled byte-scan
+// lexer, an AST, a Pratt (binding-power) parser for the dialect described
+// in DESIGN.md §5, and a deparser that renders plan fragments back to SQL
+// text for pushdown into wrapped sources.
+//
+// The front end is built for the per-request hot path: the lexer scans
+// bytes through a table-driven character classifier (no strings/unicode
+// calls in the loop), keywords resolve through a length-bucketed
+// case-insensitive match that returns canonical constant strings, and the
+// parser allocates AST nodes out of a reusable Arena — a warm parse is
+// near-zero heap allocations.
 package sqlparse
 
 import (
@@ -25,49 +32,157 @@ const (
 	TokParam  // a placeholder: `?` (Text "") or `$n` (Text holds the digits)
 )
 
-// Token is one lexical token with its source position (1-based).
+// Token is one lexical token with its source position.
 type Token struct {
 	Kind TokenKind
 	Text string // keywords are upper-cased; identifiers keep original case
 	Pos  int    // byte offset in the input
 }
 
-// keywords recognized by the lexer. Identifiers matching these
-// (case-insensitively) become TokKeyword tokens with upper-cased text.
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
-	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
-	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
-	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
-	"TRUE": true, "FALSE": true, "JOIN": true, "INNER": true, "LEFT": true,
-	"OUTER": true, "ON": true, "ASC": true, "DESC": true,
-	"UNION": true, "ALL": true, "DISTINCT": true, "CASE": true,
-	"WHEN": true, "THEN": true, "ELSE": true, "END": true,
-	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	"EXISTS": true, "CAST": true, "INT": true, "FLOAT": true,
-	"STRING": true, "BOOL": true, "TIME": true,
+// Character classes for the byte-scan loop. The table is built once at
+// init; the hot loop indexes it instead of calling unicode predicates.
+const (
+	clSpace = 1 << iota
+	clDigit
+	clIdentStart
+	clIdentPart
+)
+
+var charClass [256]byte
+
+func init() {
+	for c := 'a'; c <= 'z'; c++ {
+		charClass[c] |= clIdentStart | clIdentPart
+		charClass[c-32] |= clIdentStart | clIdentPart
+	}
+	charClass['_'] |= clIdentStart | clIdentPart
+	for c := '0'; c <= '9'; c++ {
+		charClass[c] |= clDigit | clIdentPart
+	}
+	charClass['$'] |= clIdentPart
+	for _, c := range []byte{' ', '\t', '\n', '\r'} {
+		charClass[c] |= clSpace
+	}
+	// High bytes: match the historical lexer, which treated any byte whose
+	// Latin-1 codepoint is a letter as an identifier character. Computed
+	// here once so the scan loop never touches the unicode tables.
+	for c := 0x80; c < 0x100; c++ {
+		if unicode.IsLetter(rune(c)) {
+			charClass[c] |= clIdentStart | clIdentPart
+		}
+	}
 }
 
-// LexError describes a lexical error with its position.
+func isDigit(c byte) bool      { return charClass[c]&clDigit != 0 }
+func isIdentStart(c byte) bool { return charClass[c]&clIdentStart != 0 }
+func isIdentPart(c byte) bool  { return charClass[c]&clIdentPart != 0 }
+
+// Canonical keyword spellings: keywordOf returns these constants, so
+// keyword tokens never allocate and compare by pointer in the common case.
+var keywordList = [...]string{
+	"SELECT", "FROM", "WHERE", "GROUP", "BY",
+	"HAVING", "ORDER", "LIMIT", "OFFSET",
+	"AS", "AND", "OR", "NOT", "IN",
+	"BETWEEN", "LIKE", "IS", "NULL",
+	"TRUE", "FALSE", "JOIN", "INNER", "LEFT",
+	"OUTER", "ON", "ASC", "DESC",
+	"UNION", "ALL", "DISTINCT", "CASE",
+	"WHEN", "THEN", "ELSE", "END",
+	"COUNT", "SUM", "AVG", "MIN", "MAX",
+	"EXISTS", "CAST", "INT", "FLOAT",
+	"STRING", "BOOL", "TIME",
+}
+
+// kwBuckets holds the keywords bucketed by length (2..8), so a candidate
+// word is compared against at most a handful of same-length keywords.
+var kwBuckets [9][]string
+
+func init() {
+	for _, kw := range keywordList {
+		kwBuckets[len(kw)] = append(kwBuckets[len(kw)], kw)
+	}
+}
+
+// eqFoldASCII reports whether word equals the upper-case keyword kw under
+// ASCII case folding. Lengths are already known equal.
+func eqFoldASCII(word, kw string) bool {
+	for i := 0; i < len(kw); i++ {
+		c := word[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != kw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// keywordOf resolves a scanned word to its canonical keyword spelling.
+func keywordOf(word string) (string, bool) {
+	if len(word) < 2 || len(word) >= len(kwBuckets) {
+		return "", false
+	}
+	for _, kw := range kwBuckets[len(word)] {
+		if eqFoldASCII(word, kw) {
+			return kw, true
+		}
+	}
+	return "", false
+}
+
+// LexError describes a lexical error with its 1-based line:column
+// position.
 type LexError struct {
-	Pos int
-	Msg string
+	Pos  int // byte offset in the input
+	Line int // 1-based line number
+	Col  int // 1-based column (byte) number within the line
+	Msg  string
 }
 
 func (e *LexError) Error() string {
-	return fmt.Sprintf("sql: lex error at offset %d: %s", e.Pos, e.Msg)
+	return fmt.Sprintf("sql: lex error at line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lineCol converts a byte offset into a 1-based line:column pair.
+func lineCol(input string, pos int) (line, col int) {
+	if pos > len(input) {
+		pos = len(input)
+	}
+	line, col = 1, 1
+	for i := 0; i < pos; i++ {
+		if input[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+func lexErr(input string, pos int, format string, args ...any) *LexError {
+	line, col := lineCol(input, pos)
+	return &LexError{Pos: pos, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Lex tokenizes the input. The returned slice always ends with a TokEOF
 // token on success.
 func Lex(input string) ([]Token, error) {
-	var toks []Token
+	return lexInto(input, nil)
+}
+
+// lexInto tokenizes into toks (reusing its storage), appending a final
+// TokEOF on success. The hot loop dispatches on the char-class table and
+// never calls into strings/unicode; identifier and number token texts are
+// substrings sharing the input's memory.
+func lexInto(input string, toks []Token) ([]Token, error) {
 	i := 0
 	n := len(input)
 	for i < n {
 		c := input[i]
 		switch {
-		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+		case charClass[c]&clSpace != 0:
 			i++
 		case c == '-' && i+1 < n && input[i+1] == '-':
 			// line comment
@@ -108,35 +223,38 @@ func Lex(input string) ([]Token, error) {
 		case c == '\'':
 			start := i
 			i++
-			var sb strings.Builder
+			lit := i
+			escaped := false
 			closed := false
 			for i < n {
 				if input[i] == '\'' {
 					if i+1 < n && input[i+1] == '\'' {
-						sb.WriteByte('\'')
+						escaped = true
 						i += 2
 						continue
 					}
-					i++
 					closed = true
 					break
 				}
-				sb.WriteByte(input[i])
 				i++
 			}
 			if !closed {
-				return nil, &LexError{Pos: start, Msg: "unterminated string literal"}
+				return nil, lexErr(input, start, "unterminated string literal")
 			}
-			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+			text := input[lit:i]
+			if escaped {
+				text = unescapeString(text)
+			}
+			i++
+			toks = append(toks, Token{Kind: TokString, Text: text, Pos: start})
 		case isIdentStart(c):
 			start := i
 			for i < n && isIdentPart(input[i]) {
 				i++
 			}
 			word := input[start:i]
-			up := strings.ToUpper(word)
-			if keywords[up] {
-				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			if kw, ok := keywordOf(word); ok {
+				toks = append(toks, Token{Kind: TokKeyword, Text: kw, Pos: start})
 			} else {
 				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
 			}
@@ -154,33 +272,35 @@ func Lex(input string) ([]Token, error) {
 			// Quoted identifier.
 			start := i
 			i++
-			j := strings.IndexByte(input[i:], '"')
-			if j < 0 {
-				return nil, &LexError{Pos: start, Msg: "unterminated quoted identifier"}
+			j := i
+			for j < n && input[j] != '"' {
+				j++
 			}
-			toks = append(toks, Token{Kind: TokIdent, Text: input[i : i+j], Pos: start})
-			i += j + 1
+			if j == n {
+				return nil, lexErr(input, start, "unterminated quoted identifier")
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[i:j], Pos: start})
+			i = j + 1
 		default:
 			start := i
-			two := ""
 			if i+1 < n {
-				two = input[i : i+2]
-			}
-			switch two {
-			case "<>", "<=", ">=", "!=", "||":
-				if two == "!=" {
-					two = "<>"
+				switch two := input[i : i+2]; two {
+				case "<>", "<=", ">=", "||":
+					toks = append(toks, Token{Kind: TokSymbol, Text: two, Pos: start})
+					i += 2
+					continue
+				case "!=":
+					toks = append(toks, Token{Kind: TokSymbol, Text: "<>", Pos: start})
+					i += 2
+					continue
 				}
-				toks = append(toks, Token{Kind: TokSymbol, Text: two, Pos: start})
-				i += 2
-				continue
 			}
 			switch c {
 			case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', '%':
-				toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: start})
+				toks = append(toks, Token{Kind: TokSymbol, Text: symbolText(c), Pos: start})
 				i++
 			default:
-				return nil, &LexError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", rune(c))}
+				return nil, lexErr(input, start, "unexpected character %q", rune(c))
 			}
 		}
 	}
@@ -188,12 +308,29 @@ func Lex(input string) ([]Token, error) {
 	return toks, nil
 }
 
-func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+// symbolTexts maps single-char symbols to interned one-byte strings, so
+// symbol tokens never allocate.
+var symbolTexts [128]string
 
-func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+func init() {
+	for _, c := range []byte{'(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', '%'} {
+		symbolTexts[c] = string([]byte{c})
+	}
 }
 
-func isIdentPart(c byte) bool {
-	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || isDigit(c)
+func symbolText(c byte) string { return symbolTexts[c] }
+
+// unescapeString collapses doubled quotes in the raw body of a string
+// literal (the cold path: literals with no doubled quote are served as
+// substrings).
+func unescapeString(raw string) string {
+	var b strings.Builder
+	b.Grow(len(raw))
+	for i := 0; i < len(raw); i++ {
+		b.WriteByte(raw[i])
+		if raw[i] == '\'' {
+			i++ // skip the doubled quote
+		}
+	}
+	return b.String()
 }

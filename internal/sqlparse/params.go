@@ -73,6 +73,20 @@ func MaxParamIndex(s *Select) int {
 // source data at compile time, so their compiled form must not outlive the
 // compiling query.
 func ExtractParams(sel *Select) (values []datum.Datum, cacheable bool) {
+	return ExtractParamsIn(nil, sel)
+}
+
+// ExtractParamsIn is ExtractParams with the replacement Param nodes and
+// rewritten predicate subtrees allocated from a (heap when a is nil). It
+// is safe to use when sel itself came from the same arena: the statement
+// and its normalized form then share one lifetime.
+func ExtractParamsIn(a *Arena, sel *Select) (values []datum.Datum, cacheable bool) {
+	if a != nil {
+		// Accumulate into the arena's value scratch; the returned slice
+		// shares the query's lifetime, like everything else from a.
+		values = a.valStk[:0]
+		defer func() { a.valStk = values[:0] }()
+	}
 	unsafe := false
 	WalkSelectExprs(sel, func(e Expr) {
 		switch e.(type) {
@@ -86,7 +100,7 @@ func ExtractParams(sel *Select) (values []datum.Datum, cacheable bool) {
 	extract := func(e Expr) (Expr, error) {
 		if lit, ok := e.(*Literal); ok {
 			values = append(values, lit.Value)
-			return &Param{Index: len(values)}, nil
+			return a.newParam(Param{Index: len(values)}), nil
 		}
 		return e, nil
 	}
@@ -101,7 +115,7 @@ func ExtractParams(sel *Select) (values []datum.Datum, cacheable bool) {
 			case *Join:
 				walkRef(t.Left)
 				walkRef(t.Right)
-				t.On, _ = Rewrite(t.On, extract)
+				t.On, _ = RewriteIn(a, t.On, extract)
 			case *SubqueryTable:
 				normalize(t.Query)
 			}
@@ -109,7 +123,7 @@ func ExtractParams(sel *Select) (values []datum.Datum, cacheable bool) {
 		for _, tr := range s.From {
 			walkRef(tr)
 		}
-		s.Where, _ = Rewrite(s.Where, extract)
+		s.Where, _ = RewriteIn(a, s.Where, extract)
 		normalize(s.UnionAll)
 	}
 	normalize(sel)

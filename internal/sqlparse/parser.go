@@ -3,29 +3,53 @@ package sqlparse
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"repro/internal/datum"
 )
 
-// ParseError describes a syntax error with its byte offset.
+// ParseError describes a syntax error with its 1-based line:column
+// position and the offending token.
 type ParseError struct {
-	Pos int
-	Msg string
+	Pos   int    // byte offset in the input
+	Line  int    // 1-based line number
+	Col   int    // 1-based column (byte) number within the line
+	Token string // text of the offending token ("" at end of input)
+	Msg   string
 }
 
 func (e *ParseError) Error() string {
-	return fmt.Sprintf("sql: parse error at offset %d: %s", e.Pos, e.Msg)
+	at := "end of input"
+	if e.Token != "" {
+		at = strconv.Quote(e.Token)
+	}
+	return fmt.Sprintf("sql: parse error at line %d:%d near %s: %s", e.Line, e.Col, at, e.Msg)
 }
 
 // Parse parses one SELECT statement and requires the whole input to be
-// consumed.
+// consumed. The returned AST is heap-allocated and safe to retain
+// indefinitely (view definitions, cached plan templates); only the
+// parser's scratch buffers come from the arena pool.
 func Parse(input string) (*Select, error) {
-	toks, err := Lex(input)
+	scratch := GetArena()
+	defer PutArena(scratch)
+	return parseStatement(scratch, nil, input)
+}
+
+// ParseArena parses like Parse but allocates every AST node and list out
+// of a. The result is only valid until a is Reset and must not be
+// retained past that point — it is meant for the per-query hot path,
+// where the engine releases the arena on every exit.
+func ParseArena(a *Arena, input string) (*Select, error) {
+	return parseStatement(a, a, input)
+}
+
+func parseStatement(scratch, nodes *Arena, input string) (*Select, error) {
+	toks, err := lexInto(input, scratch.toks[:0])
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	scratch.toks = toks
+	p := parser{input: input, toks: toks, scratch: scratch, nodes: nodes}
 	sel, err := p.parseSelect()
 	if err != nil {
 		return nil, err
@@ -37,13 +61,16 @@ func Parse(input string) (*Select, error) {
 }
 
 // ParseExpr parses a standalone scalar expression (used by view definitions
-// and tests).
+// and tests). Like Parse, the result is retain-safe.
 func ParseExpr(input string) (Expr, error) {
-	toks, err := Lex(input)
+	scratch := GetArena()
+	defer PutArena(scratch)
+	toks, err := lexInto(input, scratch.toks[:0])
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	scratch.toks = toks
+	p := parser{input: input, toks: toks, scratch: scratch}
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
@@ -55,21 +82,68 @@ func ParseExpr(input string) (Expr, error) {
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	input string
+	toks  []Token
+	pos   int
 	// nextParam auto-numbers `?` placeholders left to right (1-based).
 	nextParam int
+	// scratch holds the list-building stacks (never nil); nodes is the
+	// arena AST nodes are allocated from, or nil for heap allocation.
+	scratch *Arena
+	nodes   *Arena
 }
 
 func (p *parser) peek() Token   { return p.toks[p.pos] }
 func (p *parser) atEOF() bool   { return p.peek().Kind == TokEOF }
 func (p *parser) next() Token   { t := p.toks[p.pos]; p.pos++; return t }
-func (p *parser) backup()       { p.pos-- }
 func (p *parser) save() int     { return p.pos }
 func (p *parser) restore(m int) { p.pos = m }
 
 func (p *parser) errf(format string, args ...any) error {
-	return &ParseError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+	t := p.peek()
+	line, col := lineCol(p.input, t.Pos)
+	return &ParseError{
+		Pos:   t.Pos,
+		Line:  line,
+		Col:   col,
+		Token: displayToken(t),
+		Msg:   fmt.Sprintf(format, args...),
+	}
+}
+
+// upperASCII upper-cases ASCII letters only. strings.ToUpper would map
+// bytes that are not valid UTF-8 (Latin-1 identifiers the lexer accepts)
+// to U+FFFD, corrupting the round-trip; function-name matching only ever
+// needs ASCII folding.
+func upperASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'a' && c <= 'z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if c := b[j]; c >= 'a' && c <= 'z' {
+					b[j] = c - ('a' - 'A')
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
+}
+
+// displayToken renders a token for error messages.
+func displayToken(t Token) string {
+	switch t.Kind {
+	case TokEOF:
+		return ""
+	case TokParam:
+		if t.Text == "" {
+			return "?"
+		}
+		return "$" + t.Text
+	case TokString:
+		return "'" + t.Text + "'"
+	}
+	return t.Text
 }
 
 // acceptKeyword consumes the keyword if present.
@@ -119,7 +193,7 @@ func (p *parser) parseSelect() (*Select, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	sel := &Select{}
+	sel := p.nodes.newSelect(Select{})
 	if p.acceptKeyword("DISTINCT") {
 		sel.Distinct = true
 	} else {
@@ -127,28 +201,34 @@ func (p *parser) parseSelect() (*Select, error) {
 	}
 
 	// Select list.
+	itemMark := len(p.scratch.itemStk)
 	for {
 		item, err := p.parseSelectItem()
 		if err != nil {
 			return nil, err
 		}
-		sel.Items = append(sel.Items, item)
+		p.scratch.itemStk = append(p.scratch.itemStk, item)
 		if !p.acceptSymbol(",") {
 			break
 		}
 	}
+	sel.Items = p.nodes.copyItems(p.scratch.itemStk[itemMark:])
+	p.scratch.itemStk = p.scratch.itemStk[:itemMark]
 
 	if p.acceptKeyword("FROM") {
+		refMark := len(p.scratch.refStk)
 		for {
 			tr, err := p.parseTableRef()
 			if err != nil {
 				return nil, err
 			}
-			sel.From = append(sel.From, tr)
+			p.scratch.refStk = append(p.scratch.refStk, tr)
 			if !p.acceptSymbol(",") {
 				break
 			}
 		}
+		sel.From = p.nodes.copyRefs(p.scratch.refStk[refMark:])
+		p.scratch.refStk = p.scratch.refStk[:refMark]
 	}
 
 	if p.acceptKeyword("WHERE") {
@@ -163,16 +243,19 @@ func (p *parser) parseSelect() (*Select, error) {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
+		exprMark := len(p.scratch.exprStk)
 		for {
 			e, err := p.parseExpr()
 			if err != nil {
 				return nil, err
 			}
-			sel.GroupBy = append(sel.GroupBy, e)
+			p.scratch.exprStk = append(p.scratch.exprStk, e)
 			if !p.acceptSymbol(",") {
 				break
 			}
 		}
+		sel.GroupBy = p.nodes.copyExprs(p.scratch.exprStk[exprMark:])
+		p.scratch.exprStk = p.scratch.exprStk[:exprMark]
 	}
 
 	if p.acceptKeyword("HAVING") {
@@ -187,6 +270,7 @@ func (p *parser) parseSelect() (*Select, error) {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
+		orderMark := len(p.scratch.orderStk)
 		for {
 			e, err := p.parseExpr()
 			if err != nil {
@@ -198,11 +282,13 @@ func (p *parser) parseSelect() (*Select, error) {
 			} else {
 				p.acceptKeyword("ASC")
 			}
-			sel.OrderBy = append(sel.OrderBy, item)
+			p.scratch.orderStk = append(p.scratch.orderStk, item)
 			if !p.acceptSymbol(",") {
 				break
 			}
 		}
+		sel.OrderBy = p.nodes.copyOrders(p.scratch.orderStk[orderMark:])
+		p.scratch.orderStk = p.scratch.orderStk[:orderMark]
 	}
 
 	if p.acceptKeyword("LIMIT") {
@@ -301,7 +387,7 @@ func (p *parser) parseTableRef() (TableRef, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &Join{Type: jt, Left: left, Right: right, On: cond}
+		left = p.nodes.newJoin(Join{Type: jt, Left: left, Right: right, On: cond})
 	}
 }
 
@@ -317,15 +403,15 @@ func (p *parser) parseTablePrimary() (TableRef, error) {
 		p.acceptKeyword("AS")
 		alias, err := p.parseIdent()
 		if err != nil {
-			return nil, fmt.Errorf("sql: derived table requires an alias: %w", err)
+			return nil, p.errf("derived table requires an alias")
 		}
-		return &SubqueryTable{Query: sub, Alias: alias}, nil
+		return p.nodes.newSubqueryTable(SubqueryTable{Query: sub, Alias: alias}), nil
 	}
 	name, err := p.parseIdent()
 	if err != nil {
 		return nil, err
 	}
-	bt := &BaseTable{Name: name}
+	bt := p.nodes.newBaseTable(BaseTable{Name: name})
 	if p.acceptSymbol(".") {
 		second, err := p.parseIdent()
 		if err != nil {
@@ -347,226 +433,262 @@ func (p *parser) parseTablePrimary() (TableRef, error) {
 	return bt, nil
 }
 
-// Expression grammar (precedence climbing):
+// Expression grammar. Binding powers encode the precedence ladder of the
+// old recursive-descent cascade:
 //
-//	expr     := orExpr
-//	orExpr   := andExpr (OR andExpr)*
-//	andExpr  := notExpr (AND notExpr)*
-//	notExpr  := NOT notExpr | predicate
-//	predicate:= addExpr (comparison | IS NULL | IN | BETWEEN | LIKE)?
-//	addExpr  := mulExpr ((+|-|'||') mulExpr)*
-//	mulExpr  := unary ((*|/|%) unary)*
-//	unary    := - unary | primary
-func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+//	OR(10) < AND(20) < prefix NOT(21) < predicates(30, non-chaining:
+//	comparison, IS [NOT] NULL, [NOT] IN, [NOT] BETWEEN, [NOT] LIKE)
+//	< additive + - ||(50) < multiplicative * / %(60) < prefix -(70)
+//
+// Predicates don't chain (`a = b = c` is rejected) and their operands sit
+// one level up, so `a = b AND c` parses as `(a = b) AND c`. Prefix NOT
+// binds looser than predicates (`NOT a = b` is `NOT (a = b)`) but tighter
+// than AND, and is only legal where the old notExpr production allowed it
+// (`a = NOT b` stays an error).
+const (
+	bpOr   = 10
+	bpAnd  = 20
+	bpNot  = 21 // right binding power of prefix NOT
+	bpPred = 30
+	bpAdd  = 50
+	bpMul  = 60
+	bpNeg  = 70 // right binding power of prefix minus
+)
 
-func (p *parser) parseOr() (Expr, error) {
-	left, err := p.parseAnd()
-	if err != nil {
-		return nil, err
-	}
-	for p.acceptKeyword("OR") {
-		right, err := p.parseAnd()
-		if err != nil {
-			return nil, err
-		}
-		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
-	}
-	return left, nil
-}
+func (p *parser) parseExpr() (Expr, error) { return p.parseExprBP(0) }
 
-func (p *parser) parseAnd() (Expr, error) {
-	left, err := p.parseNot()
-	if err != nil {
-		return nil, err
-	}
-	for p.acceptKeyword("AND") {
-		right, err := p.parseNot()
-		if err != nil {
-			return nil, err
-		}
-		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
-	}
-	return left, nil
-}
-
-func (p *parser) parseNot() (Expr, error) {
-	if p.acceptKeyword("NOT") {
-		child, err := p.parseNot()
-		if err != nil {
-			return nil, err
-		}
-		return &UnaryExpr{Op: "NOT", Child: child}, nil
-	}
-	return p.parsePredicate()
-}
-
-func (p *parser) parsePredicate() (Expr, error) {
-	left, err := p.parseAdditive()
-	if err != nil {
-		return nil, err
-	}
-	// IS [NOT] NULL
-	if p.acceptKeyword("IS") {
-		not := p.acceptKeyword("NOT")
-		if err := p.expectKeyword("NULL"); err != nil {
-			return nil, err
-		}
-		return &IsNullExpr{Child: left, Not: not}, nil
-	}
-	not := false
-	if t := p.peek(); t.Kind == TokKeyword && t.Text == "NOT" {
-		// Lookahead for NOT IN / NOT BETWEEN / NOT LIKE.
-		if p.pos+1 < len(p.toks) {
-			nt := p.toks[p.pos+1]
-			if nt.Kind == TokKeyword && (nt.Text == "IN" || nt.Text == "BETWEEN" || nt.Text == "LIKE") {
-				p.pos++
-				not = true
+// infixBP returns the binding power of the infix operator starting at the
+// current token, or 0 when the token cannot continue an expression.
+func (p *parser) infixBP() int {
+	t := p.peek()
+	switch t.Kind {
+	case TokKeyword:
+		switch t.Text {
+		case "OR":
+			return bpOr
+		case "AND":
+			return bpAnd
+		case "IS", "IN", "BETWEEN", "LIKE":
+			return bpPred
+		case "NOT":
+			// NOT IN / NOT BETWEEN / NOT LIKE via one-token lookahead
+			// (the EOF sentinel makes p.pos+1 always in range here).
+			if nt := p.toks[p.pos+1]; nt.Kind == TokKeyword &&
+				(nt.Text == "IN" || nt.Text == "BETWEEN" || nt.Text == "LIKE") {
+				return bpPred
 			}
 		}
+	case TokSymbol:
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			return bpPred
+		case "+", "-", "||":
+			return bpAdd
+		case "*", "/", "%":
+			return bpMul
+		}
 	}
-	switch {
-	case p.acceptKeyword("IN"):
-		if err := p.expectSymbol("("); err != nil {
+	return 0
+}
+
+func (p *parser) parseExprBP(min int) (Expr, error) {
+	left, err := p.parsePrefix(min)
+	if err != nil {
+		return nil, err
+	}
+	predDone := false
+	for {
+		bp := p.infixBP()
+		if bp == 0 || bp <= min || (predDone && bp >= bpPred) {
+			return left, nil
+		}
+		left, err = p.parseInfix(left)
+		if err != nil {
 			return nil, err
 		}
-		if t := p.peek(); t.Kind == TokKeyword && t.Text == "SELECT" {
-			sub, err := p.parseSelect()
+		if bp == bpPred {
+			predDone = true
+		}
+	}
+}
+
+// parsePrefix parses a prefix operator or primary expression (the "nud").
+// min gates where prefix NOT is legal.
+func (p *parser) parsePrefix(min int) (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == "NOT" {
+		if min > bpNot {
+			return nil, p.errf("unexpected keyword %q in expression", t.Text)
+		}
+		p.pos++
+		child, err := p.parseExprBP(bpNot)
+		if err != nil {
+			return nil, err
+		}
+		return p.nodes.newUnary(UnaryExpr{Op: "NOT", Child: child}), nil
+	}
+	if t.Kind == TokSymbol {
+		switch t.Text {
+		case "-":
+			p.pos++
+			child, err := p.parsePrefix(bpNeg)
 			if err != nil {
 				return nil, err
 			}
-			if err := p.expectSymbol(")"); err != nil {
-				return nil, err
+			// Fold negative literals immediately.
+			if lit, ok := child.(*Literal); ok {
+				switch lit.Value.Kind() {
+				case datum.KindInt:
+					return p.nodes.newLiteral(Literal{Value: datum.NewInt(-lit.Value.Int())}), nil
+				case datum.KindFloat:
+					return p.nodes.newLiteral(Literal{Value: datum.NewFloat(-lit.Value.Float())}), nil
+				}
 			}
-			return &InSubquery{Child: left, Query: sub, Not: not}, nil
+			return p.nodes.newUnary(UnaryExpr{Op: "-", Child: child}), nil
+		case "+":
+			p.pos++
+			return p.parsePrefix(bpNeg)
 		}
-		var list []Expr
-		for {
-			e, err := p.parseExpr()
+	}
+	return p.parsePrimary()
+}
+
+// parseInfix consumes the operator at the current token (already vetted
+// by infixBP) plus its right-hand side and combines it with left.
+func (p *parser) parseInfix(left Expr) (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		not := false
+		kw := t.Text
+		if kw == "NOT" {
+			p.pos++
+			not = true
+			kw = p.peek().Text // IN, BETWEEN or LIKE per infixBP lookahead
+		}
+		switch kw {
+		case "OR":
+			p.pos++
+			right, err := p.parseExprBP(bpOr)
 			if err != nil {
 				return nil, err
 			}
-			list = append(list, e)
-			if !p.acceptSymbol(",") {
-				break
+			return p.nodes.newBinary(BinaryExpr{Op: OpOr, Left: left, Right: right}), nil
+		case "AND":
+			p.pos++
+			right, err := p.parseExprBP(bpAnd)
+			if err != nil {
+				return nil, err
 			}
+			return p.nodes.newBinary(BinaryExpr{Op: OpAnd, Left: left, Right: right}), nil
+		case "IS":
+			p.pos++
+			neg := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			return p.nodes.newIsNull(IsNullExpr{Child: left, Not: neg}), nil
+		case "IN":
+			p.pos++
+			return p.parseInTail(left, not)
+		case "BETWEEN":
+			p.pos++
+			lo, err := p.parseExprBP(bpPred)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseExprBP(bpPred)
+			if err != nil {
+				return nil, err
+			}
+			return p.nodes.newBetween(BetweenExpr{Child: left, Lo: lo, Hi: hi, Not: not}), nil
+		case "LIKE":
+			p.pos++
+			pat, err := p.parseExprBP(bpPred)
+			if err != nil {
+				return nil, err
+			}
+			like := Expr(p.nodes.newBinary(BinaryExpr{Op: OpLike, Left: left, Right: pat}))
+			if not {
+				like = p.nodes.newUnary(UnaryExpr{Op: "NOT", Child: like})
+			}
+			return like, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", kw)
+	}
+	var op BinOp
+	var rbp int
+	switch t.Text {
+	case "=":
+		op, rbp = OpEq, bpPred
+	case "<>":
+		op, rbp = OpNe, bpPred
+	case "<":
+		op, rbp = OpLt, bpPred
+	case "<=":
+		op, rbp = OpLe, bpPred
+	case ">":
+		op, rbp = OpGt, bpPred
+	case ">=":
+		op, rbp = OpGe, bpPred
+	case "+":
+		op, rbp = OpAdd, bpAdd
+	case "-":
+		op, rbp = OpSub, bpAdd
+	case "||":
+		op, rbp = OpConcat, bpAdd
+	case "*":
+		op, rbp = OpMul, bpMul
+	case "/":
+		op, rbp = OpDiv, bpMul
+	case "%":
+		op, rbp = OpMod, bpMul
+	default:
+		return nil, p.errf("unexpected token %q", t.Text)
+	}
+	p.pos++
+	right, err := p.parseExprBP(rbp)
+	if err != nil {
+		return nil, err
+	}
+	return p.nodes.newBinary(BinaryExpr{Op: op, Left: left, Right: right}), nil
+}
+
+// parseInTail parses the parenthesized tail of `expr [NOT] IN ...`: either
+// a value list or a subquery.
+func (p *parser) parseInTail(left Expr, not bool) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "SELECT" {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
 		}
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
-		return &InExpr{Child: left, List: list, Not: not}, nil
-	case p.acceptKeyword("BETWEEN"):
-		lo, err := p.parseAdditive()
+		return p.nodes.newInSubquery(InSubquery{Child: left, Query: sub, Not: not}), nil
+	}
+	exprMark := len(p.scratch.exprStk)
+	for {
+		e, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectKeyword("AND"); err != nil {
-			return nil, err
-		}
-		hi, err := p.parseAdditive()
-		if err != nil {
-			return nil, err
-		}
-		return &BetweenExpr{Child: left, Lo: lo, Hi: hi, Not: not}, nil
-	case p.acceptKeyword("LIKE"):
-		pat, err := p.parseAdditive()
-		if err != nil {
-			return nil, err
-		}
-		like := Expr(&BinaryExpr{Op: OpLike, Left: left, Right: pat})
-		if not {
-			like = &UnaryExpr{Op: "NOT", Child: like}
-		}
-		return like, nil
-	}
-	if not {
-		return nil, p.errf("dangling NOT")
-	}
-	// Comparison.
-	ops := map[string]BinOp{"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
-	if t := p.peek(); t.Kind == TokSymbol {
-		if op, ok := ops[t.Text]; ok {
-			p.pos++
-			right, err := p.parseAdditive()
-			if err != nil {
-				return nil, err
-			}
-			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		p.scratch.exprStk = append(p.scratch.exprStk, e)
+		if !p.acceptSymbol(",") {
+			break
 		}
 	}
-	return left, nil
-}
-
-func (p *parser) parseAdditive() (Expr, error) {
-	left, err := p.parseMultiplicative()
-	if err != nil {
+	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
 	}
-	for {
-		var op BinOp
-		switch {
-		case p.acceptSymbol("+"):
-			op = OpAdd
-		case p.acceptSymbol("-"):
-			op = OpSub
-		case p.acceptSymbol("||"):
-			op = OpConcat
-		default:
-			return left, nil
-		}
-		right, err := p.parseMultiplicative()
-		if err != nil {
-			return nil, err
-		}
-		left = &BinaryExpr{Op: op, Left: left, Right: right}
-	}
-}
-
-func (p *parser) parseMultiplicative() (Expr, error) {
-	left, err := p.parseUnary()
-	if err != nil {
-		return nil, err
-	}
-	for {
-		var op BinOp
-		switch {
-		case p.acceptSymbol("*"):
-			op = OpMul
-		case p.acceptSymbol("/"):
-			op = OpDiv
-		case p.acceptSymbol("%"):
-			op = OpMod
-		default:
-			return left, nil
-		}
-		right, err := p.parseUnary()
-		if err != nil {
-			return nil, err
-		}
-		left = &BinaryExpr{Op: op, Left: left, Right: right}
-	}
-}
-
-func (p *parser) parseUnary() (Expr, error) {
-	if p.acceptSymbol("-") {
-		child, err := p.parseUnary()
-		if err != nil {
-			return nil, err
-		}
-		// Fold negative literals immediately.
-		if lit, ok := child.(*Literal); ok {
-			switch lit.Value.Kind() {
-			case datum.KindInt:
-				return &Literal{Value: datum.NewInt(-lit.Value.Int())}, nil
-			case datum.KindFloat:
-				return &Literal{Value: datum.NewFloat(-lit.Value.Float())}, nil
-			}
-		}
-		return &UnaryExpr{Op: "-", Child: child}, nil
-	}
-	if p.acceptSymbol("+") {
-		return p.parseUnary()
-	}
-	return p.parsePrimary()
+	list := p.nodes.copyExprs(p.scratch.exprStk[exprMark:])
+	p.scratch.exprStk = p.scratch.exprStk[:exprMark]
+	return p.nodes.newIn(InExpr{Child: left, List: list, Not: not}), nil
 }
 
 var kindNames = map[string]datum.Kind{
@@ -581,41 +703,44 @@ func (p *parser) parsePrimary() (Expr, error) {
 		p.pos++
 		v, err := strconv.ParseInt(t.Text, 10, 64)
 		if err != nil {
+			p.pos--
 			return nil, p.errf("bad integer literal %q", t.Text)
 		}
-		return &Literal{Value: datum.NewInt(v)}, nil
+		return p.nodes.newLiteral(Literal{Value: datum.NewInt(v)}), nil
 	case TokFloat:
 		p.pos++
 		v, err := strconv.ParseFloat(t.Text, 64)
 		if err != nil {
+			p.pos--
 			return nil, p.errf("bad float literal %q", t.Text)
 		}
-		return &Literal{Value: datum.NewFloat(v)}, nil
+		return p.nodes.newLiteral(Literal{Value: datum.NewFloat(v)}), nil
 	case TokString:
 		p.pos++
-		return &Literal{Value: datum.NewString(t.Text)}, nil
+		return p.nodes.newLiteral(Literal{Value: datum.NewString(t.Text)}), nil
 	case TokParam:
 		p.pos++
 		if t.Text == "" { // `?`: auto-number
 			p.nextParam++
-			return &Param{Index: p.nextParam}, nil
+			return p.nodes.newParam(Param{Index: p.nextParam}), nil
 		}
 		idx, err := strconv.Atoi(t.Text)
 		if err != nil || idx < 1 {
+			p.pos--
 			return nil, p.errf("bad parameter placeholder $%s", t.Text)
 		}
-		return &Param{Index: idx}, nil
+		return p.nodes.newParam(Param{Index: idx}), nil
 	case TokKeyword:
 		switch t.Text {
 		case "NULL":
 			p.pos++
-			return &Literal{Value: datum.Null}, nil
+			return p.nodes.newLiteral(Literal{Value: datum.Null}), nil
 		case "TRUE":
 			p.pos++
-			return &Literal{Value: datum.NewBool(true)}, nil
+			return p.nodes.newLiteral(Literal{Value: datum.NewBool(true)}), nil
 		case "FALSE":
 			p.pos++
-			return &Literal{Value: datum.NewBool(false)}, nil
+			return p.nodes.newLiteral(Literal{Value: datum.NewBool(false)}), nil
 		case "COUNT", "SUM", "AVG", "MIN", "MAX":
 			p.pos++
 			return p.parseFuncCall(t.Text)
@@ -634,15 +759,16 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err := p.expectKeyword("AS"); err != nil {
 				return nil, err
 			}
-			kt := p.next()
+			kt := p.peek()
 			kind, ok := kindNames[kt.Text]
 			if !ok {
 				return nil, p.errf("unknown type %q in CAST", kt.Text)
 			}
+			p.pos++
 			if err := p.expectSymbol(")"); err != nil {
 				return nil, err
 			}
-			return &CastExpr{Child: child, Type: kind}, nil
+			return p.nodes.newCast(CastExpr{Child: child, Type: kind}), nil
 		case "EXISTS":
 			p.pos++
 			if err := p.expectSymbol("("); err != nil {
@@ -655,15 +781,14 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err := p.expectSymbol(")"); err != nil {
 				return nil, err
 			}
-			return &ExistsExpr{Query: sub}, nil
+			return p.nodes.newExists(ExistsExpr{Query: sub}), nil
 		}
 		return nil, p.errf("unexpected keyword %q in expression", t.Text)
 	case TokIdent:
 		p.pos++
 		// Function call?
-		if p.acceptSymbol("(") {
-			p.backup()
-			return p.parseFuncCall(strings.ToUpper(t.Text))
+		if t2 := p.peek(); t2.Kind == TokSymbol && t2.Text == "(" {
+			return p.parseFuncCall(upperASCII(t.Text))
 		}
 		// Qualified column? Either tbl.col or source.tbl.col; in the
 		// three-part form the qualifier stored is "source.tbl".
@@ -677,11 +802,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				return &ColumnRef{Table: t.Text + "." + col, Column: col2}, nil
+				return p.nodes.newColumnRef(ColumnRef{Table: t.Text + "." + col, Column: col2}), nil
 			}
-			return &ColumnRef{Table: t.Text, Column: col}, nil
+			return p.nodes.newColumnRef(ColumnRef{Table: t.Text, Column: col}), nil
 		}
-		return &ColumnRef{Column: t.Text}, nil
+		return p.nodes.newColumnRef(ColumnRef{Column: t.Text}), nil
 	case TokSymbol:
 		if t.Text == "(" {
 			p.pos++
@@ -704,9 +829,10 @@ func (p *parser) parseFuncCall(name string) (Expr, error) {
 	if err := p.expectSymbol("("); err != nil {
 		return nil, err
 	}
-	f := &FuncExpr{Name: name}
+	f := p.nodes.newFunc(FuncExpr{Name: name})
 	if p.acceptSymbol("*") {
 		if name != "COUNT" {
+			p.pos-- // rewind so the error points at the star, not past it
 			return nil, p.errf("%s(*) is not supported", name)
 		}
 		f.Star = true
@@ -719,12 +845,13 @@ func (p *parser) parseFuncCall(name string) (Expr, error) {
 		f.Distinct = true
 	}
 	if !p.acceptSymbol(")") {
+		exprMark := len(p.scratch.exprStk)
 		for {
 			a, err := p.parseExpr()
 			if err != nil {
 				return nil, err
 			}
-			f.Args = append(f.Args, a)
+			p.scratch.exprStk = append(p.scratch.exprStk, a)
 			if !p.acceptSymbol(",") {
 				break
 			}
@@ -732,12 +859,15 @@ func (p *parser) parseFuncCall(name string) (Expr, error) {
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
+		f.Args = p.nodes.copyExprs(p.scratch.exprStk[exprMark:])
+		p.scratch.exprStk = p.scratch.exprStk[:exprMark]
 	}
 	return f, nil
 }
 
 func (p *parser) parseCase() (Expr, error) {
-	c := &CaseExpr{}
+	c := p.nodes.newCase(CaseExpr{})
+	whenMark := len(p.scratch.whenStk)
 	for p.acceptKeyword("WHEN") {
 		cond, err := p.parseExpr()
 		if err != nil {
@@ -750,11 +880,13 @@ func (p *parser) parseCase() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Result: res})
+		p.scratch.whenStk = append(p.scratch.whenStk, CaseWhen{Cond: cond, Result: res})
 	}
-	if len(c.Whens) == 0 {
+	if len(p.scratch.whenStk) == whenMark {
 		return nil, p.errf("CASE requires at least one WHEN arm")
 	}
+	c.Whens = p.nodes.copyWhens(p.scratch.whenStk[whenMark:])
+	p.scratch.whenStk = p.scratch.whenStk[:whenMark]
 	if p.acceptKeyword("ELSE") {
 		e, err := p.parseExpr()
 		if err != nil {

@@ -3,90 +3,100 @@ package sqlparse
 // Rewrite applies fn to every node of the expression bottom-up (children
 // first, left to right), rebuilding the tree. Input expressions are never
 // mutated: any change produces fresh nodes, so rewriting an expression that
-// is shared (a cached plan, a stored view body) is safe.
+// is shared (a cached plan, a stored view body) is safe. The rebuilt nodes
+// are heap-allocated and retain-safe.
 func Rewrite(e Expr, fn func(Expr) (Expr, error)) (Expr, error) {
+	return RewriteIn(nil, e, fn)
+}
+
+// RewriteIn is Rewrite with the rebuilt nodes allocated from a (heap when
+// a is nil). The result lives only until a is Reset; it is used on the
+// per-query hot path, where bound parameter subtrees die with the query's
+// arena.
+func RewriteIn(a *Arena, e Expr, fn func(Expr) (Expr, error)) (Expr, error) {
 	if e == nil {
 		return nil, nil
 	}
 	var err error
 	switch x := e.(type) {
 	case *BinaryExpr:
-		n := &BinaryExpr{Op: x.Op}
-		if n.Left, err = Rewrite(x.Left, fn); err != nil {
+		n := a.newBinary(BinaryExpr{Op: x.Op})
+		if n.Left, err = RewriteIn(a, x.Left, fn); err != nil {
 			return nil, err
 		}
-		if n.Right, err = Rewrite(x.Right, fn); err != nil {
+		if n.Right, err = RewriteIn(a, x.Right, fn); err != nil {
 			return nil, err
 		}
 		return fn(n)
 	case *UnaryExpr:
-		n := &UnaryExpr{Op: x.Op}
-		if n.Child, err = Rewrite(x.Child, fn); err != nil {
+		n := a.newUnary(UnaryExpr{Op: x.Op})
+		if n.Child, err = RewriteIn(a, x.Child, fn); err != nil {
 			return nil, err
 		}
 		return fn(n)
 	case *IsNullExpr:
-		n := &IsNullExpr{Not: x.Not}
-		if n.Child, err = Rewrite(x.Child, fn); err != nil {
+		n := a.newIsNull(IsNullExpr{Not: x.Not})
+		if n.Child, err = RewriteIn(a, x.Child, fn); err != nil {
 			return nil, err
 		}
 		return fn(n)
 	case *InExpr:
-		n := &InExpr{Not: x.Not}
-		if n.Child, err = Rewrite(x.Child, fn); err != nil {
+		n := a.newIn(InExpr{Not: x.Not})
+		if n.Child, err = RewriteIn(a, x.Child, fn); err != nil {
 			return nil, err
 		}
-		n.List = make([]Expr, len(x.List))
-		for i, a := range x.List {
-			if n.List[i], err = Rewrite(a, fn); err != nil {
+		n.List = a.makeExprs(len(x.List))
+		for i, item := range x.List {
+			if n.List[i], err = RewriteIn(a, item, fn); err != nil {
 				return nil, err
 			}
 		}
 		return fn(n)
 	case *InSubquery:
-		n := &InSubquery{Query: x.Query, Not: x.Not}
-		if n.Child, err = Rewrite(x.Child, fn); err != nil {
+		n := a.newInSubquery(InSubquery{Query: x.Query, Not: x.Not})
+		if n.Child, err = RewriteIn(a, x.Child, fn); err != nil {
 			return nil, err
 		}
 		return fn(n)
 	case *BetweenExpr:
-		n := &BetweenExpr{Not: x.Not}
-		if n.Child, err = Rewrite(x.Child, fn); err != nil {
+		n := a.newBetween(BetweenExpr{Not: x.Not})
+		if n.Child, err = RewriteIn(a, x.Child, fn); err != nil {
 			return nil, err
 		}
-		if n.Lo, err = Rewrite(x.Lo, fn); err != nil {
+		if n.Lo, err = RewriteIn(a, x.Lo, fn); err != nil {
 			return nil, err
 		}
-		if n.Hi, err = Rewrite(x.Hi, fn); err != nil {
+		if n.Hi, err = RewriteIn(a, x.Hi, fn); err != nil {
 			return nil, err
 		}
 		return fn(n)
 	case *FuncExpr:
-		n := &FuncExpr{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
-		n.Args = make([]Expr, len(x.Args))
-		for i, a := range x.Args {
-			if n.Args[i], err = Rewrite(a, fn); err != nil {
+		n := a.newFunc(FuncExpr{Name: x.Name, Distinct: x.Distinct, Star: x.Star})
+		n.Args = a.makeExprs(len(x.Args))
+		for i, arg := range x.Args {
+			if n.Args[i], err = RewriteIn(a, arg, fn); err != nil {
 				return nil, err
 			}
 		}
 		return fn(n)
 	case *CaseExpr:
-		n := &CaseExpr{Whens: make([]CaseWhen, len(x.Whens))}
+		n := a.newCase(CaseExpr{})
+		n.Whens = a.makeWhens(len(x.Whens))
 		for i, w := range x.Whens {
-			if n.Whens[i].Cond, err = Rewrite(w.Cond, fn); err != nil {
+			if n.Whens[i].Cond, err = RewriteIn(a, w.Cond, fn); err != nil {
 				return nil, err
 			}
-			if n.Whens[i].Result, err = Rewrite(w.Result, fn); err != nil {
+			if n.Whens[i].Result, err = RewriteIn(a, w.Result, fn); err != nil {
 				return nil, err
 			}
 		}
-		if n.Else, err = Rewrite(x.Else, fn); err != nil {
+		if n.Else, err = RewriteIn(a, x.Else, fn); err != nil {
 			return nil, err
 		}
 		return fn(n)
 	case *CastExpr:
-		n := &CastExpr{Type: x.Type}
-		if n.Child, err = Rewrite(x.Child, fn); err != nil {
+		n := a.newCast(CastExpr{Type: x.Type})
+		if n.Child, err = RewriteIn(a, x.Child, fn); err != nil {
 			return nil, err
 		}
 		return fn(n)

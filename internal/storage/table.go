@@ -178,7 +178,8 @@ func (t *Table) Scan(fn func(datum.Row) bool) {
 	}
 }
 
-// Snapshot returns a copy of all rows; each row is cloned.
+// Snapshot returns a copy of all rows; each row is cloned, so the caller
+// may mutate the result freely.
 func (t *Table) Snapshot() []datum.Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -186,6 +187,21 @@ func (t *Table) Snapshot() []datum.Row {
 	for i, r := range t.rows {
 		out[i] = datum.CloneRow(r)
 	}
+	return out
+}
+
+// SnapshotShared returns a point-in-time view of all rows copying only the
+// row headers: the datum arrays are shared with the heap. This is safe for
+// read-only consumers because stored rows are immutable — Insert clones its
+// argument, Update replaces the slot with a freshly built row, and Delete
+// compacts the header slice — so a shared row's contents never change after
+// the snapshot is taken. Callers must not mutate the returned rows; the
+// engine block-copies rows that cross its public boundary.
+func (t *Table) SnapshotShared() []datum.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]datum.Row, len(t.rows))
+	copy(out, t.rows)
 	return out
 }
 
