@@ -59,8 +59,8 @@ bench:
 # code itself compiling and running (a broken bench otherwise goes
 # unnoticed until someone runs the full suite), and it leaves
 # machine-readable BENCH_E13.json / BENCH_E14.json / BENCH_E15.json /
-# BENCH_E16.json / BENCH_E17.json artifacts.
+# BENCH_E16.json / BENCH_E17.json / BENCH_E18.json artifacts.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel|BenchmarkE16OpenLoop|BenchmarkE17FrontEnd' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel|BenchmarkE16OpenLoop|BenchmarkE17FrontEnd|BenchmarkE18Cluster' \
 		-benchtime 10x -benchmem -json . \
-		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json E16=BENCH_E16.json E17=BENCH_E17.json
+		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json E16=BENCH_E16.json E17=BENCH_E17.json E18=BENCH_E18.json

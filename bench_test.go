@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datum"
 	"repro/internal/docstore"
@@ -663,8 +664,8 @@ func TestExperimentTablesQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(tables))
 	}
 }
 
@@ -841,4 +842,73 @@ func BenchmarkE16OpenLoop(b *testing.B) {
 	b.ReportMetric(100*float64(shed)/float64(issued), "shed%")
 	b.ReportMetric(maxQ, "max-queue")
 	b.ReportMetric(growth, "leaked-goroutines")
+}
+
+// --- E18: sharded mediator cluster ---
+
+// e18Cluster builds a two-node cluster over one CRM fleet with crm and
+// billing on different shards, so the benchmark join crosses nodes.
+func e18Cluster(b *testing.B, customers int) (*cluster.Cluster, *core.Engine) {
+	b.Helper()
+	fed := mustCRM(b, customers)
+	var seed uint64
+	for ; seed < 256; seed++ {
+		o := cluster.Owners(cluster.Config{Nodes: 2, Seed: seed}, "crm", "billing")
+		if o[0] != o[1] {
+			break
+		}
+	}
+	c, err := cluster.New(cluster.Config{Nodes: 2, Seed: seed}, func(int) (*core.Engine, error) {
+		return fed.NewEngine()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, c.Node(c.Owner("crm")).Engine()
+}
+
+const e18Query = `SELECT c.name, i.amount FROM crm.customers c
+	JOIN billing.invoices i ON c.id = i.cust_id
+	WHERE c.region = 'west' AND i.status = 'overdue'`
+
+// BenchmarkE18ClusterScatterGather measures the whole cross-shard path —
+// compile at the coordinator, ship the billing fragment to its owner,
+// gather the reduced rows — at a probe size where the exact key list
+// still fits the IN-list cap.
+func BenchmarkE18ClusterScatterGather(b *testing.B) {
+	c, coord := e18Cluster(b, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coord.QueryOpts(e18Query, core.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.InterNodeTotals().WireBytes)/float64(b.N), "inter-B/op")
+}
+
+// benchE18Ship runs the cross-shard join at a probe size past the
+// IN-list cap under one shipping mode and reports inter-node bytes.
+func benchE18Ship(b *testing.B, qo core.QueryOptions) {
+	c, coord := e18Cluster(b, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coord.QueryOpts(e18Query, qo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.InterNodeTotals().WireBytes)/float64(b.N), "inter-B/op")
+}
+
+// BenchmarkE18ClusterBloomShip ships a bloom filter of the probe keys to
+// the billing shard (the default past plan.DefaultSemiJoinKeyCap).
+func BenchmarkE18ClusterBloomShip(b *testing.B) {
+	benchE18Ship(b, core.QueryOptions{})
+}
+
+// BenchmarkE18ClusterFullShip ships the whole billing relation — the
+// pre-cluster baseline the bloom path is measured against.
+func BenchmarkE18ClusterFullShip(b *testing.B) {
+	benchE18Ship(b, core.QueryOptions{NoSemiJoin: true})
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	eiiserver [-addr :8080] [-customers 500] [-tenant gold:3:8:16 -tenant bronze:1:2:4]
+//	eiiserver [-addr :8080] [-customers 500] [-nodes 1] [-tenant gold:3:8:16 -tenant bronze:1:2:4]
 //
 //	curl -s localhost:8080/catalog
 //	curl -s localhost:8080/query -d '{"sql":"SELECT region, COUNT(*) FROM customer360 GROUP BY region"}'
@@ -16,6 +16,13 @@
 // header (absent: the "default" tenant). /healthz then reports per-tenant
 // admitted / queued / shed / memory-in-use counters, and shed queries are
 // answered 429 with a Retry-After header.
+//
+// -nodes N > 1 serves a sharded mediator cluster (E18): N engines over
+// the one source fleet, catalog partitioned by consistent hashing,
+// requests entering round-robin at any node. A fragment whose shard a
+// peer owns ships to the owner over a metered inter-node link — with a
+// bloom filter or semi-join key list riding along when the optimizer
+// decided to reduce it. Any -tenant buckets are declared on every node.
 package main
 
 import (
@@ -25,8 +32,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/httpapi"
 	"repro/internal/workload"
@@ -54,6 +63,7 @@ func parseTenant(s string) (core.TenantConfig, error) {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	customers := flag.Int("customers", 500, "customers in the demo federation")
+	nodes := flag.Int("nodes", 1, "mediator nodes; > 1 serves a sharded cluster with round-robin entry")
 	var tenants []core.TenantConfig
 	flag.Func("tenant", "declare an admission tenant as name:priority:maxConcurrent:maxQueueDepth (repeatable; enables admission control)", func(s string) error {
 		tc, err := parseTenant(s)
@@ -71,14 +81,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("eiiserver: building federation: %v", err)
 	}
-	for _, tc := range tenants {
-		if err := fed.Engine.DefineTenant(tc); err != nil {
-			log.Fatalf("eiiserver: %v", err)
-		}
-	}
-	if len(tenants) > 0 {
-		log.Printf("admission control on: %d tenant(s) declared", len(tenants))
-	}
 	// Per-request log: plan-cache outcome and the planning-vs-execution
 	// time split, so cache effectiveness is visible from the console.
 	logQuery := func(e httpapi.RequestLogEntry) {
@@ -93,11 +95,52 @@ func main() {
 		log.Printf("query cache=%s plan=%s exec=%s rows=%d sql=%q",
 			outcome, e.PlanTime.Round(time.Microsecond), e.ExecTime.Round(time.Microsecond), e.Rows, e.SQL)
 	}
+
+	engines := []*core.Engine{fed.Engine}
+	if *nodes > 1 {
+		cl, err := cluster.New(cluster.Config{Nodes: *nodes}, func(int) (*core.Engine, error) {
+			return fed.NewEngine()
+		})
+		if err != nil {
+			log.Fatalf("eiiserver: building %d-node cluster: %v", *nodes, err)
+		}
+		engines = engines[:0]
+		for i := 0; i < cl.Nodes(); i++ {
+			engines = append(engines, cl.Node(i).Engine())
+		}
+		for _, s := range fed.Engine.Sources() {
+			log.Printf("shard %s -> node %d", s, cl.Owner(s))
+		}
+	}
+	for _, tc := range tenants {
+		for _, e := range engines {
+			if err := e.DefineTenant(tc); err != nil {
+				log.Fatalf("eiiserver: %v", err)
+			}
+		}
+	}
+	if len(tenants) > 0 {
+		log.Printf("admission control on: %d tenant(s) declared across %d node(s)", len(tenants), len(engines))
+	}
+
+	// One httpapi handler per node; requests enter round-robin, the way
+	// a front-end load balancer would spread them over the cluster.
+	handlers := make([]http.Handler, len(engines))
+	for i, e := range engines {
+		handlers[i] = httpapi.NewHandlerLogged(e, logQuery)
+	}
+	handler := handlers[0]
+	if len(handlers) > 1 {
+		var next atomic.Uint64
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handlers[next.Add(1)%uint64(len(handlers))].ServeHTTP(w, r)
+		})
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewHandlerLogged(fed.Engine, logQuery),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("eiiserver: federating %v on %s\n", fed.Engine.Sources(), *addr)
+	fmt.Printf("eiiserver: federating %v on %s (%d node(s))\n", engines[0].Sources(), *addr, len(engines))
 	log.Fatal(srv.ListenAndServe())
 }

@@ -189,6 +189,13 @@ func TestErrDropOutOfScope(t *testing.T) {
 	expectClean(t, ErrDrop, "errdrop", "repro/internal/opt")
 }
 
+// TestErrDropClusterFixture claims the fixture as the E18 cluster package
+// so the inter-node transfer API (SendFragment/GatherRows/RunFragment)
+// is covered by the same hit/miss markers.
+func TestErrDropClusterFixture(t *testing.T) {
+	runFixture(t, ErrDrop, "errdrop", "repro/internal/cluster")
+}
+
 func TestCtxPropagateFixture(t *testing.T) {
 	runFixture(t, CtxPropagate, "ctxpropagate", "repro/internal/exec")
 }

@@ -8,7 +8,8 @@ import (
 // errDropScope is where dropped transfer/fetch errors hide real failures:
 // the fetch pipeline (exec), the wrappers charging links (federation,
 // docstore), the link simulator itself (netsim), the breaker/retry and
-// degradation paths (core), and the replica provider (warehouse).
+// degradation paths (core), the replica provider (warehouse), and the
+// sharded-cluster inter-node transfer path (cluster).
 var errDropScope = []string{
 	"repro/internal/exec",
 	"repro/internal/federation",
@@ -16,24 +17,33 @@ var errDropScope = []string{
 	"repro/internal/core",
 	"repro/internal/docstore",
 	"repro/internal/warehouse",
+	"repro/internal/cluster",
 }
 
 // errDropFuncs are the calls whose errors must never be discarded. Since
 // E12, Transfer fails under fault injection; swallowing that error turns
 // an injected outage into silently-missing rows, which is exactly the
-// failure mode partial-result accounting exists to surface.
+// failure mode partial-result accounting exists to surface. The E18
+// inter-node calls (SendFragment, GatherRows, RunFragment) are watched
+// for the same reason: a dropped peer error silently truncates a
+// scatter-gather result.
 var errDropFuncs = map[string]bool{
-	"Transfer":    true,
-	"FetchRemote": true,
-	"Close":       true,
+	"Transfer":     true,
+	"FetchRemote":  true,
+	"Close":        true,
+	"SendFragment": true,
+	"GatherRows":   true,
+	"RunFragment":  true,
 }
 
-// ErrDrop flags discarded errors from Transfer, FetchRemote, and
-// error-returning Close calls in the federation fetch path: either a bare
-// call statement or an assignment that blanks every error result.
+// ErrDrop flags discarded errors from Transfer, FetchRemote,
+// error-returning Close calls, and the cluster inter-node transfer API
+// (SendFragment/GatherRows/RunFragment) in the federation fetch path:
+// either a bare call statement or an assignment that blanks every error
+// result.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "no discarded errors from Transfer/FetchRemote/Close in the fetch path",
+	Doc:  "no discarded errors from Transfer/FetchRemote/Close and the cluster inter-node API in the fetch path",
 	Run:  runErrDrop,
 }
 

@@ -1,0 +1,42 @@
+// Fixture for the errdrop analyzer over the E18 cluster inter-node
+// transfer API: SendFragment, GatherRows, and RunFragment errors must
+// propagate, or a failed peer silently truncates a scatter-gather result.
+package fixture
+
+import "context"
+
+type clusterPeer struct{}
+
+func (clusterPeer) SendFragment(ctx context.Context, bytes int) error { return nil }
+
+func (clusterPeer) GatherRows(ctx context.Context, n int) ([]int, error) { return nil, nil }
+
+func (clusterPeer) RunFragment(ctx context.Context, q string) ([]int, error) { return nil, nil }
+
+func hitBareSendFragment(ctx context.Context, p clusterPeer) {
+	p.SendFragment(ctx, 64) // want "result of SendFragment discarded"
+}
+
+func hitBlankedGatherRows(ctx context.Context, p clusterPeer) []int {
+	rows, _ := p.GatherRows(ctx, 8) // want "error from GatherRows assigned to _"
+	return rows
+}
+
+func hitGoRunFragment(ctx context.Context, p clusterPeer) {
+	go p.RunFragment(ctx, "SELECT 1") // want "go RunFragment discards its error"
+}
+
+func missCheckedFragment(ctx context.Context, p clusterPeer) ([]int, error) {
+	if err := p.SendFragment(ctx, 64); err != nil {
+		return nil, err
+	}
+	return p.GatherRows(ctx, 8)
+}
+
+func missPropagatedRun(ctx context.Context, p clusterPeer) ([]int, error) {
+	rows, err := p.RunFragment(ctx, "SELECT 1")
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

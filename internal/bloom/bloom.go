@@ -1,0 +1,200 @@
+// Package bloom implements a seedable, byte-serializable bloom filter
+// over 64-bit key hashes. It is the inter-node data-reduction primitive of
+// the sharded mediator cluster (E18): instead of shipping an exact
+// semi-join key list — which grows linearly with the probe side — a node
+// ships a constant ~10 bits/key filter of its join keys, and the owning
+// shard returns only probable-match rows. False positives cost a few extra
+// rows on the wire (the mediator's hash join re-checks real key equality);
+// false negatives never happen.
+//
+// The filter is classic double hashing (Kirsch–Mitzenmacher): k probe
+// positions are derived as h1 + i*h2 from one 64-bit input hash, so adding
+// and testing a key costs no hashing beyond the datum.Datum.Hash the
+// executor already computes. Everything is deterministic: the same (seed,
+// keys) always produces the same bits, and serialization is byte-stable.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DefaultFPRate is the target false-positive probability when the caller
+// has no opinion: ~1% costs about 9.6 bits per key with k=7 probes.
+const DefaultFPRate = 0.01
+
+// DefaultSeed is the fixed seed shipped filters use. A constant seed keeps
+// the whole query pipeline deterministic (the eiilint determinism analyzer
+// forbids ambient entropy) and lets both ends of a link agree on bit
+// positions without negotiation.
+const DefaultSeed uint64 = 0x9e3779b97f4a7c15
+
+// header layout: magic(4) version(1) k(4) mbits(8) n(8) seed(8).
+const (
+	headerSize = 4 + 1 + 4 + 8 + 8 + 8
+	magic      = "EIBF"
+	version    = 1
+)
+
+// Filter is a bloom filter over uint64 key hashes. The zero value is not
+// usable; construct with New or Unmarshal.
+type Filter struct {
+	seed  uint64
+	k     uint32
+	mbits uint64 // always a multiple of 64
+	n     uint64 // keys added
+	words []uint64
+}
+
+// sizing computes the optimal bit count (rounded up to whole words) and
+// probe count for an expected key count and target false-positive rate.
+func sizing(expected int, fpRate float64) (mbits uint64, k uint32) {
+	if expected < 1 {
+		expected = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = DefaultFPRate
+	}
+	m := math.Ceil(-float64(expected) * math.Log(fpRate) / (math.Ln2 * math.Ln2))
+	kf := math.Round(m / float64(expected) * math.Ln2)
+	switch {
+	case kf < 1:
+		kf = 1
+	case kf > 16:
+		kf = 16
+	}
+	words := (uint64(m) + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	return words * 64, uint32(kf)
+}
+
+// New builds an empty filter sized for the expected number of distinct
+// keys at the target false-positive rate (0 or out-of-range means
+// DefaultFPRate).
+func New(expected int, fpRate float64, seed uint64) *Filter {
+	mbits, k := sizing(expected, fpRate)
+	return &Filter{seed: seed, k: k, mbits: mbits, words: make([]uint64, mbits/64)}
+}
+
+// EstimateBytes is the serialized size of a filter built for n keys at
+// DefaultFPRate, without building one. The optimizer prices shipping a
+// bloom filter against the rows it saves with this.
+func EstimateBytes(n int) int {
+	mbits, _ := sizing(n, DefaultFPRate)
+	return headerSize + int(mbits/8)
+}
+
+// splitmix64 is the finalizing mixer of the SplitMix64 generator: a cheap
+// bijection that decorrelates the incoming hash from the seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (f *Filter) probes(h uint64) (h1, h2 uint64) {
+	h1 = splitmix64(h ^ f.seed)
+	h2 = splitmix64(h1) | 1 // odd, so probes cycle through all positions
+	return h1, h2
+}
+
+// Add inserts a key hash.
+func (f *Filter) Add(h uint64) {
+	h1, h2 := f.probes(h)
+	for i := uint64(0); i < uint64(f.k); i++ {
+		bit := (h1 + i*h2) % f.mbits
+		f.words[bit>>6] |= 1 << (bit & 63)
+	}
+	f.n++
+}
+
+// ContainsHash reports whether the key hash may have been added: false is
+// definitive, true is probabilistic. The name implements
+// sqlparse.KeySetFilter, so a *Filter can ride a query fragment directly.
+func (f *Filter) ContainsHash(h uint64) bool {
+	h1, h2 := f.probes(h)
+	for i := uint64(0); i < uint64(f.k); i++ {
+		bit := (h1 + i*h2) % f.mbits
+		if f.words[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns how many Add calls the filter has absorbed.
+func (f *Filter) Count() int { return int(f.n) }
+
+// Bits returns the filter's bit capacity.
+func (f *Filter) Bits() int { return int(f.mbits) }
+
+// WireSize is the serialized size in bytes — what shipping the filter
+// costs on a link.
+func (f *Filter) WireSize() int { return headerSize + len(f.words)*8 }
+
+// FalsePositiveRate is the theoretical rate for the current fill:
+// (1 - e^(-kn/m))^k.
+func (f *Filter) FalsePositiveRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	k := float64(f.k)
+	return math.Pow(1-math.Exp(-k*float64(f.n)/float64(f.mbits)), k)
+}
+
+// Describe renders a deterministic one-line summary (used when a plan
+// fragment carrying the filter is rendered as SQL).
+func (f *Filter) Describe() string {
+	return fmt.Sprintf("bloom k=%d m=%d n=%d seed=%#x", f.k, f.mbits, f.n, f.seed)
+}
+
+// Marshal serializes the filter. The encoding is fixed little-endian, so
+// equal filters always produce identical bytes.
+func (f *Filter) Marshal() []byte {
+	b := make([]byte, headerSize+len(f.words)*8)
+	copy(b, magic)
+	b[4] = version
+	binary.LittleEndian.PutUint32(b[5:], f.k)
+	binary.LittleEndian.PutUint64(b[9:], f.mbits)
+	binary.LittleEndian.PutUint64(b[17:], f.n)
+	binary.LittleEndian.PutUint64(b[25:], f.seed)
+	for i, w := range f.words {
+		binary.LittleEndian.PutUint64(b[headerSize+i*8:], w)
+	}
+	return b
+}
+
+// Unmarshal reconstructs a filter from Marshal's encoding.
+func Unmarshal(b []byte) (*Filter, error) {
+	if len(b) < headerSize {
+		return nil, fmt.Errorf("bloom: truncated filter (%d bytes)", len(b))
+	}
+	if string(b[:4]) != magic {
+		return nil, fmt.Errorf("bloom: bad magic %q", b[:4])
+	}
+	if b[4] != version {
+		return nil, fmt.Errorf("bloom: unsupported version %d", b[4])
+	}
+	f := &Filter{
+		k:     binary.LittleEndian.Uint32(b[5:]),
+		mbits: binary.LittleEndian.Uint64(b[9:]),
+		n:     binary.LittleEndian.Uint64(b[17:]),
+		seed:  binary.LittleEndian.Uint64(b[25:]),
+	}
+	if f.k == 0 || f.mbits == 0 || f.mbits%64 != 0 {
+		return nil, fmt.Errorf("bloom: corrupt header (k=%d m=%d)", f.k, f.mbits)
+	}
+	want := int(f.mbits / 64)
+	if len(b) != headerSize+want*8 {
+		return nil, fmt.Errorf("bloom: body size %d does not match m=%d", len(b)-headerSize, f.mbits)
+	}
+	f.words = make([]uint64, want)
+	for i := range f.words {
+		f.words[i] = binary.LittleEndian.Uint64(b[headerSize+i*8:])
+	}
+	return f, nil
+}

@@ -1,0 +1,150 @@
+package bloom
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// key derives a deterministic pseudo-random 64-bit hash for test key i in
+// namespace ns, decorrelated from the filter's own probe mixing by an
+// extra round.
+func key(ns, i uint64) uint64 { return splitmix64(splitmix64(ns*0x1000193) ^ (i + 1)) }
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 17, 512, 4096} {
+		f := New(n, DefaultFPRate, DefaultSeed)
+		for i := 0; i < n; i++ {
+			f.Add(key(1, uint64(i)))
+		}
+		for i := 0; i < n; i++ {
+			if !f.ContainsHash(key(1, uint64(i))) {
+				t.Fatalf("n=%d: added key %d reported absent", n, i)
+			}
+		}
+	}
+}
+
+// TestFPRWithinTheoreticalBound checks the measured false-positive rate
+// stays within 2x of the analytic (1-e^{-kn/m})^k bound across sizes and
+// densities. Everything is deterministic, so there is no flake margin to
+// manage beyond the bound itself.
+func TestFPRWithinTheoreticalBound(t *testing.T) {
+	const trials = 200000
+	for _, tc := range []struct {
+		n      int
+		fpRate float64
+	}{
+		{512, 0.01},
+		{512, 0.05},
+		{4096, 0.01},
+		{4096, 0.05},
+		{32768, 0.01},
+		{32768, 0.02},
+	} {
+		t.Run(fmt.Sprintf("n=%d,p=%g", tc.n, tc.fpRate), func(t *testing.T) {
+			f := New(tc.n, tc.fpRate, DefaultSeed)
+			for i := 0; i < tc.n; i++ {
+				f.Add(key(2, uint64(i)))
+			}
+			false_ := 0
+			for i := 0; i < trials; i++ {
+				// Non-member namespace: keys disjoint from the inserted set.
+				if f.ContainsHash(key(3, uint64(i))) {
+					false_++
+				}
+			}
+			measured := float64(false_) / trials
+			bound := f.FalsePositiveRate()
+			if bound <= 0 || bound >= 1 {
+				t.Fatalf("theoretical rate out of range: %g", bound)
+			}
+			if measured > 2*bound {
+				t.Errorf("measured FPR %.5f exceeds 2x theoretical %.5f", measured, bound)
+			}
+		})
+	}
+}
+
+func TestSerializationRoundTripByteStable(t *testing.T) {
+	f := New(1000, 0.01, 42)
+	for i := 0; i < 1000; i++ {
+		f.Add(key(4, uint64(i)))
+	}
+	b1 := f.Marshal()
+	g, err := Unmarshal(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := g.Marshal()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("marshal -> unmarshal -> marshal is not byte-stable")
+	}
+	if g.Count() != f.Count() || g.WireSize() != f.WireSize() {
+		t.Fatalf("round trip changed metadata: n %d->%d wire %d->%d",
+			f.Count(), g.Count(), f.WireSize(), g.WireSize())
+	}
+	for i := 0; i < 1000; i++ {
+		if !g.ContainsHash(key(4, uint64(i))) {
+			t.Fatalf("round-tripped filter lost key %d", i)
+		}
+	}
+	if f.WireSize() != len(b1) {
+		t.Fatalf("WireSize %d != marshaled length %d", f.WireSize(), len(b1))
+	}
+}
+
+func TestDeterministicUnderFixedSeed(t *testing.T) {
+	build := func(seed uint64) *Filter {
+		f := New(600, 0.01, seed)
+		for i := 0; i < 600; i++ {
+			f.Add(key(5, uint64(i)))
+		}
+		return f
+	}
+	a, b := build(7), build(7)
+	if !bytes.Equal(a.Marshal(), b.Marshal()) {
+		t.Fatal("identical seed and keys produced different bits")
+	}
+	c := build(8)
+	if bytes.Equal(a.Marshal()[headerSize:], c.Marshal()[headerSize:]) {
+		t.Fatal("different seeds produced identical bit patterns")
+	}
+}
+
+func TestUnmarshalRejectsCorruptInput(t *testing.T) {
+	f := New(16, 0.01, 1)
+	f.Add(key(6, 0))
+	good := f.Marshal()
+	cases := map[string][]byte{
+		"short":       good[:10],
+		"bad magic":   append([]byte("NOPE"), good[4:]...),
+		"bad version": append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...),
+		"truncated":   good[:len(good)-8],
+	}
+	for name, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := Unmarshal(good); err != nil {
+		t.Errorf("valid encoding rejected: %v", err)
+	}
+}
+
+func TestEstimateBytesMatchesConstruction(t *testing.T) {
+	for _, n := range []int{1, 100, 513, 8000, 65536} {
+		f := New(n, DefaultFPRate, DefaultSeed)
+		if got, want := EstimateBytes(n), f.WireSize(); got != want {
+			t.Errorf("n=%d: EstimateBytes=%d, WireSize=%d", n, got, want)
+		}
+	}
+}
+
+func TestDescribeDeterministic(t *testing.T) {
+	f := New(10, 0.01, 3)
+	f.Add(key(7, 0))
+	if f.Describe() != f.Describe() {
+		t.Fatal("Describe is not stable")
+	}
+}

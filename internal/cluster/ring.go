@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVirtualNodes is how many ring positions each node claims when
+// Config.VirtualNodes is zero. Virtual nodes smooth the partition: with
+// one point per node a two-node ring routinely assigns every catalog key
+// to the same owner; with 64 the split tracks the hash distribution.
+const DefaultVirtualNodes = 64
+
+// ring is a consistent-hash ring over node IDs. It is immutable after
+// construction and fully determined by (nodes, virtualNodes, seed), so
+// every node of a cluster — and every test — computes identical
+// ownership without coordination.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+func newRing(nodes, virtualNodes int, seed uint64) *ring {
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	pts := make([]ringPoint, 0, nodes*virtualNodes)
+	var key []byte
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < virtualNodes; v++ {
+			key = key[:0]
+			key = strconv.AppendUint(key, seed, 10)
+			key = append(key, '/')
+			key = strconv.AppendInt(key, int64(n), 10)
+			key = append(key, '/')
+			key = strconv.AppendInt(key, int64(v), 10)
+			pts = append(pts, ringPoint{hash: mix64(fnv64a(key)), node: n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].node < pts[j].node
+	})
+	return &ring{points: pts}
+}
+
+// owner returns the node owning key: the first ring point clockwise from
+// the key's hash, wrapping past the top.
+func (r *ring) owner(key string) int {
+	h := mix64(fnv64aString(strings.ToLower(key)))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnv64aString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mix64 finalizes a hash with a splitmix64-style avalanche. FNV-1a alone
+// leaves short, similar inputs (sequential vnode labels) correlated in
+// the high bits, which clusters ring points and skews the partition.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -35,6 +35,7 @@ type Engine struct {
 	breakers   map[string]*breaker
 	breakerCfg BreakerConfig
 	replica    ReplicaProvider
+	router     FetchRouter
 	plans      *plancache.Cache
 	clock      netsim.Clock
 	inflight   inflightRegistry
@@ -231,6 +232,11 @@ type QueryOptions struct {
 	// NoSemiJoin disables the executor's semi-join reduction (shipping
 	// probe-side join keys into filter-capable sources).
 	NoSemiJoin bool
+	// MaxSemiJoinKeys caps how many distinct probe keys ship as an exact
+	// IN-list before the executor switches to a bloom filter (0 = the
+	// default, plan.DefaultSemiJoinKeyCap). Experiments raise it to
+	// force key-list shipping at scales where bloom would normally win.
+	MaxSemiJoinKeys int
 	// Deadline bounds query execution (wall clock): remote fetches are
 	// abandoned once it passes. Zero means no deadline.
 	Deadline time.Duration
@@ -259,6 +265,13 @@ type QueryOptions struct {
 	// against. Empty (or an unknown name) runs under the "default" tenant.
 	// Ignored while admission control is disabled.
 	Tenant string
+	// fragment marks a peer-shipped plan fragment (set by RunFragment,
+	// not settable by clients): admission was already charged at the
+	// coordinating node, so the peer executes it without re-entering its
+	// own admission queue — otherwise every cross-shard query would hold
+	// a coordinator slot while waiting for a second slot at the owner,
+	// capping cluster capacity at one node's quota.
+	fragment bool
 }
 
 // Result is a completed query.
@@ -486,17 +499,24 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 	// queue) before any execution work. CancelQuery on a queued query
 	// cancels the derived ctx, which removes the waiter from the queue —
 	// no quota is leaked. Release is nil-safe, so the deferred call covers
-	// the admission-disabled path too.
-	slot, admitErr := e.admissionController().Acquire(ctx, qo.Tenant, clock)
-	defer slot.Release()
-	if admitErr != nil {
-		return nil, admitErr
+	// the admission-disabled path too. Peer-shipped fragments skip the
+	// queue entirely: they were admitted at their coordinating node, and
+	// load control for a cluster happens at the entry nodes.
+	var slot *AdmissionSlot
+	if !qo.fragment {
+		var admitErr error
+		slot, admitErr = e.admissionController().Acquire(ctx, qo.Tenant, clock)
+		if admitErr != nil {
+			slot.Release()
+			return nil, admitErr
+		}
 	}
+	defer slot.Release()
 
 	// One immutable view of the federation for the whole execution: a
 	// source registered or dropped mid-query cannot change which sources
 	// this query talks to.
-	rt := &queryRuntime{e: e, ctx: ctx, sources: e.sourcesSnapshot(), slot: slot}
+	rt := &queryRuntime{e: e, ctx: ctx, sources: e.sourcesSnapshot(), router: e.fetchRouter(), slot: slot}
 	rt.opts = e.execOptions(qo, rt)
 	rt.opts.Scratch = scratch
 	if gov := e.workerGovernor(); gov != nil && slot != nil {

@@ -109,6 +109,9 @@ type queryRuntime struct {
 	// sources is the immutable source map captured when the execution
 	// started; all remote fetches of this query resolve against it.
 	sources map[string]federation.Source
+	// router, when non-nil, is the cluster fetch router captured at the
+	// same time: fetches against peer-owned shards execute at the owner.
+	router FetchRouter
 	// slot is the query's admission hold (nil when admission control is
 	// disabled); remote fetches charge scanned bytes against it.
 	slot *AdmissionSlot
@@ -151,6 +154,25 @@ func (rt *queryRuntime) ScanTable(ctx context.Context, source, table string) (ex
 }
 
 func (rt *queryRuntime) RunRemote(ctx context.Context, source string, subtree plan.Node) (exec.Iterator, error) {
+	if rt.router != nil {
+		rows, handled, err := rt.router.RouteRemote(ctx, source, subtree)
+		if handled {
+			// A peer mediator owned and answered (or failed) the fetch.
+			// Its own breakers and retries already ran at the owner; the
+			// coordinator only charges the scan budget and surfaces errors
+			// into the normal retry/degradation pipeline.
+			if err != nil {
+				return nil, fmt.Errorf("core: source %s (via peer): %w", source, err)
+			}
+			if len(rows) > 0 {
+				bytes := int64(datum.RowWireSize(rows[0])) * int64(len(rows))
+				if qerr := rt.slot.ChargeScan(bytes); qerr != nil {
+					return nil, qerr
+				}
+			}
+			return exec.NewSliceIterator(rows), nil
+		}
+	}
 	src, ok := rt.sources[strings.ToLower(source)]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", source)
@@ -201,12 +223,13 @@ func (e *Engine) execOptions(qo QueryOptions, rt *queryRuntime) exec.Options {
 	faults := &rt.faults
 	rt.userOnSourceError = qo.OnSourceError
 	opts := exec.Options{
-		Parallel:    qo.Parallel || qo.Parallelism > 1,
-		Parallelism: qo.Parallelism,
-		BatchSize:   qo.BatchSize,
-		SemiJoin:    !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
-		Retry:       qo.Retry,
-		Hooks:       rt,
+		Parallel:        qo.Parallel || qo.Parallelism > 1,
+		Parallelism:     qo.Parallelism,
+		BatchSize:       qo.BatchSize,
+		SemiJoin:        !qo.NoSemiJoin && !qo.Optimizer.NoRemotePushdown,
+		MaxSemiJoinKeys: qo.MaxSemiJoinKeys,
+		Retry:           qo.Retry,
+		Hooks:           rt,
 	}
 	if rt.slot != nil {
 		opts.Memory = rt.slot

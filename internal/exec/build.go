@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bloom"
 	"repro/internal/datum"
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
@@ -56,10 +57,12 @@ type Options struct {
 	// probe side's distinct join keys are shipped to the source as an
 	// IN-list so only matching rows come back — §3's "the more work the
 	// component queries can do, the less work will remain to be done at
-	// the assembly site". Falls back to a full fetch when the key set
-	// exceeds MaxSemiJoinKeys.
+	// the assembly site". Past MaxSemiJoinKeys distinct keys the shipped
+	// list becomes a bloom filter of the keys (constant bits/key, no
+	// false negatives); past plan.DefaultBloomKeyCap it falls back to a
+	// full fetch.
 	SemiJoin bool
-	// MaxSemiJoinKeys caps the shipped key list; 0 means 512.
+	// MaxSemiJoinKeys caps the exact shipped key list; 0 means 512.
 	MaxSemiJoinKeys int
 	// Retry controls re-fetching of Remote subtrees after transient
 	// failures (see FetchRemote). Zero value: single attempt.
@@ -569,7 +572,9 @@ func trySemiJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (B
 		return nil, false, err
 	}
 	seen := make(map[uint64][]datum.Datum)
-	var keys []sqlparse.Expr
+	maxKeys := opts.maxKeys()
+	var keys []sqlparse.Expr // exact IN-list, kept while it fits maxKeys
+	var hashes []uint64      // every distinct key's hash, for bloom mode
 	for _, r := range probeRows {
 		v, err := keyFn(r)
 		if err != nil {
@@ -590,10 +595,13 @@ func trySemiJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (B
 			continue
 		}
 		seen[h] = append(seen[h], v)
-		keys = append(keys, &sqlparse.Literal{Value: v})
-		if len(keys) > opts.maxKeys() {
-			// Too many keys to ship; run the regular join over the
-			// already-materialized probe side.
+		hashes = append(hashes, h)
+		if len(keys) <= maxKeys {
+			keys = append(keys, &sqlparse.Literal{Value: v})
+		}
+		if len(hashes) > plan.DefaultBloomKeyCap {
+			// Too many distinct keys even for a bloom filter; run the
+			// regular join over the already-materialized probe side.
 			full, err := BuildBatch(ctx, reduceNode, rt, opts)
 			if err != nil {
 				return nil, false, err
@@ -603,14 +611,27 @@ func trySemiJoin(ctx context.Context, x *plan.Join, rt Runtime, opts Options) (B
 		}
 	}
 	var reduced plan.Node
-	if len(keys) == 0 {
+	switch {
+	case len(hashes) == 0:
 		// No joinable keys on the probe side: nothing can match, so
 		// fetch nothing. (SQL IN () is invalid; use a FALSE filter.)
 		reduced = &plan.Filter{Input: remote.Child,
 			Cond: &sqlparse.Literal{Value: datum.NewBool(false)}}
-	} else {
+	case len(hashes) <= maxKeys:
 		reduced = &plan.Filter{Input: remote.Child,
 			Cond: &sqlparse.InExpr{Child: reduceRef, List: keys}}
+	default:
+		// Past the exact-list cap, summarize the keys into a bloom
+		// filter instead of abandoning reduction: ~10 bits/key on the
+		// wire, no false negatives, and the handful of false-positive
+		// rows that come back are dropped by the join's own key
+		// equality check in assembleJoinKeys.
+		f := bloom.New(len(hashes), bloom.DefaultFPRate, bloom.DefaultSeed)
+		for _, h := range hashes {
+			f.Add(h)
+		}
+		reduced = &plan.Filter{Input: remote.Child,
+			Cond: &sqlparse.KeyFilterExpr{Child: reduceRef, Set: f}}
 	}
 	reducedIt, err := FetchRemote(ctx, rt, opts, remote.Source, reduced)
 	if err != nil {

@@ -135,6 +135,28 @@ func Compile(e sqlparse.Expr, cols []plan.ColMeta) (EvalFunc, error) {
 			return datum.NewBool(not), nil
 		}, nil
 
+	case *sqlparse.KeyFilterExpr:
+		// Synthesized by semi-join reduction when the probe-side key set
+		// is too large to ship as an IN-list: membership is tested
+		// against a shipped key-set summary (a bloom filter). TRUE may be
+		// a false positive — the mediator's join re-checks real equality
+		// — but FALSE is definitive, so rows it rejects are never needed.
+		child, err := Compile(x.Child, cols)
+		if err != nil {
+			return nil, err
+		}
+		set := x.Set
+		if set == nil {
+			return nil, fmt.Errorf("exec: KEY_FILTER without a key set")
+		}
+		return func(r datum.Row) (datum.Datum, error) {
+			v, err := child(r)
+			if err != nil || v.IsNull() {
+				return datum.Null, err
+			}
+			return datum.NewBool(set.ContainsHash(v.Hash())), nil
+		}, nil
+
 	case *sqlparse.BetweenExpr:
 		child, err := Compile(x.Child, cols)
 		if err != nil {

@@ -273,7 +273,7 @@ func TestAllRunsAndRenders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 15 {
+	if len(tabs) != 16 {
 		t.Fatalf("experiments = %d", len(tabs))
 	}
 	for _, tab := range tabs {

@@ -1,0 +1,11 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorOn reports whether this test binary runs under the race
+// detector. Wall-clock throughput assertions are skipped there: the
+// detector's instrumentation makes CPU, not the modeled network or
+// admission quotas, the bottleneck, so measured scaling shapes are
+// meaningless. Deterministic assertions (wire bytes, row identity) run
+// either way.
+const raceDetectorOn = false

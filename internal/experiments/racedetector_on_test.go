@@ -1,0 +1,6 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn: see racedetector_off_test.go.
+const raceDetectorOn = true

@@ -184,7 +184,7 @@ func (s *CSVSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return shipResult(ctx, s.link, rows)
+	return shipResult(ctx, s.link, RequestSize(subtree), rows)
 }
 
 var (

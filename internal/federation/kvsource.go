@@ -119,7 +119,7 @@ func (s *KVSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([]datum.R
 		return nil, fmt.Errorf("federation: source %s has no table %s", s.name, scan.Table)
 	}
 	// Header-only snapshot; see RelationalSource.ExecuteCtx.
-	return shipResult(ctx, s.link, t.SnapshotShared())
+	return shipResult(ctx, s.link, RequestSize(scan), t.SnapshotShared())
 }
 
 // Lookup answers a point read by primary key, charging the link only for
@@ -139,7 +139,7 @@ func (s *KVSource) Lookup(table string, key datum.Row) ([]datum.Row, error) {
 		return nil, fmt.Errorf("federation: source %s table %s has no primary index", s.name, table)
 	}
 	//lint:ignore ctxpropagate Lookup is the context-free point-read API of the linkage and search layers
-	return shipResult(context.Background(), s.link, rows)
+	return shipResult(context.Background(), s.link, requestOverheadBytes, rows)
 }
 
 // Insert implements Updatable.

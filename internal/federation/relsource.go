@@ -141,7 +141,7 @@ func (s *RelationalSource) ExecuteCtx(ctx context.Context, subtree plan.Node) ([
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return shipResult(ctx, s.link, rows)
+	return shipResult(ctx, s.link, RequestSize(subtree), rows)
 }
 
 // Insert implements Updatable.

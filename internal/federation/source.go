@@ -122,15 +122,117 @@ type Notifying interface {
 	SubscribeTable(table string, fn func(storage.Change)) (cancel func(), err error)
 }
 
-// requestOverheadBytes is the cost of shipping the component query itself.
+// requestOverheadBytes is the cost of shipping the component query itself:
+// the SQL/plan envelope, excluding bulky key-shipping payloads, which
+// RequestSize accounts separately.
 const requestOverheadBytes = 256
 
-// shipResult charges the link for one round trip carrying rows and returns
-// the rows unchanged. A failed round trip (injected fault, outage) loses
-// the payload: the caller gets the link's error and no rows. The context
+// RequestSize reports the bytes it costs to ship the component query for
+// subtree across a link: a fixed envelope plus any key-shipping payload the
+// fragment carries — semi-join IN-list literals and bloom key-set filters.
+// Ordinary predicate literals ride inside the envelope; only the payloads
+// that grow with probe-side cardinality are charged per byte, so the wire
+// accounting exposes the IN-list vs bloom crossover honestly.
+func RequestSize(subtree plan.Node) int {
+	return requestOverheadBytes + payloadBytes(subtree)
+}
+
+// payloadBytes sums key-shipping payload bytes over a fragment's plan
+// nodes. Hand-rolled recursion over concrete node fields (no closures,
+// no Children() slices) keeps it off the per-fetch allocation budget —
+// this runs on the E17 warm path for every remote fetch.
+func payloadBytes(n plan.Node) int {
+	switch x := n.(type) {
+	case nil:
+		return 0
+	case *plan.Scan:
+		return 0
+	case *plan.Filter:
+		return exprPayload(x.Cond) + payloadBytes(x.Input)
+	case *plan.Project:
+		return payloadBytes(x.Input)
+	case *plan.Join:
+		return exprPayload(x.Cond) + payloadBytes(x.Left) + payloadBytes(x.Right)
+	case *plan.Aggregate:
+		return payloadBytes(x.Input)
+	case *plan.Sort:
+		return payloadBytes(x.Input)
+	case *plan.Limit:
+		return payloadBytes(x.Input)
+	case *plan.Distinct:
+		return payloadBytes(x.Input)
+	case *plan.Union:
+		total := 0
+		for _, in := range x.Inputs {
+			total += payloadBytes(in)
+		}
+		return total
+	case *plan.Remote:
+		return payloadBytes(x.Child)
+	default:
+		total := 0
+		for _, k := range n.Children() {
+			total += payloadBytes(k)
+		}
+		return total
+	}
+}
+
+// exprPayload counts the bytes of cardinality-dependent predicate payloads:
+// IN-list literal values and serialized key-set filters.
+func exprPayload(e sqlparse.Expr) int {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case *sqlparse.InExpr:
+		total := exprPayload(x.Child)
+		for _, item := range x.List {
+			if lit, ok := item.(*sqlparse.Literal); ok {
+				total += lit.Value.WireSize()
+			} else {
+				total += exprPayload(item)
+			}
+		}
+		return total
+	case *sqlparse.KeyFilterExpr:
+		total := exprPayload(x.Child)
+		if x.Set != nil {
+			total += x.Set.WireSize()
+		}
+		return total
+	case *sqlparse.BinaryExpr:
+		return exprPayload(x.Left) + exprPayload(x.Right)
+	case *sqlparse.UnaryExpr:
+		return exprPayload(x.Child)
+	case *sqlparse.IsNullExpr:
+		return exprPayload(x.Child)
+	case *sqlparse.BetweenExpr:
+		return exprPayload(x.Child) + exprPayload(x.Lo) + exprPayload(x.Hi)
+	case *sqlparse.FuncExpr:
+		total := 0
+		for _, a := range x.Args {
+			total += exprPayload(a)
+		}
+		return total
+	case *sqlparse.CaseExpr:
+		total := exprPayload(x.Else)
+		for _, w := range x.Whens {
+			total += exprPayload(w.Cond) + exprPayload(w.Result)
+		}
+		return total
+	case *sqlparse.CastExpr:
+		return exprPayload(x.Child)
+	}
+	return 0
+}
+
+// shipResult charges the link for one round trip carrying a request of req
+// bytes (see RequestSize) and the result rows, then returns the rows
+// unchanged. A failed round trip (injected fault, outage) loses the
+// payload: the caller gets the link's error and no rows. The context
 // aborts a blocking (RealSleep) transfer early on cancellation.
-func shipResult(ctx context.Context, link *netsim.Link, rows []datum.Row) ([]datum.Row, error) {
-	bytes := requestOverheadBytes
+func shipResult(ctx context.Context, link *netsim.Link, req int, rows []datum.Row) ([]datum.Row, error) {
+	bytes := req
 	for _, r := range rows {
 		bytes += datum.RowWireSize(r)
 	}

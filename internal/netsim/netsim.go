@@ -324,6 +324,16 @@ func (l *Link) Metrics() Metrics {
 	return l.metrics
 }
 
+// Since reports the accounting accumulated after prev was snapshotted:
+// the delta between the link's current metrics and prev. It lets callers
+// scope measurements (one query, one experiment phase) to a window without
+// resetting the link, which would race with concurrent users.
+func (l *Link) Since(prev Metrics) Metrics {
+	m := l.Metrics()
+	m.Sub(prev)
+	return m
+}
+
 // Reset zeroes the accounting.
 func (l *Link) Reset() {
 	l.mu.Lock()

@@ -195,3 +195,30 @@ func TestConcurrentTransfers(t *testing.T) {
 		t.Errorf("concurrent metrics = %+v", m)
 	}
 }
+
+func TestSinceDelta(t *testing.T) {
+	l := NewLink(0, 1e6, 2)
+	l.Transfer(100)
+	snap := l.Metrics()
+	l.Transfer(300)
+	l.Transfer(50)
+	d := l.Since(snap)
+	if d.RoundTrips != 2 || d.BytesShipped != 350 || d.WireBytes != 700 {
+		t.Errorf("Since delta = %+v", d)
+	}
+	if d.SimTime <= 0 {
+		t.Errorf("Since delta SimTime = %v, want > 0", d.SimTime)
+	}
+	// A fresh snapshot yields a zero delta.
+	if z := l.Since(l.Metrics()); z != (Metrics{}) {
+		t.Errorf("zero-window delta = %+v", z)
+	}
+}
+
+func TestSinceAgainstZeroSnapshotEqualsMetrics(t *testing.T) {
+	l := NewLink(0, 1e6, 1)
+	l.Transfer(42)
+	if got, want := l.Since(Metrics{}), l.Metrics(); got != want {
+		t.Errorf("Since(zero) = %+v, want %+v", got, want)
+	}
+}

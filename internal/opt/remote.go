@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"repro/internal/bloom"
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
 )
@@ -21,6 +22,38 @@ func sourceAvailable(env Env, source string) bool {
 	return true
 }
 
+// PeerEnv is optionally implemented by planning environments where remote
+// fragments may execute at a peer mediator node rather than directly at
+// the source (the sharded cluster of E18). A peer node is a full mediator:
+// it can absorb key-list and bloom filters even when the underlying source
+// cannot (scan-only wrappers), applying them locally before shipping rows
+// back — so shard-aware placement treats peer-owned sources as
+// filter-capable remotes.
+type PeerEnv interface {
+	// PeerFilterCapable reports whether fragments for this source run at
+	// a peer mediator node that can apply shipped key filters.
+	PeerFilterCapable(source string) bool
+}
+
+func peerFilterCapable(env Env, source string) bool {
+	if p, ok := env.(PeerEnv); ok {
+		return p.PeerFilterCapable(source)
+	}
+	return false
+}
+
+// allowKeyFilter decides the Remote's AllowKeyFilter flag: the fetch site
+// must be able to evaluate a shipped key predicate (the source itself
+// pushes filters, or a peer mediator node owns the shard) and the source
+// must currently be available.
+func allowKeyFilter(env Env, source string) bool {
+	if env == nil {
+		return false
+	}
+	return (env.Caps(source).PushFilter || peerFilterCapable(env, source)) &&
+		sourceAvailable(env, source)
+}
+
 // placeRemotes wraps maximal single-source, capability-compatible subtrees
 // in Remote nodes so they execute at the source. Everything outside a
 // Remote runs at the mediator; bare scans that end up outside still ship
@@ -29,8 +62,7 @@ func sourceAvailable(env Env, source string) bool {
 func placeRemotes(n plan.Node, env Env, opts Options) plan.Node {
 	out, src := place(n, env, opts)
 	if src != "" {
-		allowKeys := env != nil && env.Caps(src).PushFilter && sourceAvailable(env, src)
-		return &plan.Remote{Source: src, Child: out, AllowKeyFilter: allowKeys}
+		return &plan.Remote{Source: src, Child: out, AllowKeyFilter: allowKeyFilter(env, src)}
 	}
 	return out
 }
@@ -92,8 +124,7 @@ func place(n plan.Node, env Env, opts Options) (plan.Node, string) {
 			newKids[i] = demoteToScanShipping(newKids[i], s)
 			continue
 		}
-		allowKeys := env != nil && env.Caps(s).PushFilter && sourceAvailable(env, s)
-		newKids[i] = &plan.Remote{Source: s, Child: newKids[i], AllowKeyFilter: allowKeys}
+		newKids[i] = &plan.Remote{Source: s, Child: newKids[i], AllowKeyFilter: allowKeyFilter(env, s)}
 	}
 	return n.WithChildren(newKids), ""
 }
@@ -135,7 +166,9 @@ func annotateSemiJoins(n plan.Node, env Env) plan.Node {
 				return 0
 			}
 			probeRows := est.Rows(probe)
-			if probeRows > plan.DefaultSemiJoinKeyCap {
+			if probeRows > plan.DefaultBloomKeyCap {
+				// Too many keys even for a bloom summary; the executor
+				// would fall back to a full fetch anyway.
 				return 0
 			}
 			reduceRows := est.Rows(reduce)
@@ -150,6 +183,18 @@ func annotateSemiJoins(n plan.Node, env Env) plan.Node {
 			saved := reduceRows - kept
 			// Require the reduction to at least halve the fetch.
 			if saved < reduceRows/2 {
+				return 0
+			}
+			// Ship-cost gate: the avoided row bytes must clearly beat the
+			// bytes spent shipping the key set. Past the exact IN-list cap
+			// the executor ships a bloom filter, whose size grows far
+			// slower than the key list — this is what removes the old
+			// cliff at DefaultSemiJoinKeyCap.
+			keyShip := probeRows * 12 // ~bytes per shipped key literal
+			if probeRows > plan.DefaultSemiJoinKeyCap {
+				keyShip = float64(bloom.EstimateBytes(int(probeRows)))
+			}
+			if saved*est.RowWidth(reduce) < 2*keyShip {
 				return 0
 			}
 			return saved

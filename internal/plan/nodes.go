@@ -141,10 +141,17 @@ const (
 	SemiJoinReduceLeft
 )
 
-// DefaultSemiJoinKeyCap bounds how many distinct keys a semi-join ships;
-// the optimizer only hints reductions whose probe side is estimated under
-// this, and the executor falls back to a full fetch beyond it.
+// DefaultSemiJoinKeyCap bounds how many distinct keys a semi-join ships
+// as an exact IN-list; past it the executor switches to shipping a bloom
+// filter of the keys instead (see DefaultBloomKeyCap).
 const DefaultSemiJoinKeyCap = 512
+
+// DefaultBloomKeyCap bounds how many distinct probe keys a semi-join will
+// summarize into a shipped bloom filter. Beyond the IN-list cap a filter
+// costs ~10 bits/key regardless of key width, so reduction stays
+// worthwhile far past the exact-list cliff; beyond this cap the filter
+// itself is large enough that the executor falls back to a full fetch.
+const DefaultBloomKeyCap = 64 * 1024
 
 // Join combines two inputs. Cond may be nil for a cross join.
 type Join struct {

@@ -1,0 +1,52 @@
+package sqlparse
+
+// KeySetFilter is an opaque membership predicate over 64-bit key hashes
+// (datum.Datum.Hash values). It is how a compact key-set summary — a
+// bloom filter of a semi-join's probe keys — rides a query fragment to
+// wherever the fragment executes (a source wrapper or a peer mediator
+// node) without this package depending on any particular filter
+// implementation. repro/internal/bloom.Filter implements it.
+type KeySetFilter interface {
+	// ContainsHash reports whether the key hash may be in the set: false
+	// is definitive, true may be a false positive. Callers that need
+	// exactness (join assembly) must re-check real key equality.
+	ContainsHash(h uint64) bool
+	// WireSize is the serialized size in bytes — what shipping the
+	// filter inside a fragment costs on a link.
+	WireSize() int
+	// Describe renders a deterministic one-line summary for SQL
+	// rendering and EXPLAIN output.
+	Describe() string
+}
+
+// KeyFilterExpr applies a KeySetFilter to the hash of Child's value: it
+// evaluates to TRUE when the value's hash may be in the set, FALSE when it
+// definitively is not, NULL when the value is NULL. The planner never
+// parses one of these from SQL text; the executor synthesizes them when a
+// semi-join's key set is too large to ship as an IN-list, and they only
+// live inside per-execution fragment plans (never in cached templates).
+type KeyFilterExpr struct {
+	Child Expr
+	Set   KeySetFilter
+}
+
+func (*KeyFilterExpr) expr() {}
+
+// SQL renders a descriptive, deterministic marker. It is intentionally not
+// re-parseable: the filter's bits have no SQL spelling, and fragments
+// carrying one are executed as plan trees, never re-parsed — the rendering
+// exists for EXPLAIN and logging.
+func (e *KeyFilterExpr) SQL() string { return string(e.appendSQL(nil)) }
+
+func (e *KeyFilterExpr) appendSQL(b []byte) []byte {
+	b = append(b, "KEY_FILTER("...)
+	if e.Child != nil {
+		b = e.Child.appendSQL(b)
+	}
+	b = append(b, ", '"...)
+	if e.Set != nil {
+		b = append(b, e.Set.Describe()...)
+	}
+	b = append(b, "')"...)
+	return b
+}

@@ -108,11 +108,19 @@ func (r *OpenLoopReport) ShedRate() float64 {
 	return float64(r.Shed) / float64(r.Issued)
 }
 
-// RunOpenLoop drives the engine with the configured per-tenant arrival
+// Target is what an open-loop run drives: a single mediator engine or a
+// cluster coordinator that fans queries out across nodes. *core.Engine
+// and *cluster.Cluster both implement it.
+type Target interface {
+	QueryOptsCtx(ctx context.Context, sql string, qo core.QueryOptions) (*core.Result, error)
+	AdmissionStats() []core.TenantAdmissionStats
+}
+
+// RunOpenLoop drives the target with the configured per-tenant arrival
 // processes for cfg.Duration, waits for outstanding queries to drain, and
 // reports latency percentiles, shed counts, observed queue depth, and
 // goroutine growth.
-func RunOpenLoop(ctx context.Context, engine *core.Engine, cfg OpenLoopConfig) *OpenLoopReport {
+func RunOpenLoop(ctx context.Context, engine Target, cfg OpenLoopConfig) *OpenLoopReport {
 	maxOut := cfg.MaxOutstanding
 	if maxOut <= 0 {
 		maxOut = 4096

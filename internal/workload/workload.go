@@ -146,20 +146,42 @@ func BuildCRM(cfg CRMConfig) (*CRMFederation, error) {
 		return nil, err
 	}
 
+	f := &CRMFederation{CRM: crm, Billing: billing, Support: support}
+	engine, err := f.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	f.Engine = engine
+	return f, nil
+}
+
+// customer360SQL is the GAV mapping every CRM mediator (single engine or
+// cluster node) defines.
+const customer360SQL = `
+	SELECT c.id AS id, c.name AS name, c.region AS region, c.segment AS segment,
+	       i.inv_id AS inv_id, i.amount AS amount, i.status AS status
+	FROM crm.customers c JOIN billing.invoices i ON c.id = i.cust_id`
+
+// Sources lists the federation's sources, for registering into additional
+// engines: cluster nodes are mediators over one shared source fleet.
+func (f *CRMFederation) Sources() []federation.Source {
+	return []federation.Source{f.CRM, f.Billing, f.Support}
+}
+
+// NewEngine builds another mediator over the same source fleet with the
+// same mediated views — a cluster node. The returned engine shares the
+// sources (and their links) with f.Engine but nothing else.
+func (f *CRMFederation) NewEngine() (*core.Engine, error) {
 	engine := core.New()
-	for _, s := range []federation.Source{crm, billing, support} {
+	for _, s := range f.Sources() {
 		if err := engine.Register(s); err != nil {
 			return nil, err
 		}
 	}
-	err = engine.DefineView("customer360", `
-		SELECT c.id AS id, c.name AS name, c.region AS region, c.segment AS segment,
-		       i.inv_id AS inv_id, i.amount AS amount, i.status AS status
-		FROM crm.customers c JOIN billing.invoices i ON c.id = i.cust_id`)
-	if err != nil {
+	if err := engine.DefineView("customer360", customer360SQL); err != nil {
 		return nil, err
 	}
-	return &CRMFederation{Engine: engine, CRM: crm, Billing: billing, Support: support}, nil
+	return engine, nil
 }
 
 // EmployeeConfig sizes the employee federation.
@@ -256,22 +278,41 @@ func BuildEmployees(cfg EmployeeConfig) (*EmployeeFederation, error) {
 	facilities.RefreshStats()
 	it.RefreshStats()
 
+	f := &EmployeeFederation{HR: hr, Facilities: facilities, IT: it}
+	engine, err := f.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	f.Engine = engine
+	return f, nil
+}
+
+// employee360SQL is the GAV mapping of §4's "single view of employee".
+const employee360SQL = `
+	SELECT e.emp_id AS emp_id, e.name AS name, e.dept AS dept, e.location AS location,
+	       o.building AS building, o.desk AS desk, a.model AS model, a.serial AS serial
+	FROM hr.employees e
+	JOIN facilities.offices o ON e.emp_id = o.emp_id
+	JOIN it.assets a ON e.emp_id = a.emp_id`
+
+// Sources lists the federation's sources (see CRMFederation.Sources).
+func (f *EmployeeFederation) Sources() []federation.Source {
+	return []federation.Source{f.HR, f.Facilities, f.IT}
+}
+
+// NewEngine builds another mediator over the same source fleet with the
+// employee360 view — a cluster node.
+func (f *EmployeeFederation) NewEngine() (*core.Engine, error) {
 	engine := core.New()
-	for _, s := range []federation.Source{hr, facilities, it} {
+	for _, s := range f.Sources() {
 		if err := engine.Register(s); err != nil {
 			return nil, err
 		}
 	}
-	err = engine.DefineView("employee360", `
-		SELECT e.emp_id AS emp_id, e.name AS name, e.dept AS dept, e.location AS location,
-		       o.building AS building, o.desk AS desk, a.model AS model, a.serial AS serial
-		FROM hr.employees e
-		JOIN facilities.offices o ON e.emp_id = o.emp_id
-		JOIN it.assets a ON e.emp_id = a.emp_id`)
-	if err != nil {
+	if err := engine.DefineView("employee360", employee360SQL); err != nil {
 		return nil, err
 	}
-	return &EmployeeFederation{Engine: engine, HR: hr, Facilities: facilities, IT: it}, nil
+	return engine, nil
 }
 
 // GenerateDocuments fills a store with n deterministic support notes that
