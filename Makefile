@@ -4,9 +4,9 @@
 GO ?= go
 RACE_PKGS := ./...
 
-.PHONY: check fmt vet lint build test alloc-guard race race-cancel race-overload bench bench-smoke
+.PHONY: check fmt vet lint build test alloc-guard race race-cancel race-overload race-deadlock bench bench-smoke
 
-check: fmt vet lint build test alloc-guard race race-cancel race-overload bench-smoke
+check: fmt vet lint build test alloc-guard race race-cancel race-overload race-deadlock bench-smoke
 
 fmt:
 	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
@@ -15,12 +15,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Project-invariant static analysis (cmd/eiilint): deterministic time,
-# map-iteration order, batch retention, snapshot immutability, dropped
-# transfer errors, context propagation. `go run` keeps it toolchain-only —
-# no installed binary.
+# Project-invariant static analysis (cmd/eiilint): the interprocedural
+# engine — package facts, call graph, and all eleven checks (determinism,
+# map order, batch retention, snapshot immutability, dropped transfer
+# errors, context propagation, arena escape, acquire/release, lock order,
+# goroutine leaks, switch exhaustiveness) — run across a worker pool;
+# -stats prints the load/analyze wall-time split and packages/sec.
+# `go run` keeps it toolchain-only — no installed binary.
 lint:
-	$(GO) run ./cmd/eiilint ./...
+	$(GO) run ./cmd/eiilint -stats ./...
 
 build:
 	$(GO) build ./...
@@ -45,6 +48,14 @@ race-cancel:
 race-overload:
 	$(GO) test -race -run 'TestE16MixedTenantCancelStorm' -count=3 ./internal/core
 
+# E18+E16 deadlock storm: a sharded cluster past admission saturation
+# with random mid-query cancels, repeated under the race detector. This
+# is the dynamic twin of the static lockorder/goroleak checks: fragment
+# shipping, admission slots, and cancellation all contend at once, and a
+# watchdog turns any deadlock into a stack dump instead of a CI timeout.
+race-deadlock:
+	$(GO) test -race -run 'TestClusterAdmissionDeadlockStress' -count=3 ./internal/cluster
+
 # E17 allocation fence: the warm plan-cache-hit path must stay inside its
 # allocs/op and bytes/op budget (see alloc_guard_test.go). -count=1 defeats
 # the test cache so the guard actually measures on every check.
@@ -59,8 +70,11 @@ bench:
 # code itself compiling and running (a broken bench otherwise goes
 # unnoticed until someone runs the full suite), and it leaves
 # machine-readable BENCH_E13.json / BENCH_E14.json / BENCH_E15.json /
-# BENCH_E16.json / BENCH_E17.json / BENCH_E18.json artifacts.
+# BENCH_E16.json / BENCH_E17.json / BENCH_E18.json / BENCH_E19.json
+# artifacts. E19 is the eiilint self-benchmark (packages/sec through the
+# full analyzer suite), so analysis-engine regressions are tracked the
+# same way engine regressions are.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel|BenchmarkE16OpenLoop|BenchmarkE17FrontEnd|BenchmarkE18Cluster' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel|BenchmarkE16OpenLoop|BenchmarkE17FrontEnd|BenchmarkE18Cluster|BenchmarkE19Lint' \
 		-benchtime 10x -benchmem -json . \
-		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json E16=BENCH_E16.json E17=BENCH_E17.json E18=BENCH_E18.json
+		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json E16=BENCH_E16.json E17=BENCH_E17.json E18=BENCH_E18.json E19=BENCH_E19.json

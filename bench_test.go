@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datum"
@@ -911,4 +912,25 @@ func BenchmarkE18ClusterBloomShip(b *testing.B) {
 // pre-cluster baseline the bloom path is measured against.
 func BenchmarkE18ClusterFullShip(b *testing.B) {
 	benchE18Ship(b, core.QueryOptions{NoSemiJoin: true})
+}
+
+// BenchmarkE19Lint measures the interprocedural analysis engine itself:
+// packages re-analyzed per second over the whole repository — facts,
+// call-graph propagation, and all eleven checks — with the export-data
+// load hoisted out of the timer. The per-iteration work is what `make
+// lint` pays after the build cache is warm.
+func BenchmarkE19Lint(b *testing.B) {
+	pkgs, err := analysis.Load(".", "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := analysis.RunParallel(pkgs, analysis.All(), workers); len(diags) != 0 {
+			b.Fatalf("lint found %d findings on the benchmark tree", len(diags))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(pkgs))*float64(b.N)/b.Elapsed().Seconds(), "pkgs/sec")
 }

@@ -31,6 +31,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one named invariant check.
@@ -41,6 +42,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunGlobal, when set, runs once after every per-package pass with
+	// the linked facts of the whole analysis universe. Cross-package
+	// properties — the lock-order graph's cycles — live here.
+	RunGlobal func(*GlobalPass)
 }
 
 // Pass carries everything an analyzer needs to inspect one package.
@@ -52,9 +57,33 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Facts is the interprocedural summary of every package in this run
+	// (call graph, lock sets, blocking/exit propagation). It is shared
+	// and read-only during analysis.
+	Facts *Facts
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
+}
+
+// GlobalPass is the whole-universe view handed to Analyzer.RunGlobal.
+type GlobalPass struct {
+	Pkgs  []*Package
+	Facts *Facts
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a global diagnostic at an already-resolved position.
+// Each package owns its own FileSet, so global analyses report with the
+// token.Position they captured alongside the fact.
+func (g *GlobalPass) Reportf(pos token.Position, format string, args ...any) {
+	*g.diags = append(*g.diags, Diagnostic{
+		Check:   g.analyzer.Name,
+		Pos:     pos,
+		Message: fmt.Sprintf(format, args...),
+	})
 }
 
 // Reportf records a diagnostic at pos.
@@ -95,24 +124,32 @@ func All() []*Analyzer {
 		CtxPropagate,
 		AcquireRelease,
 		ArenaEscape,
+		LockOrder,
+		GoroLeak,
+		Exhaustive,
 	}
 }
 
 // ByName resolves a comma-separated list of check names ("" means all).
+// An unknown name is an error that lists every valid check, so a typo in
+// `eiilint -checks` fails loudly instead of silently running nothing.
 func ByName(names string) ([]*Analyzer, error) {
 	if strings.TrimSpace(names) == "" {
 		return All(), nil
 	}
 	byName := make(map[string]*Analyzer)
+	var valid []string
 	for _, a := range All() {
 		byName[a.Name] = a
+		valid = append(valid, a.Name)
 	}
 	var out []*Analyzer
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
 		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("unknown check %q", n)
+			return nil, fmt.Errorf("unknown check %q: valid checks are %s",
+				n, strings.Join(valid, ", "))
 		}
 		out = append(out, a)
 	}
@@ -122,29 +159,108 @@ func ByName(names string) ([]*Analyzer, error) {
 // Run applies the analyzers to every package and returns the surviving
 // diagnostics sorted by position. Findings waived by a well-formed
 // //lint:ignore directive are dropped; malformed directives (missing
-// check name or reason) are themselves reported under the "directive"
-// pseudo-check.
+// check name or reason) are reported under the "directive" pseudo-check,
+// and well-formed directives that waived nothing — while every check
+// they name was running — under "staleignore".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignores, bad := collectIgnores(pkg.Fset, pkg.Files)
-		diags = append(diags, bad...)
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{
-				Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files,
-				Pkg: pkg.Types, Info: pkg.Info,
-				analyzer: a, diags: &raw,
+	return RunParallel(pkgs, analyzers, 1)
+}
+
+// RunParallel is Run across a worker pool: facts are computed per
+// package in parallel, then each package's per-package passes run on
+// their own worker (each package owns its FileSet, syntax, and type
+// universe, so packages are fully independent), and finally any global
+// passes run once over the linked facts.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) []Diagnostic {
+	if workers <= 0 {
+		workers = 1
+	}
+	facts := ComputeFacts(pkgs, workers)
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	ignores := make([]*ignoreIndex, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, pkg := range pkgs {
+		i, pkg := i, pkg
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			idx, bad := collectIgnores(pkg.Fset, pkg.Files)
+			ignores[i] = idx
+			var raw []Diagnostic
+			for _, a := range analyzers {
+				if a.Run == nil {
+					continue
+				}
+				a.Run(&Pass{
+					Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files,
+					Pkg: pkg.Types, Info: pkg.Info, Facts: facts,
+					analyzer: a, diags: &raw,
+				})
 			}
-			a.Run(pass)
-		}
-		for _, d := range raw {
-			if ignores.matches(d) {
-				continue
-			}
-			diags = append(diags, d)
+			perPkg[i] = append(bad, raw...)
+		}()
+	}
+	wg.Wait()
+
+	var raw []Diagnostic
+	for _, ds := range perPkg {
+		raw = append(raw, ds...)
+	}
+	for _, a := range analyzers {
+		if a.RunGlobal != nil {
+			a.RunGlobal(&GlobalPass{Pkgs: pkgs, Facts: facts, analyzer: a, diags: &raw})
 		}
 	}
+
+	// Filter waived findings through the merged directive index, marking
+	// each directive that suppressed something as used.
+	merged := mergeIgnores(ignores)
+	var diags []Diagnostic
+	for _, d := range raw {
+		if d.Check == "directive" {
+			diags = append(diags, d)
+			continue
+		}
+		if dir := merged.match(d); dir != nil {
+			dir.used = true
+			continue
+		}
+		diags = append(diags, d)
+	}
+
+	// Stale-ignore detection: a well-formed directive that waived no
+	// finding is dead weight — but only judge it when every check it
+	// names actually ran ("*" only under the full suite), so partial
+	// -checks runs don't cry stale on directives for absent analyzers.
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	fullSuite := len(running) >= len(All())
+	for _, dir := range merged.all {
+		if dir.used {
+			continue
+		}
+		judgeable := true
+		for check := range dir.checks {
+			if check == "*" {
+				judgeable = judgeable && fullSuite
+			} else if !running[check] {
+				judgeable = false
+			}
+		}
+		if judgeable {
+			diags = append(diags, Diagnostic{
+				Check: "staleignore", Pos: dir.pos,
+				Message: fmt.Sprintf("stale //lint:ignore %s: no finding on this line needs waiving; remove it", dir.names),
+			})
+		}
+	}
+
 	for i := range diags {
 		diags[i].File = diags[i].Pos.Filename
 		diags[i].Line = diags[i].Pos.Line
@@ -166,30 +282,66 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// ignoreDirective is one parsed //lint:ignore comment.
+// ignoreDirective is one parsed //lint:ignore comment. It tracks whether
+// it actually waived a finding so the engine can report stale waivers.
 type ignoreDirective struct {
 	checks map[string]bool // checks it waives; "*" waives all
+	names  string          // original check list as written
+	pos    token.Position
+	used   bool
 }
 
-// ignoreSet maps file → line → directive. A directive waives findings on
-// its own line and on the line directly below it (the usual "comment
+// ignoreIndex maps file → line → directive. A directive waives findings
+// on its own line and on the line directly below it (the usual "comment
 // above the statement" placement).
-type ignoreSet map[string]map[int]ignoreDirective
+type ignoreIndex struct {
+	byLine map[string]map[int]*ignoreDirective
+	all    []*ignoreDirective
+}
 
-func (s ignoreSet) matches(d Diagnostic) bool {
+func (s *ignoreIndex) match(d Diagnostic) *ignoreDirective {
 	pos := d.Pos
-	lines, ok := s[pos.Filename]
+	lines, ok := s.byLine[pos.Filename]
 	if !ok {
-		return false
+		return nil
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		if dir, ok := lines[line]; ok {
 			if dir.checks["*"] || dir.checks[d.Check] {
-				return true
+				return dir
 			}
 		}
 	}
-	return false
+	return nil
+}
+
+// mergeIgnores unions per-package indexes into one (diagnostic positions
+// are file-keyed, and filenames are disjoint across packages).
+func mergeIgnores(idxs []*ignoreIndex) *ignoreIndex {
+	out := &ignoreIndex{byLine: make(map[string]map[int]*ignoreDirective)}
+	for _, idx := range idxs {
+		if idx == nil {
+			continue
+		}
+		for file, lines := range idx.byLine {
+			if out.byLine[file] == nil {
+				out.byLine[file] = lines
+			} else {
+				for line, dir := range lines {
+					out.byLine[file][line] = dir
+				}
+			}
+		}
+		out.all = append(out.all, idx.all...)
+	}
+	sort.Slice(out.all, func(i, j int) bool {
+		a, b := out.all[i].pos, out.all[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
 }
 
 const ignorePrefix = "//lint:ignore"
@@ -197,8 +349,8 @@ const ignorePrefix = "//lint:ignore"
 // collectIgnores parses every //lint:ignore directive in the package.
 // Directives must name a check (or "*") and give a non-empty reason;
 // anything else is reported as a malformed directive.
-func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
-	set := make(ignoreSet)
+func collectIgnores(fset *token.FileSet, files []*ast.File) (*ignoreIndex, []Diagnostic) {
+	idx := &ignoreIndex{byLine: make(map[string]map[int]*ignoreDirective)}
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -220,14 +372,16 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagno
 				for _, n := range strings.Split(fields[0], ",") {
 					checks[n] = true
 				}
-				if set[pos.Filename] == nil {
-					set[pos.Filename] = make(map[int]ignoreDirective)
+				dir := &ignoreDirective{checks: checks, names: fields[0], pos: pos}
+				if idx.byLine[pos.Filename] == nil {
+					idx.byLine[pos.Filename] = make(map[int]*ignoreDirective)
 				}
-				set[pos.Filename][pos.Line] = ignoreDirective{checks: checks}
+				idx.byLine[pos.Filename][pos.Line] = dir
+				idx.all = append(idx.all, dir)
 			}
 		}
 	}
-	return set, bad
+	return idx, bad
 }
 
 // pkgIs reports whether path is one of the given import paths. Fixture

@@ -235,7 +235,7 @@ func TestIgnoreDirectives(t *testing.T) {
 	pkg := loadFixture(t, "directive", "repro/internal/analysis/fixture")
 	diags := Run([]*Package{pkg}, []*Analyzer{Determinism})
 
-	var malformed, findings int
+	var malformed, findings, stale int
 	for _, d := range diags {
 		switch d.Check {
 		case "directive":
@@ -245,6 +245,11 @@ func TestIgnoreDirectives(t *testing.T) {
 			}
 		case "determinism":
 			findings++
+		case "staleignore":
+			stale++
+			if !strings.Contains(d.Message, "stale //lint:ignore") {
+				t.Errorf("staleignore diagnostic message = %q", d.Message)
+			}
 		default:
 			t.Errorf("unexpected check %q: %s", d.Check, d)
 		}
@@ -254,6 +259,21 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 	if findings != 3 {
 		t.Errorf("determinism findings = %d, want 3 (none waived)", findings)
+	}
+	if stale != 1 {
+		t.Errorf("stale directives reported = %d, want 1", stale)
+	}
+}
+
+// TestStaleIgnoreRequiresRunningCheck: a directive is only judged stale
+// while every check it names is in the run set — otherwise the finding
+// it waives may simply not have been computed.
+func TestStaleIgnoreRequiresRunningCheck(t *testing.T) {
+	pkg := loadFixture(t, "directive", "repro/internal/analysis/fixture")
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{ErrDrop}) {
+		if d.Check == "staleignore" {
+			t.Errorf("stale reported while the named check was not running: %s", d)
+		}
 	}
 }
 
@@ -287,6 +307,18 @@ func TestRepoIsClean(t *testing.T) {
 	for _, d := range Run(pkgs, All()) {
 		t.Errorf("eiilint finding on main tree: %s", d)
 	}
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, LockOrder, "lockorder", "repro/internal/analysis/fixture")
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	runFixture(t, GoroLeak, "goroleak", "repro/internal/analysis/fixture")
+}
+
+func TestExhaustiveFixture(t *testing.T) {
+	runFixture(t, Exhaustive, "exhaustive", "repro/internal/analysis/fixture")
 }
 
 func TestArenaEscapeFixture(t *testing.T) {

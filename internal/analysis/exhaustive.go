@@ -1,0 +1,211 @@
+package analysis
+
+// The exhaustive analyzer keeps the engine's closed sums actually
+// closed. plan.Node and sqlparse.Expr are algebraic data types spelled
+// as interfaces; the compiler cannot enforce that a type switch over
+// them handles every variant, so adding a node (E18's KeyFilterExpr was
+// the near-miss) silently falls through every switch that predates it —
+// a fragment deparses without its filter, an optimizer rule skips a
+// subtree, and the bug surfaces as wrong rows, not a crash.
+//
+// The rule: a type switch over a watched interface that binds the
+// variant (`switch x := e.(type)`) must either list every concrete
+// implementer (a case naming an interface covers all its implementers;
+// `case nil` is exempt) or carry a guarding default — a non-empty
+// default that calls something (panic, an error constructor, or a
+// generic fallback like plan.Walk's Children() recursion). An empty
+// default, or none, is a silent fall-through and gets reported. Bare
+// switches (`switch e.(type)`) are exempt: they test membership of a
+// few variants ("is this a literal or a param?") rather than dispatch
+// on variant structure, so a new variant falling to their implicit
+// "no" is the intended semantics.
+//
+// Implementers are enumerated from three sources: the interface's
+// defining package as seen through this package's export data, the
+// package under analysis itself, and the facts registry of every other
+// analyzed package (so a new node type declared anywhere in the
+// repository counts immediately).
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "type switches over plan.Node / sqlparse.Expr cover every concrete type or carry an erroring default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(p *Pass) {
+	for _, file := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			p.checkSwitch(sw)
+			return true
+		})
+	}
+}
+
+// switchSubject extracts the expression a type switch dispatches on.
+func switchSubject(sw *ast.TypeSwitchStmt) ast.Expr {
+	var x ast.Expr
+	switch a := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			x = a.Rhs[0]
+		}
+	case *ast.ExprStmt:
+		x = a.X
+	}
+	if ta, ok := x.(*ast.TypeAssertExpr); ok {
+		return ta.X
+	}
+	return nil
+}
+
+// implEntry is one known implementer: same-universe entries carry the
+// types.Type for assignability checks; registry-only entries from other
+// packages' universes match by rendered name.
+type implEntry struct {
+	str string
+	typ types.Type
+}
+
+func (p *Pass) checkSwitch(sw *ast.TypeSwitchStmt) {
+	if _, binds := sw.Assign.(*ast.AssignStmt); !binds {
+		return // bare membership test, not a dispatch
+	}
+	subject := switchSubject(sw)
+	if subject == nil {
+		return
+	}
+	st := p.TypeOf(subject)
+	named, ok := st.(*types.Named)
+	if !ok {
+		return
+	}
+	key, watched := watchedIfaceKey(named.Obj())
+	if !watched {
+		return
+	}
+
+	// Enumerate implementers. Same-universe: the defining package's
+	// scope (via export data) plus this package's own scope. Registry:
+	// rendered names from every analyzed package.
+	impls := make(map[string]implEntry)
+	addScope := func(scope *types.Scope, iface *types.Interface) {
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			nt, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(nt) {
+				continue
+			}
+			if types.Implements(nt, iface) {
+				impls[typeFullName(nt)] = implEntry{str: typeFullName(nt), typ: nt}
+			} else if pt := types.NewPointer(nt); types.Implements(pt, iface) {
+				impls[typeFullName(pt)] = implEntry{str: typeFullName(pt), typ: pt}
+			}
+		}
+	}
+	iface, _ := named.Underlying().(*types.Interface)
+	if iface == nil {
+		return
+	}
+	if defPkg := named.Obj().Pkg(); defPkg != nil {
+		addScope(defPkg.Scope(), iface)
+	}
+	if p.Pkg != nil && p.Pkg != named.Obj().Pkg() {
+		addScope(p.Pkg.Scope(), iface)
+	}
+	if p.Facts != nil {
+		for _, s := range p.Facts.Implementers(key) {
+			if _, have := impls[s]; !have {
+				impls[s] = implEntry{str: s}
+			}
+		}
+	}
+	if len(impls) == 0 {
+		return
+	}
+
+	// Walk the clauses: collect case types, find a guarding default.
+	var caseTypes []types.Type
+	hasDefault, guarded := false, false
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			for _, s := range cc.Body {
+				ast.Inspect(s, func(n ast.Node) bool {
+					if _, ok := n.(*ast.CallExpr); ok {
+						guarded = true
+						return false
+					}
+					return true
+				})
+			}
+			continue
+		}
+		for _, e := range cc.List {
+			if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if t := p.TypeOf(e); t != nil {
+				caseTypes = append(caseTypes, t)
+			}
+		}
+	}
+	if hasDefault && guarded {
+		return
+	}
+
+	var missing []string
+	for _, impl := range impls {
+		covered := false
+		for _, ct := range caseTypes {
+			if impl.typ != nil {
+				if types.AssignableTo(impl.typ, ct) {
+					covered = true
+					break
+				}
+			} else if sameTypeString(ct, impl.str) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			missing = append(missing, shortClass(impl.str))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	what := "an empty default is a silent fall-through"
+	if !hasDefault {
+		what = "a new variant silently falls through"
+	}
+	p.Reportf(sw.Switch, "type switch on %s is missing cases for %s: %s — add the cases or a default that panics/errors",
+		shortClass(key), strings.Join(missing, ", "), what)
+}
+
+// sameTypeString reports whether a same-universe case type renders to
+// the registry string.
+func sameTypeString(t types.Type, s string) bool {
+	return typeFullName(t) == s
+}

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -130,8 +131,19 @@ func (l *ExportLookup) CheckFiles(claimedPath string, filenames []string) (*Pack
 // invariants the analyzers guard are engine properties, and tests
 // routinely (and legitimately) use wall clocks and discard errors.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadParallel(dir, 1, patterns...)
+}
+
+// LoadParallel is Load with parse+type-check fanned out across workers.
+// Every package reads dependency types from the shared export data, so
+// checks are independent: each gets its own FileSet and type universe,
+// and output order matches `go list` order regardless of worker count.
+func LoadParallel(dir string, workers int, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	if workers <= 0 {
+		workers = 1
 	}
 	lookup, err := NewExportLookup(dir, patterns...)
 	if err != nil {
@@ -142,21 +154,44 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
-	for _, t := range targets {
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, t := range targets {
 		if len(t.GoFiles) == 0 {
 			continue
 		}
-		names := make([]string, len(t.GoFiles))
-		for i, f := range t.GoFiles {
-			names[i] = filepath.Join(t.Dir, f)
-		}
-		pkg, err := lookup.CheckFiles(t.ImportPath, names)
+		i, t := i, t
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			names := make([]string, len(t.GoFiles))
+			for j, f := range t.GoFiles {
+				names[j] = filepath.Join(t.Dir, f)
+			}
+			pkg, err := lookup.CheckFiles(t.ImportPath, names)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			pkg.Dir = t.Dir
+			pkgs[i] = pkg
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkg.Dir = t.Dir
-		out = append(out, pkg)
+	}
+	out := pkgs[:0]
+	for _, p := range pkgs {
+		if p != nil {
+			out = append(out, p)
+		}
 	}
 	return out, nil
 }

@@ -18,3 +18,8 @@ func wrongCheckDirective() {
 	//lint:ignore maporder reason aimed at the wrong check
 	_ = time.Now()
 }
+
+func staleDirective() int {
+	//lint:ignore determinism reason for a finding that no longer exists
+	return 1
+}

@@ -1,0 +1,81 @@
+// Fixture for the exhaustive analyzer: binding type switches over the
+// watched sums (plan.Node, sqlparse.Expr) must cover every variant or
+// guard their default; bare membership switches are exempt.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+)
+
+// hitMissingCases dispatches on plan.Node without covering every
+// variant and with no default at all.
+func hitMissingCases(n plan.Node) int {
+	switch x := n.(type) { // want "type switch on plan.Node is missing cases for"
+	case *plan.Scan:
+		return len(x.Cols)
+	case *plan.Filter:
+		_ = x
+		return 1
+	}
+	return 0
+}
+
+// hitEmptyDefault has a default, but an empty one: a silent
+// fall-through for every variant added later.
+func hitEmptyDefault(e sqlparse.Expr) string {
+	switch x := e.(type) { // want "type switch on sqlparse.Expr is missing cases for"
+	case *sqlparse.Literal:
+		_ = x
+		return "literal"
+	default:
+	}
+	return ""
+}
+
+// missGuardedDefault is partial but panics on anything unlisted; a new
+// variant crashes loudly instead of computing wrong rows.
+func missGuardedDefault(n plan.Node) string {
+	switch x := n.(type) {
+	case nil:
+		return ""
+	case *plan.Scan:
+		return x.Table
+	default:
+		panic(fmt.Sprintf("fixture: unhandled %T", x))
+	}
+}
+
+// missFullCoverage lists every concrete plan.Node variant.
+func missFullCoverage(n plan.Node) int {
+	switch x := n.(type) {
+	case *plan.Scan, *plan.Filter, *plan.Project, *plan.Join,
+		*plan.Aggregate, *plan.Sort, *plan.Limit, *plan.Distinct,
+		*plan.Union, *plan.Remote:
+		_ = x
+		return 1
+	}
+	return 0
+}
+
+// missBareSwitch tests membership of two variants; the implicit "no"
+// for everything else is the intended semantics.
+func missBareSwitch(e sqlparse.Expr) bool {
+	switch e.(type) {
+	case *sqlparse.Literal, *sqlparse.Param:
+		return true
+	}
+	return false
+}
+
+// ignoredPartialSwitch demonstrates a reasoned waiver.
+func ignoredPartialSwitch(n plan.Node) int {
+	//lint:ignore exhaustive fixture: only scan arity matters to this probe
+	switch x := n.(type) {
+	case *plan.Scan:
+		return len(x.Cols)
+	}
+	return 0
+}

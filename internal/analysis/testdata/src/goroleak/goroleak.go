@@ -1,0 +1,109 @@
+// Fixture for the goroleak analyzer: goroutines with no reachable exit,
+// unresolvable or out-of-universe targets, and the accepted patterns
+// (exit signals, WaitGroup discipline, finite bodies) — including exits
+// that are only visible interprocedurally.
+package fixture
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// hitInfiniteLoop spawns a body that can never finish and hears no
+// signal to stop.
+func hitInfiniteLoop() {
+	go func() { // want "goroutine can leak: infinite for-loop with no reachable exit"
+		for {
+		}
+	}()
+}
+
+// hitUnguardedSend blocks forever if no receiver ever comes.
+func hitUnguardedSend(ch chan int) {
+	go func() { // want "goroutine can leak: channel send outside select"
+		ch <- 1
+	}()
+}
+
+// hitDynamicTarget spawns through an index expression the analysis
+// cannot resolve.
+func hitDynamicTarget(fns []func()) {
+	go fns[0]() // want "cannot be statically resolved"
+}
+
+// hitOutsideUniverse spawns a function whose body is not in the
+// analyzed package set.
+func hitOutsideUniverse(xs []string) {
+	go sort.Strings(xs) // want "outside the analysis universe"
+}
+
+// missCtxExit receives on ctx.Done: the E15 cancellation pattern.
+func missCtxExit(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// missSelectExit waits for either work or shutdown.
+func missSelectExit(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// missRangeChannel terminates when the channel closes.
+func missRangeChannel(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// missWaitGroup is observed by whoever Waits: a hang is visible.
+func missWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		finiteWork()
+	}()
+}
+
+// missFiniteBody cannot hang, so it cannot leak.
+func missFiniteBody() {
+	go finiteWork()
+}
+
+func finiteWork() {
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += i
+	}
+	_ = total
+}
+
+// missCalleeExit only exits inside the called function: the facts layer
+// traces the range-over-channel through the call graph.
+func missCalleeExit(ch chan int) {
+	go consume(ch)
+}
+
+func consume(ch chan int) {
+	for range ch {
+	}
+}
+
+// ignoredLeak demonstrates a reasoned waiver.
+func ignoredLeak() {
+	//lint:ignore goroleak fixture: process-lifetime worker, reaped at exit
+	go func() {
+		for {
+		}
+	}()
+}

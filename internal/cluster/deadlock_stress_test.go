@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestClusterAdmissionDeadlockStress drives a sharded cluster past
+// admission saturation with random mid-query cancellation; `make
+// race-deadlock` repeats it under the race detector. Every query enters
+// at a round-robin coordinator, fans fragments out to peer nodes over
+// the simulated links, and competes for per-tenant admission slots —
+// exactly the lock + channel + cross-node-transfer mix the lockorder
+// analyzer polices statically. The dynamic assertion is liveness: the
+// storm finishes (a watchdog fails the test instead of hanging CI),
+// every error is an expected class, and the goroutine count drains back
+// to baseline afterwards.
+func TestClusterAdmissionDeadlockStress(t *testing.T) {
+	nodes := 3
+	c, _ := buildCRMCluster(t, 200, nodes, splitSeed(t, nodes))
+	for i := 0; i < c.Nodes(); i++ {
+		e := c.Node(i).Engine()
+		e.EnableAdmission(core.AdmissionConfig{RetryAfter: 5 * time.Millisecond})
+		for _, tc := range []core.TenantConfig{
+			{Name: "gold", Priority: 3, MaxConcurrent: 3, MaxQueueDepth: 6},
+			{Name: "bronze", Priority: 1, MaxConcurrent: 2, MaxQueueDepth: 2},
+		} {
+			if err := e.DefineTenant(tc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	base := runtime.NumGoroutine()
+
+	const clients = 24
+	queriesPer := 4
+	if testing.Short() {
+		queriesPer = 2
+	}
+	queries := []string{
+		`SELECT region, COUNT(*) AS n FROM customer360 GROUP BY region ORDER BY region`,
+		`SELECT id, name, region, inv_id, amount, status FROM customer360
+		   WHERE region = 'west' ORDER BY id, inv_id`,
+	}
+	var wg sync.WaitGroup
+	var completed, cancelled, shed atomic.Int64
+	errCh := make(chan error, clients*queriesPer)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			tenant := "gold"
+			if cl%2 == 1 {
+				tenant = "bronze"
+			}
+			rng := rand.New(rand.NewSource(int64(7000 + cl)))
+			for q := 0; q < queriesPer; q++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				if rng.Intn(2) == 0 {
+					time.AfterFunc(time.Duration(rng.Intn(6))*time.Millisecond, cancel)
+				}
+				_, err := c.QueryOptsCtx(ctx, queries[q%len(queries)],
+					core.QueryOptions{Tenant: tenant, Parallel: true, Parallelism: 4, BatchSize: 16})
+				cancel()
+				switch {
+				case err == nil:
+					completed.Add(1)
+				case errors.Is(err, context.Canceled):
+					cancelled.Add(1)
+				case core.IsOverload(err):
+					shed.Add(1)
+				default:
+					errCh <- fmt.Errorf("client %d query %d: unexpected error class: %w", cl, q, err)
+					return
+				}
+			}
+		}(cl)
+	}
+
+	// Watchdog: a deadlock anywhere in the admission/cluster stack shows
+	// up as a hang; dump every stack and fail instead of timing out CI.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("storm deadlocked; goroutine dump:\n%s", buf[:runtime.Stack(buf, true)])
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	t.Logf("storm: %d completed, %d cancelled, %d shed",
+		completed.Load(), cancelled.Load(), shed.Load())
+	if completed.Load() == 0 {
+		t.Error("no query completed; the storm starved everything")
+	}
+
+	// Cancellation and shedding must not leak query goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base+2 {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutines %d > baseline %d after storm; dump:\n%s",
+			g, base, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -98,17 +98,24 @@ func (s *Store) Put(doc Document) error {
 // Get fetches a document by ID, charging the link. A found document is
 // only returned if the transfer succeeded; under fault injection the
 // round trip can fail and the caller must see that, not a silent miss.
+// The store lock is released before the transfer: the link round trip
+// sleeps out simulated latency, and holding s.mu across it would stall
+// every writer for the duration.
 func (s *Store) Get(id string) (*Document, bool, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	d, ok := s.docs[id]
+	var out *Document
+	if ok {
+		out = d.clone()
+	}
+	s.mu.RUnlock()
 	if !ok {
 		return nil, false, nil
 	}
-	if _, err := s.link.Transfer(64 + len(d.Body)); err != nil {
+	if _, err := s.link.Transfer(64 + len(out.Body)); err != nil {
 		return nil, true, err
 	}
-	return d.clone(), true, nil
+	return out, true, nil
 }
 
 // Delete removes a document.
@@ -199,7 +206,6 @@ func (s *Store) unindexLocked(d *Document) {
 // different sources"). IDs are sorted for determinism.
 func (s *Store) Search(keywords ...string) ([]string, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var result map[string]bool
 	for _, kw := range keywords {
 		toks := Tokenize(kw)
@@ -224,6 +230,9 @@ func (s *Store) Search(keywords ...string) ([]string, error) {
 		out = append(out, id)
 	}
 	sort.Strings(out)
+	// The result set is complete; release the index before the link
+	// round trip so writers aren't stalled behind simulated latency.
+	s.mu.RUnlock()
 	if _, err := s.link.Transfer(32 * (1 + len(out))); err != nil {
 		return nil, err
 	}
@@ -244,7 +253,6 @@ func (s *Store) Impose(sch *schema.Table, mapping map[string]string) ([]datum.Ro
 // on cancellation instead of charging (or sleeping out) the link.
 func (s *Store) ImposeCtx(ctx context.Context, sch *schema.Table, mapping map[string]string) ([]datum.Row, int, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	ids := make([]string, 0, len(s.docs))
 	for id := range s.docs {
 		ids = append(ids, id)
@@ -277,6 +285,9 @@ func (s *Store) ImposeCtx(ctx context.Context, sch *schema.Table, mapping map[st
 		rows = append(rows, row)
 		bytes += datum.RowWireSize(row)
 	}
+	// Rows are fully materialized copies; transfer outside the lock so
+	// the (possibly slept-out) round trip doesn't stall writers.
+	s.mu.RUnlock()
 	if _, err := s.link.TransferCtx(ctx, 64+bytes); err != nil {
 		return nil, errs, err
 	}

@@ -222,8 +222,18 @@ func exprPayload(e sqlparse.Expr) int {
 		return total
 	case *sqlparse.CastExpr:
 		return exprPayload(x.Child)
+	case *sqlparse.Literal, *sqlparse.Param, *sqlparse.ColumnRef:
+		// Leaves with no cardinality-dependent payload (single literals
+		// are part of the fixed request size, not a key-set payload).
+		return 0
+	case *sqlparse.ExistsExpr, *sqlparse.InSubquery:
+		// Subqueries are pre-evaluated into literals/IN-lists by the
+		// engine's rewriteExists before any fragment ships, so they
+		// never reach a link; nothing to count here.
+		return 0
+	default:
+		panic(fmt.Sprintf("federation: exprPayload missing case for %T", e))
 	}
-	return 0
 }
 
 // shipResult charges the link for one round trip carrying a request of req

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"repro/internal/plan"
 )
 
@@ -51,6 +53,12 @@ func annotateParallelism(n plan.Node, env Env) plan.Node {
 				}
 				x.PartitionBy = idx
 			}
+		case *plan.Scan, *plan.Sort, *plan.Limit, *plan.Distinct, *plan.Union:
+			// Not worth parallelizing (Scan is wrapper-bound; Sort,
+			// Limit, Distinct and Union are order-sensitive assembly
+			// steps); their inputs are still visited below.
+		default:
+			panic(fmt.Sprintf("opt: annotateParallelism missing case for %T", n))
 		}
 		for _, k := range n.Children() {
 			visit(k)

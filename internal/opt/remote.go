@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"repro/internal/bloom"
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
@@ -81,6 +83,12 @@ func place(n plan.Node, env Env, opts Options) (plan.Node, string) {
 	case *plan.Remote:
 		// Already placed (idempotent re-optimization).
 		return x, ""
+	case *plan.Filter, *plan.Project, *plan.Join, *plan.Aggregate,
+		*plan.Sort, *plan.Limit, *plan.Distinct, *plan.Union:
+		// Interior operators: placed by the generic child-merging
+		// logic below.
+	default:
+		panic(fmt.Sprintf("opt: place missing case for %T", n))
 	}
 
 	kids := n.Children()

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
 )
@@ -56,8 +58,18 @@ func substitute(e sqlparse.Expr, cols []plan.ColMeta, exprs []sqlparse.Expr) sql
 		return &sqlparse.CaseExpr{Whens: whens, Else: substitute(x.Else, cols, exprs)}
 	case *sqlparse.CastExpr:
 		return &sqlparse.CastExpr{Child: substitute(x.Child, cols, exprs), Type: x.Type}
-	default:
+	case *sqlparse.KeyFilterExpr:
+		return &sqlparse.KeyFilterExpr{Child: substitute(x.Child, cols, exprs), Set: x.Set}
+	case *sqlparse.Param:
+		return x
+	case *sqlparse.ExistsExpr, *sqlparse.InSubquery:
+		// Subquery expressions are pre-evaluated away by the engine's
+		// rewriteExists before any view expansion or predicate pushdown
+		// runs; if one does appear, substitution into a subquery scope
+		// is not supported and the expression is left intact.
 		return e
+	default:
+		panic(fmt.Sprintf("opt: substitute missing case for %T", e))
 	}
 }
 
@@ -190,9 +202,14 @@ func pushFilterInto(cond sqlparse.Expr, node plan.Node) plan.Node {
 	case *plan.Distinct:
 		return &plan.Distinct{Input: pushFilterInto(cond, x.Input)}
 
-	default:
-		// Scan, Limit, Union, Remote: the filter stays here.
+	case *plan.Scan, *plan.Limit, *plan.Union, *plan.Remote:
+		// A scan is the floor; Limit/Union change cardinality semantics
+		// under a pushed filter; Remote subtrees were already placed.
+		// The filter stays here.
 		return &plan.Filter{Input: node, Cond: cond}
+
+	default:
+		panic(fmt.Sprintf("opt: pushFilterInto missing case for %T", node))
 	}
 }
 
@@ -370,8 +387,14 @@ func prune(n plan.Node, needed []bool) plan.Node {
 		}
 		return proj
 
+	case *plan.Remote:
+		// Remote subtrees were placed by an earlier (or idempotent
+		// re-) optimization pass; their interior is wrapper-owned and
+		// pruning stops at the boundary.
+		return x
+
 	default:
-		return n
+		panic(fmt.Sprintf("opt: prune missing case for %T", n))
 	}
 }
 

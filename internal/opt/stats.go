@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/datum"
@@ -219,8 +220,12 @@ func (e *estimator) distinctOf(expr sqlparse.Expr, n plan.Node) float64 {
 			return e.distinctOf(expr, x.Right)
 		}
 		return 10
-	default:
+	case *plan.Aggregate, *plan.Union:
+		// Column provenance doesn't survive grouping or positional
+		// union; fall back to the small-domain guess.
 		return 10
+	default:
+		panic(fmt.Sprintf("opt: distinctOf missing case for %T", n))
 	}
 }
 
@@ -304,8 +309,15 @@ func (e *estimator) conjunctSelectivity(c sqlparse.Expr, input plan.Node) float6
 			return 1 - e.conjunctSelectivity(x.Child, input)
 		}
 		return selDefault
-	default:
+	case *sqlparse.Literal, *sqlparse.Param, *sqlparse.ColumnRef,
+		*sqlparse.FuncExpr, *sqlparse.CaseExpr, *sqlparse.CastExpr,
+		*sqlparse.ExistsExpr, *sqlparse.InSubquery, *sqlparse.KeyFilterExpr:
+		// Non-comparison predicates (bare boolean columns, function
+		// results, key-set filters whose hit rate is unknown at plan
+		// time): no per-shape model, use the default selectivity.
 		return selDefault
+	default:
+		panic(fmt.Sprintf("opt: conjunctSelectivity missing case for %T", c))
 	}
 }
 

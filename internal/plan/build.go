@@ -360,8 +360,17 @@ func rewriteAgg(e sqlparse.Expr, groupBy []sqlparse.Expr) sqlparse.Expr {
 		return &sqlparse.CaseExpr{Whens: whens, Else: rewriteAgg(x.Else, groupBy)}
 	case *sqlparse.CastExpr:
 		return &sqlparse.CastExpr{Child: rewriteAgg(x.Child, groupBy), Type: x.Type}
-	default:
+	case *sqlparse.KeyFilterExpr:
+		return &sqlparse.KeyFilterExpr{Child: rewriteAgg(x.Child, groupBy), Set: x.Set}
+	case *sqlparse.Literal, *sqlparse.Param, *sqlparse.ColumnRef:
+		return e // leaves: nothing aggregate-shaped beneath
+	case *sqlparse.ExistsExpr, *sqlparse.InSubquery:
+		// Subquery expressions are pre-evaluated by the engine before
+		// planning; aggregate rewriting does not descend into subquery
+		// scopes.
 		return e
+	default:
+		panic(fmt.Sprintf("plan: rewriteAgg missing case for %T", e))
 	}
 }
 
@@ -485,6 +494,14 @@ func (b *builder) checkRefs(e sqlparse.Expr, cols []ColMeta) error {
 			err = fmt.Errorf("plan: EXISTS subqueries must be pre-evaluated by the mediator")
 		case *sqlparse.InSubquery:
 			err = fmt.Errorf("plan: IN subqueries must be pre-evaluated by the mediator")
+		case *sqlparse.Literal, *sqlparse.Param, *sqlparse.BinaryExpr,
+			*sqlparse.UnaryExpr, *sqlparse.IsNullExpr, *sqlparse.InExpr,
+			*sqlparse.BetweenExpr, *sqlparse.FuncExpr, *sqlparse.CaseExpr,
+			*sqlparse.CastExpr, *sqlparse.KeyFilterExpr:
+			// No node-local reference to validate; WalkExprs visits
+			// their children on its own.
+		default:
+			err = fmt.Errorf("plan: checkRefs missing case for %T", x)
 		}
 	})
 	return err
@@ -589,7 +606,12 @@ func inferKind(e sqlparse.Expr, cols []ColMeta) datum.Kind {
 		return inferKind(x.Else, cols)
 	case *sqlparse.CastExpr:
 		return x.Type
-	default:
+	case *sqlparse.Param:
+		// Parameter kinds are unknown until bind time.
 		return datum.KindNull
+	case *sqlparse.InSubquery, *sqlparse.KeyFilterExpr:
+		return datum.KindBool
+	default:
+		panic(fmt.Sprintf("plan: inferKind missing case for %T", e))
 	}
 }

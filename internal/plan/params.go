@@ -43,6 +43,10 @@ func walkNodeExprs(n Node, fn func(sqlparse.Expr)) {
 		for _, k := range x.Keys {
 			fn(k.Expr)
 		}
+	case *Scan, *Limit, *Distinct, *Union, *Remote:
+		// No expression trees of their own.
+	default:
+		panic(fmt.Sprintf("plan: walkNodeExprs missing case for %T", n))
 	}
 }
 
@@ -369,9 +373,12 @@ func (b *binder) node(n Node) (Node, error) {
 		}
 		return b.newRemote(Remote{Source: x.Source, Child: child, AllowKeyFilter: x.AllowKeyFilter}), nil
 
-	default:
-		// Scan and any future leaf: no expressions, no children.
+	case *Scan:
+		// Leaf: no expressions, no children.
 		return n, nil
+
+	default:
+		panic(fmt.Sprintf("plan: binder missing case for %T", n))
 	}
 }
 

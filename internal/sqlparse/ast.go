@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"fmt"
 	"strconv"
 
 	"repro/internal/datum"
@@ -668,6 +669,14 @@ func WalkExprs(e Expr, fn func(Expr)) {
 		WalkExprs(x.Else, fn)
 	case *CastExpr:
 		WalkExprs(x.Child, fn)
+	case *KeyFilterExpr:
+		WalkExprs(x.Child, fn)
+	case *Literal, *Param, *ColumnRef, *ExistsExpr:
+		// Leaves. ExistsExpr holds a full subquery, not a child
+		// expression; subquery internals are deliberately not walked
+		// (InSubquery likewise only descends into its probe Child).
+	default:
+		panic(fmt.Sprintf("sqlparse: WalkExprs missing case for %T", e))
 	}
 }
 

@@ -173,6 +173,11 @@ func collectEquivalences(root plan.Node) *equivalences {
 			}
 		case *plan.Filter:
 			record(x.Input, x.Cond)
+		case *plan.Scan, *plan.Project, *plan.Aggregate, *plan.Sort,
+			*plan.Limit, *plan.Distinct, *plan.Union, *plan.Remote:
+			// No join/filter predicates to harvest equalities from.
+		default:
+			panic(fmt.Sprintf("viewupdate: equalities missing case for %T", n))
 		}
 	})
 	return eq
@@ -223,10 +228,11 @@ func trace(n plan.Node, ref *sqlparse.ColumnRef) (source, table, column string, 
 		return trace(x.Input, ref)
 	case *plan.Limit:
 		return trace(x.Input, ref)
-	default:
-		// Aggregates, unions and remotes end the trace: their outputs
-		// are not directly writable.
+	case *plan.Aggregate, *plan.Union, *plan.Remote:
+		// These end the trace: their outputs are not directly writable.
 		return "", "", "", false
+	default:
+		panic(fmt.Sprintf("viewupdate: trace missing case for %T", n))
 	}
 }
 

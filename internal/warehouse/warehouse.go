@@ -110,12 +110,18 @@ func (w *Warehouse) Refresh() (int, error) {
 
 // RefreshCtx is Refresh under a caller context: an ETL window deadline or
 // shutdown cancels the remaining extractions mid-batch (already-loaded
-// feeds keep their new rows).
+// feeds keep their new rows). The feed list is snapshotted and each
+// extraction runs without w.mu held — the network fetch is the slow part
+// of an ETL batch, and holding the lock across it would starve
+// ReplicaTable (the E12 replica-fallback query path) for the whole
+// batch. Only the local apply of fetched rows takes the lock, so replica
+// reads never observe a half-loaded table.
 func (w *Warehouse) RefreshCtx(ctx context.Context) (int, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	feeds := append([]*Feed(nil), w.feeds...)
+	w.mu.Unlock()
 	total := 0
-	for _, f := range w.feeds {
+	for _, f := range feeds {
 		n, err := w.refreshFeed(ctx, f)
 		if err != nil {
 			return total, err
@@ -131,18 +137,29 @@ func (w *Warehouse) RefreshTable(table string) (int, error) {
 	return w.RefreshTableCtx(context.Background(), table)
 }
 
-// RefreshTableCtx is RefreshTable under a caller context.
+// RefreshTableCtx is RefreshTable under a caller context. Like
+// RefreshCtx, the extraction itself runs without w.mu held.
 func (w *Warehouse) RefreshTableCtx(ctx context.Context, table string) (int, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	var feed *Feed
 	for _, f := range w.feeds {
 		if strings.EqualFold(f.Table, table) {
-			return w.refreshFeed(ctx, f)
+			feed = f
+			break
 		}
 	}
-	return 0, fmt.Errorf("warehouse: no feed for table %s", table)
+	w.mu.Unlock()
+	if feed == nil {
+		return 0, fmt.Errorf("warehouse: no feed for table %s", table)
+	}
+	return w.refreshFeed(ctx, feed)
 }
 
+// refreshFeed extracts one source table and applies it locally. The
+// network fetch runs unlocked — f.Source and f.Table are immutable after
+// AddFeed — and only the local apply (truncate + insert + bookkeeping)
+// holds w.mu, so replica readers see either the old rows or the new
+// ones, never a partial load, and never wait on a source's link.
 func (w *Warehouse) refreshFeed(ctx context.Context, f *Feed) (int, error) {
 	sch, ok := f.Source.Catalog().Table(f.Table)
 	if !ok {
@@ -158,6 +175,8 @@ func (w *Warehouse) refreshFeed(ctx context.Context, f *Feed) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	local, ok := w.store.Table(f.Table)
 	if !ok {
 		return 0, fmt.Errorf("warehouse: local table %s missing", f.Table)
