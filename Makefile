@@ -4,9 +4,9 @@
 GO ?= go
 RACE_PKGS := ./...
 
-.PHONY: check fmt vet lint build test alloc-guard race race-cancel race-overload race-deadlock bench bench-smoke
+.PHONY: check fmt vet lint build test alloc-guard race race-cancel race-overload race-deadlock race-adaptive bench bench-smoke
 
-check: fmt vet lint build test alloc-guard race race-cancel race-overload race-deadlock bench-smoke
+check: fmt vet lint build test alloc-guard race race-cancel race-overload race-deadlock race-adaptive bench-smoke
 
 fmt:
 	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
@@ -56,6 +56,14 @@ race-overload:
 race-deadlock:
 	$(GO) test -race -run 'TestClusterAdmissionDeadlockStress' -count=3 ./internal/cluster
 
+# E20 replan storm: concurrent clients over a stale-stats federation with
+# mid-query re-optimization firing, repeated under the race detector. The
+# replan loop joins abandoned prefetch goroutines (Scratch.WaitBorrowers)
+# before absorbing the cardinality ledger; this storm is what keeps that
+# join honest across schedules.
+race-adaptive:
+	$(GO) test -race -run 'TestE20AdaptiveReplanStorm' -count=3 ./internal/core
+
 # E17 allocation fence: the warm plan-cache-hit path must stay inside its
 # allocs/op and bytes/op budget (see alloc_guard_test.go). -count=1 defeats
 # the test cache so the guard actually measures on every check.
@@ -70,11 +78,13 @@ bench:
 # code itself compiling and running (a broken bench otherwise goes
 # unnoticed until someone runs the full suite), and it leaves
 # machine-readable BENCH_E13.json / BENCH_E14.json / BENCH_E15.json /
-# BENCH_E16.json / BENCH_E17.json / BENCH_E18.json / BENCH_E19.json
-# artifacts. E19 is the eiilint self-benchmark (packages/sec through the
-# full analyzer suite), so analysis-engine regressions are tracked the
-# same way engine regressions are.
+# BENCH_E16.json / BENCH_E17.json / BENCH_E18.json / BENCH_E19.json /
+# BENCH_E20.json artifacts. E19 is the eiilint self-benchmark
+# (packages/sec through the full analyzer suite), so analysis-engine
+# regressions are tracked the same way engine regressions are; E20 tracks
+# the adaptive feedback loop (warm semi-join steady state, static
+# baseline, and pure ledger overhead) by shipped bytes per query.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel|BenchmarkE16OpenLoop|BenchmarkE17FrontEnd|BenchmarkE18Cluster|BenchmarkE19Lint' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE13PlanCache|BenchmarkE14Vectorized|BenchmarkE15Cancel|BenchmarkE16OpenLoop|BenchmarkE17FrontEnd|BenchmarkE18Cluster|BenchmarkE19Lint|BenchmarkE20Adaptive' \
 		-benchtime 10x -benchmem -json . \
-		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json E16=BENCH_E16.json E17=BENCH_E17.json E18=BENCH_E18.json E19=BENCH_E19.json
+		| $(GO) run ./cmd/benchjson E13=BENCH_E13.json E14=BENCH_E14.json E15=BENCH_E15.json E16=BENCH_E16.json E17=BENCH_E17.json E18=BENCH_E18.json E19=BENCH_E19.json E20=BENCH_E20.json

@@ -22,10 +22,12 @@ import (
 	"repro/internal/eai"
 	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/federation"
 	"repro/internal/linkage"
 	"repro/internal/matview"
 	"repro/internal/netsim"
 	"repro/internal/opt"
+	"repro/internal/schema"
 	"repro/internal/search"
 	"repro/internal/semantics"
 	"repro/internal/sqlparse"
@@ -665,8 +667,8 @@ func TestExperimentTablesQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(tables))
 	}
 }
 
@@ -933,4 +935,108 @@ func BenchmarkE19Lint(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(pkgs))*float64(b.N)/b.Elapsed().Seconds(), "pkgs/sec")
+}
+
+// e20Fed builds the E20 stale-statistics federation: users carries
+// accurate stats, events published stats at 50 rows and then grew to
+// eventRows without a refresh (freshStats republishes instead, for the
+// overhead benchmark where the catalog tells the truth).
+func e20Fed(b *testing.B, eventRows int, freshStats bool) *core.Engine {
+	b.Helper()
+	e := core.New()
+	crm := federation.NewRelationalSource("crm", federation.FullSQL(),
+		netsim.NewLink(2*time.Millisecond, 1e6, 1))
+	users, err := crm.CreateTable(schema.MustTable("users", []schema.Column{
+		{Name: "id", Kind: datum.KindInt},
+		{Name: "name", Kind: datum.KindString},
+		{Name: "tier", Kind: datum.KindString},
+	}, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= 5000; i++ {
+		if err := users.Insert(datum.Row{
+			datum.NewInt(int64(i)),
+			datum.NewString(fmt.Sprintf("user-%04d", i)),
+			datum.NewString(fmt.Sprintf("t%d", i%50)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	crm.RefreshStats()
+
+	logs := federation.NewRelationalSource("logs", federation.FullSQL(),
+		netsim.NewLink(2*time.Millisecond, 1e6, 1))
+	events, err := logs.CreateTable(schema.MustTable("events", []schema.Column{
+		{Name: "user_id", Kind: datum.KindInt},
+		{Name: "action", Kind: datum.KindString},
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < eventRows; i++ {
+		if i == 50 {
+			logs.RefreshStats() // stats freeze at 50 rows
+		}
+		if err := events.Insert(datum.Row{
+			datum.NewInt(int64(i%5000) + 1),
+			datum.NewString(fmt.Sprintf("action-%05d-payload-payload-payload", i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if freshStats {
+		logs.RefreshStats()
+	}
+	for _, s := range []federation.Source{crm, logs} {
+		if err := e.Register(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+const e20BenchQuery = `SELECT u.name, e.action FROM crm.users u
+	JOIN logs.events e ON u.id = e.user_id
+	WHERE u.tier = 't7' ORDER BY u.name, e.action`
+
+// benchE20 runs the stale-stats join b.N times under qo, after one
+// untimed warm-up query (which, under Adaptive, trips the mid-query
+// replan and seeds the feedback store), and reports shipped bytes/op.
+func benchE20(b *testing.B, e *core.Engine, qo core.QueryOptions) {
+	if _, err := e.QueryOpts(e20BenchQuery, qo); err != nil {
+		b.Fatal(err)
+	}
+	e.ResetMetrics()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.QueryOpts(e20BenchQuery, qo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.NetworkTotals().BytesShipped)/float64(b.N), "ship-B/op")
+}
+
+// BenchmarkE20AdaptiveWarm measures the steady state after the feedback
+// loop has corrected the stale estimate: every plan compiles straight to
+// the semi-join reduction, plus the per-query cost of the cardinality
+// ledger and feedback absorption.
+func BenchmarkE20AdaptiveWarm(b *testing.B) {
+	benchE20(b, e20Fed(b, 4000, false), core.QueryOptions{Parallel: true, Adaptive: true})
+}
+
+// BenchmarkE20AdaptiveStaticBaseline is the same workload planned purely
+// from the (stale) catalog: the optimizer keeps shipping the whole
+// mis-estimated relation on every query.
+func BenchmarkE20AdaptiveStaticBaseline(b *testing.B) {
+	benchE20(b, e20Fed(b, 4000, false), core.QueryOptions{Parallel: true})
+}
+
+// BenchmarkE20AdaptiveLedgerOverhead runs Adaptive over a truthful
+// catalog — the tripwire never fires and feedback agrees with the stats —
+// so the delta against a static run of the same fixture is the pure
+// bookkeeping cost of the always-on cardinality ledger.
+func BenchmarkE20AdaptiveLedgerOverhead(b *testing.B) {
+	benchE20(b, e20Fed(b, 4000, true), core.QueryOptions{Parallel: true, Adaptive: true})
 }

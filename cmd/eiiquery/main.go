@@ -14,6 +14,8 @@
 //	--partial            answer from the surviving sources, with a warning
 //	--trace              print the query's span tree (plan / fetch / operator spans)
 //	--tenant gold        run queries under the named admission tenant
+//	--explain            print estimated-vs-observed rows per operator after execution
+//	--no-adaptive        turn off cardinality feedback and mid-query re-planning
 //
 // Statements may contain ? or $n placeholders; bind values with repeated
 // --param flags (typed: integers, floats, and strings are recognized), or
@@ -53,6 +55,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-query deadline (0: none)")
 	partial := flag.Bool("partial", false, "tolerate source failures: answer from the surviving sources")
 	trace := flag.Bool("trace", false, "print the query-scoped span tree after each result")
+	explain := flag.Bool("explain", false, "print the executed plan with estimated-vs-observed rows per operator")
+	noAdaptive := flag.Bool("no-adaptive", false, "disable adaptive query processing (cardinality feedback + mid-query re-planning)")
 	parallelism := flag.Int("parallelism", 0, "intra-query worker cap (0: GOMAXPROCS, 1: sequential)")
 	batchSize := flag.Int("batch", 0, "rows per execution batch (0: default 1024, 1: row-at-a-time)")
 	tenant := flag.String("tenant", "", `admission tenant to run queries under (default: the "default" tenant)`)
@@ -86,6 +90,7 @@ func main() {
 		AllowPartial: *partial, Deadline: *deadline,
 		Parallelism: *parallelism, BatchSize: *batchSize,
 		Trace: *trace, Tenant: *tenant,
+		Adaptive: !*noAdaptive, Explain: *explain,
 	}
 	if *retries > 1 {
 		qo.Retry = exec.RetryPolicy{Attempts: *retries}
@@ -252,6 +257,13 @@ func printResult(res *core.Result) {
 		len(res.Rows), res.PlanTime.Round(time.Microsecond), cache,
 		res.Elapsed.Round(time.Microsecond), res.BatchesProcessed, res.ExecParallelism,
 		res.Network)
+	if res.ExplainOutput != "" {
+		fmt.Print(res.ExplainOutput)
+	}
+	if res.ReplanCount > 0 || res.EstimateErrors > 0 {
+		fmt.Printf("note: adaptive: %d mid-query replans, %d operators misestimated ≥10x\n",
+			res.ReplanCount, res.EstimateErrors)
+	}
 	if res.Trace != nil {
 		fmt.Print(res.Trace.Render())
 	}

@@ -181,6 +181,12 @@ func TestSnapshotMutInsideCatalog(t *testing.T) {
 	expectClean(t, SnapshotMut, "snapshotmut", "repro/internal/catalog")
 }
 
+// TestSnapshotMutInsideFeedback: the feedback store (E20) is the second
+// snapshot-owned package — its own EWMA updates must stay exempt.
+func TestSnapshotMutInsideFeedback(t *testing.T) {
+	expectClean(t, SnapshotMut, "snapshotmut", "repro/internal/feedback")
+}
+
 func TestErrDropFixture(t *testing.T) {
 	runFixture(t, ErrDrop, "errdrop", "repro/internal/federation")
 }

@@ -5,87 +5,106 @@ import (
 	"go/types"
 )
 
-// catalogPkgPath is the only package allowed to mutate catalog types.
-const catalogPkgPath = "repro/internal/catalog"
+// snapshotOwners maps each package whose published types are immutable by
+// contract to the mutator API callers must use instead. internal/catalog
+// publishes COW snapshots keyed by version (E13): mutating a *catalog.View
+// in place corrupts every plan compiled against that version without
+// bumping it. internal/feedback (E20) hands out Estimate values and keys
+// whose drift tracking lives behind Observe's generation counter: writing
+// through a pointer into the store would move estimates without bumping
+// the generation, so cached plans would never drift-invalidate.
+var snapshotOwners = map[string]string{
+	"repro/internal/catalog":  "catalog.Global's copy-on-write mutators",
+	"repro/internal/feedback": "feedback.Store's Observe/ObserveLatency",
+}
 
 // SnapshotMut flags writes to fields (or maps reached through fields) of
-// catalog-owned types outside internal/catalog. Published Snapshots are
-// immutable by contract: the plan cache keys compiled plans by snapshot
-// version (E13), so mutating a *catalog.View or Snapshot in place
-// corrupts every plan compiled against that version without bumping it.
-// Mutation goes through catalog.Global's copy-on-write methods instead.
+// snapshot-owned types outside their owning package. Published snapshots
+// are immutable by contract; mutation goes through the owner's mutator
+// API, which is what bumps the version/generation consumers key on.
 var SnapshotMut = &Analyzer{
 	Name: "snapshotmut",
-	Doc:  "no writes to catalog snapshot types outside internal/catalog",
+	Doc:  "no writes to catalog/feedback snapshot types outside their owning package",
 	Run:  runSnapshotMut,
 }
 
 func runSnapshotMut(p *Pass) {
-	if pkgIs(p.Path, catalogPkgPath) {
-		return
+	for owner := range snapshotOwners {
+		if pkgIs(p.Path, owner) {
+			return
+		}
 	}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch x := n.(type) {
 			case *ast.AssignStmt:
 				for _, lhs := range x.Lhs {
-					p.checkCatalogWrite(lhs)
+					p.checkSnapshotWrite(lhs)
 				}
 			case *ast.IncDecStmt:
-				p.checkCatalogWrite(x.X)
+				p.checkSnapshotWrite(x.X)
 			}
 			return true
 		})
 	}
 }
 
-// checkCatalogWrite reports e when it writes through a *pointer* to a
-// catalog-owned type: a field write (v.SQL = ...), a map/slice write
+// checkSnapshotWrite reports e when it writes through a *pointer* to a
+// snapshot-owned type: a field write (v.SQL = ...), a map/slice write
 // reached through one, or a whole-struct overwrite (*v = ...). Writes to
 // a local value copy are harmless and not flagged — only pointers reach
 // the shared, published snapshot data.
-func (p *Pass) checkCatalogWrite(e ast.Expr) {
+func (p *Pass) checkSnapshotWrite(e ast.Expr) {
 	switch x := e.(type) {
 	case *ast.SelectorExpr:
 		sel, ok := p.Info.Selections[x]
 		if !ok || sel.Kind() != types.FieldVal {
 			return
 		}
-		if name, ok := catalogPointee(p.TypeOf(x.X)); ok {
+		if name, fix, ok := snapshotPointee(p.TypeOf(x.X)); ok {
 			p.Reportf(x.Pos(),
-				"write to catalog.%s field %q outside internal/catalog mutates a published snapshot; use catalog.Global's copy-on-write mutators",
-				name, x.Sel.Name)
+				"write to %s field %q outside its owning package mutates a published snapshot; use %s",
+				name, x.Sel.Name, fix)
 		}
 	case *ast.IndexExpr:
-		if name, ok := catalogPointee(p.TypeOf(x.X)); ok {
+		if name, fix, ok := snapshotPointee(p.TypeOf(x.X)); ok {
 			p.Reportf(x.Pos(),
-				"write into catalog.%s outside internal/catalog mutates a published snapshot; use catalog.Global's copy-on-write mutators",
-				name)
+				"write into %s outside its owning package mutates a published snapshot; use %s",
+				name, fix)
 			return
 		}
-		p.checkCatalogWrite(x.X)
+		p.checkSnapshotWrite(x.X)
 	case *ast.StarExpr:
-		if name, ok := catalogPointee(p.TypeOf(x.X)); ok {
+		if name, fix, ok := snapshotPointee(p.TypeOf(x.X)); ok {
 			p.Reportf(x.Pos(),
-				"overwrite of catalog.%s through a pointer outside internal/catalog mutates a published snapshot; use catalog.Global's copy-on-write mutators",
-				name)
+				"overwrite of %s through a pointer outside its owning package mutates a published snapshot; use %s",
+				name, fix)
 		}
 	}
 }
 
-// catalogPointee returns the catalog type name when t is a pointer to a
-// catalog-owned type, or a catalog-owned type with reference semantics
-// (named map/slice). Plain value copies do not alias published data.
-func catalogPointee(t types.Type) (string, bool) {
+// snapshotPointee returns the qualified type name and the mutator-API fix
+// when t is a pointer to a snapshot-owned type, or a snapshot-owned type
+// with reference semantics (named map/slice). Plain value copies do not
+// alias published data.
+func snapshotPointee(t types.Type) (string, string, bool) {
 	if t == nil {
-		return "", false
+		return "", "", false
 	}
-	if ptr, ok := t.(*types.Pointer); ok {
-		return namedFrom(ptr.Elem(), catalogPkgPath)
+	for owner, fix := range snapshotOwners {
+		short := owner[len("repro/internal/"):]
+		if ptr, ok := t.(*types.Pointer); ok {
+			if name, ok := namedFrom(ptr.Elem(), owner); ok {
+				return short + "." + name, fix, true
+			}
+			continue
+		}
+		switch t.Underlying().(type) {
+		case *types.Map, *types.Slice:
+			if name, ok := namedFrom(t, owner); ok {
+				return short + "." + name, fix, true
+			}
+		}
 	}
-	switch t.Underlying().(type) {
-	case *types.Map, *types.Slice:
-		return namedFrom(t, catalogPkgPath)
-	}
-	return "", false
+	return "", "", false
 }

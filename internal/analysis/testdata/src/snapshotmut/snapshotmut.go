@@ -1,7 +1,10 @@
 // Fixture for the snapshotmut analyzer: hit, miss, and ignore cases.
 package fixture
 
-import "repro/internal/catalog"
+import (
+	"repro/internal/catalog"
+	"repro/internal/feedback"
+)
 
 func hitFieldWrite(g *catalog.Global) {
 	if v, ok := g.View("orders"); ok {
@@ -35,4 +38,27 @@ func missReads(g *catalog.Global) int {
 func ignored(v *catalog.View) {
 	//lint:ignore snapshotmut fixture: view not yet published to any snapshot
 	v.SQL = "pre-publication construction"
+}
+
+// E20: the feedback store's published estimates are covered too.
+
+func hitEstimateWrite(est *feedback.Estimate) {
+	est.Rows = 42 // want "write to feedback.Estimate field \"Rows\""
+}
+
+func hitEstimateOverwrite(est *feedback.Estimate) {
+	*est = feedback.Estimate{} // want "overwrite of feedback.Estimate through a pointer"
+}
+
+func missObserveMutator(s *feedback.Store, k feedback.Key) {
+	s.Observe(k, 100, 10) // the mutator API is how estimates move
+}
+
+func missEstimateValueCopy(s *feedback.Store, k feedback.Key) float64 {
+	est, ok := s.Lookup(k) // Lookup returns a value copy by design
+	if !ok {
+		return 0
+	}
+	est.Rows *= 2 // local copy: harmless
+	return est.Rows
 }

@@ -34,6 +34,12 @@ type compiledPlan struct {
 	// cost is the optimizer's estimate for the template, computed once at
 	// insertion so cached executions don't re-walk the plan per query.
 	cost opt.PlanCost
+	// fbGen is the feedback-store generation the plan was costed under.
+	// Adaptive lookups treat an entry whose generation has since drifted
+	// (the store bumps only on large estimate shifts, not every
+	// observation) as invalid: the cached join order and semi-join
+	// decisions were made from estimates now known to be wrong.
+	fbGen uint64
 }
 
 // compile runs the planning pipeline over one catalog snapshot:
@@ -49,11 +55,7 @@ func (e *Engine) compile(ctx context.Context, sel *sqlparse.Select, qo QueryOpti
 	if err != nil {
 		return nil, err
 	}
-	optOpts := qo.Optimizer
-	if qo.NoSemiJoin {
-		optOpts.NoSemiJoin = true
-	}
-	return opt.Optimize(logical, e.env(), optOpts), nil
+	return opt.Optimize(logical, e.planEnv(qo), optimizerOptions(qo)), nil
 }
 
 // optionsFingerprint encodes the plan-shaping options into a cache-key
@@ -68,6 +70,7 @@ func optionsFingerprint(qo QueryOptions) string {
 		qo.Optimizer.NoRemotePushdown,
 		qo.Optimizer.NoSemiJoin,
 		qo.NoSemiJoin,
+		qo.Adaptive,
 	}
 	var b strings.Builder
 	for _, bit := range bits {
@@ -185,7 +188,7 @@ type PreparedStatement struct {
 // Prepare compiles a statement with default options (parallel fetch, all
 // optimizations). The statement may contain `?` or `$n` placeholders.
 func (e *Engine) Prepare(sql string) (*PreparedStatement, error) {
-	return e.PrepareOpts(sql, QueryOptions{Parallel: true})
+	return e.PrepareOpts(sql, QueryOptions{Parallel: true, Adaptive: true})
 }
 
 // PrepareOpts compiles a statement for repeated execution. Compilation
@@ -235,17 +238,34 @@ func (ps *PreparedStatement) SQL() string { return ps.text }
 func (e *Engine) cachedTemplate(ctx context.Context, normSQL string, qo QueryOptions, snap *catalog.Snapshot) (*compiledPlan, bool, error) {
 	key := e.planKey(normSQL, snap.Version(), qo)
 	if v, ok := e.plans.Get(key); ok {
-		return v.(*compiledPlan), true, nil
+		cp := v.(*compiledPlan)
+		if !qo.Adaptive || cp.fbGen == e.feedbackStore().Generation() {
+			return cp, true, nil
+		}
+		// The feedback store drifted past its bump threshold since this
+		// plan was costed: its join order and semi-join choices came from
+		// estimates now contradicted by observation. Drop it and recompile
+		// against current feedback.
+		e.plans.InvalidateDrift(key)
 	}
 	sel, err := sqlparse.Parse(normSQL)
 	if err != nil {
 		return nil, false, err
 	}
+	// Capture the generation before compiling: a concurrent drift during
+	// compilation then invalidates this entry on its next adaptive lookup
+	// instead of being missed.
+	fbGen := e.feedbackStore().Generation()
 	tmpl, err := e.compile(ctx, sel, qo, snap)
 	if err != nil {
 		return nil, false, err
 	}
-	cp := &compiledPlan{tmpl: tmpl, nParams: sqlparse.MaxParamIndex(sel), cost: opt.Cost(tmpl, e.env())}
+	cp := &compiledPlan{
+		tmpl:    tmpl,
+		nParams: sqlparse.MaxParamIndex(sel),
+		cost:    opt.Cost(tmpl, e.planEnv(qo)),
+		fbGen:   fbGen,
+	}
 	e.plans.Put(key, cp)
 	return cp, false, nil
 }
@@ -292,7 +312,7 @@ func (ps *PreparedStatement) ExecuteCtx(ctx context.Context, params ...datum.Dat
 			tmpl, err = e.compile(ctx, sel, ps.qo, snap)
 		}
 		if err == nil {
-			est = opt.Cost(tmpl, e.env())
+			est = opt.Cost(tmpl, e.planEnv(ps.qo))
 		}
 	}
 	if err != nil {

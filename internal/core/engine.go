@@ -14,10 +14,13 @@ import (
 	"sync"
 	"time"
 
+	"errors"
+
 	"repro/internal/catalog"
 	"repro/internal/datum"
 	"repro/internal/exec"
 	"repro/internal/federation"
+	"repro/internal/feedback"
 	"repro/internal/netsim"
 	"repro/internal/opt"
 	"repro/internal/plan"
@@ -37,6 +40,7 @@ type Engine struct {
 	replica    ReplicaProvider
 	router     FetchRouter
 	plans      *plancache.Cache
+	feedback   *feedback.Store
 	clock      netsim.Clock
 	inflight   inflightRegistry
 	admission  *admissionController
@@ -68,6 +72,7 @@ func New() *Engine {
 		sources:  make(map[string]federation.Source),
 		breakers: make(map[string]*breaker),
 		plans:    plancache.New(DefaultPlanCacheSize),
+		feedback: feedback.NewStore(netsim.Wall),
 		clock:    netsim.Wall,
 	}
 }
@@ -84,6 +89,10 @@ func (e *Engine) SetClock(c netsim.Clock) {
 	e.mu.Lock()
 	e.clock = c
 	e.breakers = make(map[string]*breaker)
+	// Feedback confidence decays in this clock's time, so estimates
+	// recorded against the old clock would age nonsensically: start fresh,
+	// mirroring the breaker reset above.
+	e.feedback = feedback.NewStore(c)
 	e.invalidateTopo()
 	e.mu.Unlock()
 }
@@ -265,6 +274,18 @@ type QueryOptions struct {
 	// against. Empty (or an unknown name) runs under the "default" tenant.
 	// Ignored while admission control is disabled.
 	Tenant string
+	// Adaptive enables adaptive query processing: planning blends the
+	// feedback store's observed cardinalities into its estimates, executed
+	// fetches feed the store back, and a mid-query cardinality tripwire may
+	// re-optimize the plan at a batch boundary (Result.ReplanCount). The
+	// engine entry points (Query, QueryCtx, Prepare) set it; a zero-value
+	// QueryOptions leaves it off, which reproduces fully static planning
+	// and execution bit for bit.
+	Adaptive bool
+	// Explain records estimated-vs-observed rows per operator during
+	// execution and renders them into Result.ExplainOutput afterwards —
+	// post-execution estimate-quality inspection without full tracing.
+	Explain bool
 	// fragment marks a peer-shipped plan fragment (set by RunFragment,
 	// not settable by clients): admission was already charged at the
 	// coordinating node, so the peer executes it without re-entering its
@@ -333,6 +354,17 @@ type Result struct {
 	// — recycled when the query finished. Zero for plans executed directly
 	// via ExecuteCtx, which never touch the arena.
 	ArenaBytes int64
+	// ReplanCount is how many times the query re-optimized mid-execution
+	// after a cardinality tripwire (0 on the static path and for queries
+	// whose estimates held).
+	ReplanCount int
+	// EstimateErrors counts operators of the final execution whose actual
+	// cardinality missed the estimate by 10x or more in either direction.
+	// Only populated when the cardinality ledger ran (Adaptive or Explain).
+	EstimateErrors int
+	// ExplainOutput is the executed plan annotated with estimated-vs-
+	// observed rows per operator, when QueryOptions.Explain was set.
+	ExplainOutput string
 }
 
 // Query plans and executes a SQL statement with default options: parallel
@@ -346,7 +378,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 // context's deadline propagate to every batch pull, exchange worker,
 // remote fetch, retry backoff and simulated transfer of the query.
 func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
-	return e.QueryOptsCtx(ctx, sql, QueryOptions{Parallel: true})
+	return e.QueryOptsCtx(ctx, sql, QueryOptions{Parallel: true, Adaptive: true})
 }
 
 // QueryOpts plans and executes a SQL statement (see QueryOptsCtx).
@@ -424,7 +456,7 @@ func (e *Engine) QueryOptsCtx(ctx context.Context, sql string, qo QueryOptions) 
 			return nil, err
 		}
 		tmpl = p
-		est = opt.Cost(p, e.env())
+		est = opt.Cost(p, e.planEnv(qo))
 	}
 	planTime := clock.Since(planStart)
 
@@ -462,7 +494,7 @@ func (e *Engine) Execute(p plan.Node, qo QueryOptions) (*Result, error) {
 // ExecuteCtx runs an optimized plan under a caller context. Like
 // QueryOptsCtx, a non-nil *Result may accompany an execution error.
 func (e *Engine) ExecuteCtx(ctx context.Context, p plan.Node, qo QueryOptions) (*Result, error) {
-	return e.executeCtx(ctx, p, qo, "", 0, opt.Cost(p, e.env()))
+	return e.executeCtx(ctx, p, qo, "", 0, opt.Cost(p, e.planEnv(qo)))
 }
 
 // executeCtx is the single execution path: it derives the query's context
@@ -533,14 +565,71 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 		rt.tracer = exec.NewQueryTracer(clock)
 		rt.opts.Tracer = rt.tracer
 	}
-	it, err := exec.BuildBatch(ctx, p, rt, rt.opts)
+	// Cardinality ledger: always on for adaptive and explain queries —
+	// per-operator and per-fetch row counts, far lighter than tracing. The
+	// same ledger instance is Reset between re-plan attempts so the final
+	// attempt's counts stand alone.
+	var led *exec.CardLedger
+	var se *swapEstimator
+	if qo.Adaptive || qo.Explain {
+		led = exec.GetCardLedger()
+		defer exec.PutCardLedger(led)
+		rt.opts.Cards = led
+		se = newSwapEstimator(e.planEnv(qo))
+		rt.opts.Estimate = se.rows
+	}
+	if qo.Adaptive {
+		rt.opts.Replan = exec.ReplanPolicy{Factor: ReplanFactor, MinRows: ReplanMinRows}
+	}
+
 	var rows []datum.Row
-	if err == nil {
-		rows, err = exec.DrainBatchesScratch(it, scratch)
-		// Result rows may alias shared storage snapshots (sources hand the
-		// executor header-only views); block-copy so callers own — and may
-		// freely mutate — everything reachable from Result.Rows.
-		rows = datum.CloneRowsBlock(rows)
+	var err error
+	replans, estErrors := 0, 0
+	for {
+		var it exec.BatchIterator
+		it, err = exec.BuildBatch(ctx, p, rt, rt.opts)
+		if err == nil {
+			rows, err = exec.DrainBatchesScratch(it, scratch)
+		}
+		if err == nil {
+			// Result rows may alias shared storage snapshots (sources hand
+			// the executor header-only views); block-copy so callers own —
+			// and may freely mutate — everything reachable from Result.Rows.
+			rows = datum.CloneRowsBlock(rows)
+			if led != nil {
+				scratch.WaitBorrowers()
+				estErrors = e.absorbLedger(led, se.rows)
+			}
+			break
+		}
+		var re *exec.ReplanError
+		if !qo.Adaptive || !errors.As(err, &re) {
+			break
+		}
+		// Mid-query re-plan: the drain aborted at a batch boundary before
+		// any row reached the caller, so re-executing from scratch cannot
+		// change the answer — only the plan that produces it. Join the
+		// aborted attempt's stragglers (abandoned prefetches run their
+		// fetch to completion and would otherwise record into the next
+		// attempt's ledger), feed its observed cardinalities into the
+		// feedback store, re-optimize against the now-corrected estimates,
+		// and start over. The extra network spend stays visible: link
+		// accounting spans all attempts.
+		scratch.WaitBorrowers()
+		e.absorbLedger(led, se.rows)
+		led.Reset()
+		if replans >= MaxReplans {
+			// Budget exhausted: a workload the estimator cannot model even
+			// after feedback (a tripwire that re-fires on the re-optimized
+			// plan). Disarm it and run the current plan to completion — a
+			// plan costed from fiction still computes the right answer.
+			rt.opts.Replan = exec.ReplanPolicy{}
+			continue
+		}
+		replans++
+		env := e.planEnv(qo)
+		p = opt.Reoptimize(p, env, optimizerOptions(qo))
+		se.swap(env)
 	}
 	after := e.linkTotals()
 	after.Sub(before)
@@ -561,6 +650,11 @@ func (e *Engine) executeCtx(ctx context.Context, p plan.Node, qo QueryOptions, s
 		Tenant:           slot.Tenant(),
 		QueueTime:        slot.QueueTime(),
 		ArenaBytes:       scratch.Bytes(),
+		ReplanCount:      replans,
+		EstimateErrors:   estErrors,
+	}
+	if qo.Explain && err == nil {
+		res.ExplainOutput = renderExplain(p, led, replans)
 	}
 	for i, c := range cols {
 		res.Columns[i] = c.Name

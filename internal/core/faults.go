@@ -170,6 +170,11 @@ func (rt *queryRuntime) RunRemote(ctx context.Context, source string, subtree pl
 					return nil, qerr
 				}
 			}
+			if cards := rt.opts.Cards; cards != nil {
+				// Peer-answered fetches still feed cardinality rows; the
+				// wire accounting happened at the owner, so bytes stay 0.
+				cards.RecordFetch(source, subtree, int64(len(rows)), 0)
+			}
 			return exec.NewSliceIterator(rows), nil
 		}
 	}
@@ -183,16 +188,31 @@ func (rt *queryRuntime) RunRemote(ctx context.Context, source string, subtree pl
 	}
 	var fetchStart time.Time
 	var linkBefore netsim.Metrics
-	if rt.tracer != nil {
-		fetchStart = rt.tracer.Clock().Now()
+	cards := rt.opts.Cards
+	measured := rt.tracer != nil || cards != nil
+	if measured {
+		if rt.tracer != nil {
+			fetchStart = rt.tracer.Clock().Now()
+		}
 		linkBefore = src.Link().Metrics()
 	}
 	rows, err := federation.ExecuteWithContext(ctx, src, subtree)
-	if rt.tracer != nil {
+	if measured {
 		delta := src.Link().Metrics()
 		delta.Sub(linkBefore)
-		rt.tracer.RecordFetch(source, fetchStart, rt.tracer.Clock().Since(fetchStart),
-			delta.SimTime, int64(len(rows)), delta.WireBytes, err)
+		if rt.tracer != nil {
+			rt.tracer.RecordFetch(source, fetchStart, rt.tracer.Clock().Since(fetchStart),
+				delta.SimTime, int64(len(rows)), delta.WireBytes, err)
+		}
+		if cards != nil && err == nil {
+			// Only the successful attempt of a retried fetch lands in the
+			// ledger — failed attempts stay visible as numbered trace spans
+			// but must not pollute cardinality feedback. Latency calibrates
+			// against what the link model would have predicted for the same
+			// bytes.
+			cards.RecordFetch(source, subtree, int64(len(rows)), delta.WireBytes)
+			rt.e.feedbackStore().ObserveLatency(source, src.Link().TransferCost(delta.WireBytes), delta.SimTime)
+		}
 	}
 	if br != nil && !isContextErr(err) {
 		br.Record(err == nil)

@@ -100,6 +100,18 @@ type Options struct {
 	// backs is recycled when the query finishes. Nil allocates from the
 	// heap.
 	Scratch *Scratch
+	// Cards, when non-nil, is the always-on cardinality ledger: every
+	// operator boundary counts its output rows into it and every
+	// successful fetch is recorded by the engine's runtime. Unlike Tracer
+	// it costs two ints per operator, so it can run on every query.
+	Cards *CardLedger
+	// Estimate, when non-nil alongside Cards, supplies the optimizer's
+	// row estimate per plan node so ledger records carry
+	// estimated-vs-actual pairs. Return -1 for "unknown".
+	Estimate func(plan.Node) int64
+	// Replan arms the mid-query re-optimization tripwire (requires Cards
+	// and Estimate). See ReplanPolicy.
+	Replan ReplanPolicy
 }
 
 func (o Options) maxKeys() int {
@@ -164,10 +176,20 @@ func BuildBatch(ctx context.Context, n plan.Node, rt Runtime, opts Options) (Bat
 	// separate decorator allocations per operator would show up directly
 	// in the per-query allocation budget.
 	cancellable := ctx.Done() != nil // context-free leaves skip the per-batch check
-	if opts.Memory != nil || cancellable || opts.Stats != nil {
+	if opts.Memory != nil || cancellable || opts.Stats != nil || opts.Cards != nil {
 		g := &guardBatchIter{in: it, mem: opts.Memory, stats: opts.Stats}
 		if cancellable {
 			g.ctx = ctx
+		}
+		if opts.Cards != nil {
+			est := int64(-1)
+			if opts.Estimate != nil {
+				est = opts.Estimate(n)
+			}
+			g.card = opts.Cards.addOp(n, est)
+			if opts.Replan.enabled() && est >= 0 && replanNode(n) {
+				g.replan = opts.Replan
+			}
 		}
 		it = g
 	}
@@ -178,6 +200,19 @@ func BuildBatch(ctx context.Context, n plan.Node, rt Runtime, opts Options) (Bat
 		it = opts.Tracer.wrapOp(n, it)
 	}
 	return it, nil
+}
+
+// replanNode reports whether the re-plan tripwire may arm on n: fetch
+// boundaries only, because those are the estimates runtime feedback can
+// correct. An interior operator (say, a join) that misestimates over
+// correctly-estimated inputs would re-optimize to the same plan and trip
+// again on every attempt — aborting there buys nothing but re-execution.
+func replanNode(n plan.Node) bool {
+	switch n.(type) {
+	case *plan.Remote, *plan.Scan:
+		return true
+	}
+	return false
 }
 
 // guardBatchIter is the fused per-operator boundary wrapper: an optional
@@ -191,6 +226,8 @@ type guardBatchIter struct {
 	ctx     context.Context   // nil: no cancellation check
 	mem     MemoryReservation // nil: no memory accounting
 	stats   *ExecStats        // nil: no batch counting
+	card    *OpCard           // nil: no cardinality ledger
+	replan  ReplanPolicy      // zero: tripwire disarmed
 	charged int64
 }
 
@@ -216,8 +253,25 @@ func (g *guardBatchIter) NextBatch() (Batch, error) {
 			}
 		}
 	}
-	if b != nil && g.stats != nil {
-		g.stats.addBatch()
+	if b != nil {
+		if g.stats != nil {
+			g.stats.addBatch()
+		}
+		if g.card != nil {
+			g.card.Rows += int64(len(b))
+			g.card.Batches++
+			// Mid-query re-plan tripwire: an operator that has already
+			// produced Factor times its estimated rows (and a material
+			// absolute amount) proves the plan was costed on a bad
+			// estimate. Abort at this batch boundary; the engine
+			// re-optimizes against the ledger and re-executes. Only
+			// underestimates trip — overestimates waste nothing that is
+			// recoverable mid-flight.
+			if g.replan.enabled() && g.card.Rows >= g.replan.MinRows &&
+				g.card.Rows > g.replan.Factor*g.card.Est {
+				return nil, &ReplanError{Node: g.card.Node, Est: g.card.Est, Actual: g.card.Rows}
+			}
+		}
 	}
 	return b, nil
 }

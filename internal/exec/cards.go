@@ -1,0 +1,145 @@
+package exec
+
+// The cardinality ledger is the always-on half of query tracing: per
+// operator and per successful fetch, how many rows actually flowed,
+// against what the optimizer predicted. It exists so the engine can feed
+// runtime cardinalities back into the feedback store (and decide to
+// re-plan mid-query) without requiring ?trace=1 — it is deliberately much
+// lighter than the span tracer: no timestamps, no tree, a couple of ints
+// per operator.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// OpCard is one operator's cardinality record.
+type OpCard struct {
+	// Node is the plan node this boundary wrapped.
+	Node plan.Node
+	// Est is the optimizer's row estimate for the node; -1 when the
+	// caller provided no estimator.
+	Est int64
+	// Rows and Batches count what actually flowed through the boundary.
+	// They are written by the single goroutine pulling this operator and
+	// must only be read after the query's goroutines have joined.
+	Rows    int64
+	Batches int64
+}
+
+// FetchCard is one successful remote fetch's cardinality record. Failed
+// attempts never produce one — FetchRemote only returns rows from the
+// attempt that succeeded — so retried fetches contribute exactly the
+// successful attempt's rows to feedback.
+type FetchCard struct {
+	Source  string
+	Subtree plan.Node
+	Rows    int64
+	Bytes   int64
+}
+
+// CardLedger accumulates OpCards and FetchCards for one query execution
+// attempt. Operators are appended at build time (which may happen inside
+// prefetch goroutines) and fetches at fetch time, so both paths lock.
+type CardLedger struct {
+	mu      sync.Mutex
+	ops     []*OpCard
+	fetches []FetchCard
+}
+
+var cardLedgerPool = sync.Pool{New: func() any { return &CardLedger{} }}
+
+// GetCardLedger returns a pooled, empty ledger.
+func GetCardLedger() *CardLedger { return cardLedgerPool.Get().(*CardLedger) }
+
+// PutCardLedger resets and recycles a ledger. Callers must not retain any
+// OpCard pointers past this call.
+func PutCardLedger(l *CardLedger) {
+	if l == nil {
+		return
+	}
+	l.Reset()
+	cardLedgerPool.Put(l)
+}
+
+// Reset clears the ledger for reuse (the engine resets between re-plan
+// attempts so each attempt's counts stand alone).
+func (l *CardLedger) Reset() {
+	l.mu.Lock()
+	for i := range l.ops {
+		l.ops[i] = nil
+	}
+	l.ops = l.ops[:0]
+	l.fetches = l.fetches[:0]
+	l.mu.Unlock()
+}
+
+func (l *CardLedger) addOp(n plan.Node, est int64) *OpCard {
+	c := &OpCard{Node: n, Est: est}
+	l.mu.Lock()
+	l.ops = append(l.ops, c)
+	l.mu.Unlock()
+	return c
+}
+
+// RecordFetch appends one successful fetch's row/byte counts.
+func (l *CardLedger) RecordFetch(source string, subtree plan.Node, rows, bytes int64) {
+	l.mu.Lock()
+	l.fetches = append(l.fetches, FetchCard{Source: source, Subtree: subtree, Rows: rows, Bytes: bytes})
+	l.mu.Unlock()
+}
+
+// Ops returns the operator records. Only call after execution has fully
+// drained (all query goroutines joined): the records are written lock-free
+// by their operators.
+func (l *CardLedger) Ops() []*OpCard {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ops
+}
+
+// Fetches returns the successful-fetch records under the same contract as
+// Ops.
+func (l *CardLedger) Fetches() []FetchCard {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fetches
+}
+
+// ReplanPolicy arms the mid-query re-plan tripwire: when an operator's
+// actual row count exceeds Factor times its estimate (and at least
+// MinRows, so toy inputs cannot trip), the operator's NextBatch returns a
+// *ReplanError instead of the batch. The zero value disarms the tripwire.
+type ReplanPolicy struct {
+	// Factor is the underestimate multiple that trips (≥10 per the
+	// adaptive protocol). 0 disables.
+	Factor int64
+	// MinRows is the floor below which no trip fires regardless of the
+	// ratio: fabricated default estimates over small tables misestimate
+	// wildly in relative terms while being off by only a few hundred rows
+	// that cost nothing to process.
+	MinRows int64
+}
+
+func (p ReplanPolicy) enabled() bool { return p.Factor > 0 }
+
+// ReplanError aborts execution at an exchange batch boundary because an
+// operator's observed cardinality blew through its estimate. The engine
+// catches it, feeds the ledger back into the feedback store, re-optimizes,
+// and re-executes; it is not a query failure.
+type ReplanError struct {
+	// Node is the operator whose cardinality tripped.
+	Node plan.Node
+	// Est and Actual are the estimated and observed row counts at the
+	// moment of the trip (Actual keeps growing if execution continues, but
+	// the trip fires on the first crossing batch).
+	Est    int64
+	Actual int64
+}
+
+func (e *ReplanError) Error() string {
+	return fmt.Sprintf("exec: cardinality misestimate at %s: estimated %d rows, saw %d — replan requested",
+		e.Node.Describe(), e.Est, e.Actual)
+}

@@ -56,6 +56,19 @@ func (s *Scratch) Release() {
 	}
 }
 
+// WaitBorrowers blocks until every registered borrower has released
+// (nil-safe). The engine's replan loop calls it between execution
+// attempts: an abandoned prefetch from the aborted attempt runs its fetch
+// to completion, and must not still be recording into the cardinality
+// ledger when the next attempt starts. No new borrowers can register once
+// the aborted attempt's drain has returned — spawning only happens while
+// operators are being pulled — so the wait is race-free.
+func (s *Scratch) WaitBorrowers() {
+	if s != nil {
+		s.borrowers.Wait()
+	}
+}
+
 // MakeDatums returns a zeroed datum slice of length and capacity n from
 // the scratch (plain heap when s is nil).
 func (s *Scratch) MakeDatums(n int) []datum.Datum {

@@ -84,7 +84,7 @@ const (
 // All runs every experiment at the given scale, in ID order.
 func All(scale Scale) ([]Table, error) {
 	runs := []func(Scale) (Table, error){
-		RunE1, RunE2, RunE3, RunE4, RunE5, RunE6, RunE7, RunE8, RunE9, RunE10, RunE11, RunE12, RunE13, RunE14, RunE16, RunE18,
+		RunE1, RunE2, RunE3, RunE4, RunE5, RunE6, RunE7, RunE8, RunE9, RunE10, RunE11, RunE12, RunE13, RunE14, RunE16, RunE18, RunE20,
 	}
 	out := make([]Table, 0, len(runs))
 	for _, run := range runs {

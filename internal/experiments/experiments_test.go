@@ -268,12 +268,34 @@ func TestE12FaultToleranceShape(t *testing.T) {
 	}
 }
 
+func TestE20AdaptiveBeatsStaleStats(t *testing.T) {
+	tab, err := RunE20(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RunE20 already asserts byte-identical results, >=1 replan, and the
+	// >=5x link-time gap internally; spot-check the reported shape too.
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	static, adaptive := tab.Rows[0], tab.Rows[1]
+	if static[2] != "0" {
+		t.Errorf("static replans = %s, want 0", static[2])
+	}
+	if cell(t, adaptive[2]) < 1 {
+		t.Errorf("adaptive replans = %s, want >= 1", adaptive[2])
+	}
+	if cell(t, static[3]) < 2*cell(t, adaptive[3]) {
+		t.Errorf("static shipped %s vs adaptive %s, want >= 2x", static[3], adaptive[3])
+	}
+}
+
 func TestAllRunsAndRenders(t *testing.T) {
 	tabs, err := All(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 16 {
+	if len(tabs) != 17 {
 		t.Fatalf("experiments = %d", len(tabs))
 	}
 	for _, tab := range tabs {

@@ -64,6 +64,13 @@ type QueryRequest struct {
 	// Trace attaches the query-scoped span tree to the response (also
 	// settable per request with the ?trace=1 URL parameter).
 	Trace bool `json:"trace,omitempty"`
+	// NoAdaptive disables adaptive query processing for this request:
+	// planning ignores cardinality feedback and no mid-query re-plan
+	// fires. Adaptive is on by default (naive mode also turns it off).
+	NoAdaptive bool `json:"noAdaptive,omitempty"`
+	// Explain attaches the executed plan annotated with estimated-vs-
+	// observed rows per operator (also settable with ?explain=1).
+	Explain bool `json:"explain,omitempty"`
 	// Tenant names the admission bucket the query runs under. The
 	// X-EII-Tenant request header takes precedence; absent both, the
 	// query runs as the "default" tenant.
@@ -124,6 +131,16 @@ type QueryResponse struct {
 	Tenant string `json:"tenant,omitempty"`
 	// QueueTime is how long the query waited for admission.
 	QueueTime string `json:"queueTime,omitempty"`
+	// ReplanCount is how many times the query re-optimized mid-execution
+	// after a cardinality tripwire.
+	ReplanCount int `json:"replanCount,omitempty"`
+	// EstimateErrors counts operators whose actual cardinality missed the
+	// estimate by 10x or more (present for adaptive/explain queries).
+	EstimateErrors int `json:"estimateErrors,omitempty"`
+	// Explain is the executed plan annotated with estimated-vs-observed
+	// rows, present when the request asked for it (?explain=1 or
+	// {"explain": true}).
+	Explain string `json:"explain,omitempty"`
 }
 
 // QueriesResponse is the body returned by GET /queries.
@@ -276,6 +293,9 @@ func NewHandlerLogged(engine *core.Engine, logFn func(RequestLogEntry)) http.Han
 		if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
 			req.Trace = true
 		}
+		if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
+			req.Explain = true
+		}
 		res, err := h.runQuery(r.Context(), req)
 		if h.logFn != nil {
 			entry := RequestLogEntry{SQL: req.SQL, Err: err}
@@ -403,10 +423,11 @@ func (h *handler) runQuery(ctx context.Context, req QueryRequest) (*core.Result,
 
 // queryOptions maps request knobs to engine options.
 func queryOptions(req QueryRequest) core.QueryOptions {
-	qo := core.QueryOptions{Parallel: true}
+	qo := core.QueryOptions{Parallel: true, Adaptive: !req.NoAdaptive}
 	if req.Naive {
 		qo = naiveOptions()
 	}
+	qo.Explain = req.Explain
 	qo.NoPlanCache = req.NoPlanCache
 	qo.AllowPartial = req.AllowPartial
 	if req.RetryAttempts > 1 {
@@ -512,6 +533,9 @@ func toQueryResponse(res *core.Result) QueryResponse {
 	if res.QueueTime > 0 {
 		out.QueueTime = res.QueueTime.Round(time.Microsecond).String()
 	}
+	out.ReplanCount = res.ReplanCount
+	out.EstimateErrors = res.EstimateErrors
+	out.Explain = res.ExplainOutput
 	return out
 }
 

@@ -240,3 +240,54 @@ func TestDegradedQueryAndBreakerHealth(t *testing.T) {
 		t.Errorf("healthy source reported %q", hr.Sources["crm"])
 	}
 }
+
+func TestExplainParamAndAdaptiveCounters(t *testing.T) {
+	srv := server(t)
+	resp, body := post(t, srv.URL+"/query?explain=1", QueryRequest{
+		SQL: "SELECT region, COUNT(*) AS n FROM customer360 GROUP BY region ORDER BY region",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qr.Explain, "actual=") {
+		t.Errorf("explain annotation missing observed rows:\n%s", qr.Explain)
+	}
+
+	// NoAdaptive turns the feedback loop off; the response must carry no
+	// adaptive counters and no explain text without the flag.
+	resp, body = post(t, srv.URL+"/query", QueryRequest{
+		SQL:        "SELECT COUNT(*) FROM customer360",
+		NoAdaptive: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	qr = QueryResponse{}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Explain != "" || qr.ReplanCount != 0 {
+		t.Errorf("non-adaptive response carried adaptive fields: %+v", qr)
+	}
+}
+
+func TestHealthzReportsDriftCounter(t *testing.T) {
+	srv := server(t)
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	// The drift counter must be part of the JSON surface (zero is fine).
+	if !strings.Contains(buf.String(), `"driftInvalidations"`) {
+		t.Errorf("healthz missing driftInvalidations: %s", buf.String())
+	}
+}

@@ -202,7 +202,16 @@ func annotateSemiJoins(n plan.Node, env Env) plan.Node {
 			if probeRows > plan.DefaultSemiJoinKeyCap {
 				keyShip = float64(bloom.EstimateBytes(int(probeRows)))
 			}
-			if saved*est.RowWidth(reduce) < 2*keyShip {
+			// The 2x margin prices the reduction's extra round trip. A
+			// source observed to run slower than its link model — or one
+			// whose breaker is half-open and unproven — raises the bar:
+			// speculative extra round trips against a struggling source
+			// need a bigger payoff. The factor never loosens the gate.
+			margin := 2 * networkFactor(env, r.Source)
+			if margin < 2 {
+				margin = 2
+			}
+			if saved*est.RowWidth(reduce) < margin*keyShip {
 				return 0
 			}
 			return saved
@@ -219,11 +228,14 @@ func annotateSemiJoins(n plan.Node, env Env) plan.Node {
 		case saveLeft > 0:
 			hint = plan.SemiJoinReduceLeft
 		}
-		if hint == plan.SemiJoinNone {
+		if hint == j.SemiJoin {
+			// Covers both fresh plans that get no hint and
+			// re-optimization passes that reconfirm an existing one.
 			return x
 		}
 		nj := plan.NewJoin(j.Type, j.Left, j.Right, j.Cond)
 		nj.SemiJoin = hint
+		nj.Parallel = j.Parallel
 		return nj
 	})
 }

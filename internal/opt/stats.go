@@ -2,9 +2,11 @@ package opt
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/datum"
+	"repro/internal/feedback"
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/sqlparse"
@@ -25,9 +27,56 @@ const mediatorRowCost = 200 * time.Nanosecond
 
 type estimator struct {
 	env Env
+	// fb is the runtime-cardinality feedback half of the environment, nil
+	// for purely static planning. When set, Scan and Filter estimates are
+	// confidence-blended with observed cardinalities (see blend).
+	fb FeedbackEnv
+	// fbMemo caches blend results per node: planning (join-order DP in
+	// particular) calls Rows on the same nodes many times, and signature
+	// derivation is string work worth paying once.
+	fbMemo map[plan.Node]float64
 }
 
-func newEstimator(env Env) *estimator { return &estimator{env: env} }
+func newEstimator(env Env) *estimator {
+	e := &estimator{env: env}
+	if fb, ok := env.(FeedbackEnv); ok {
+		e.fb = fb
+	}
+	return e
+}
+
+// blend reconciles a node's static estimate with the feedback store's
+// observation of the same (source, table, predicate-signature) stream,
+// weighting by the observation's confidence in log space (cardinality
+// error is multiplicative). Observations within 2x of the static estimate
+// are ignored entirely: when the catalog is right, adaptive planning must
+// produce byte-for-byte the plans static planning does.
+func (e *estimator) blend(n plan.Node, static float64) float64 {
+	if e.fb == nil {
+		return static
+	}
+	if v, ok := e.fbMemo[n]; ok {
+		return v
+	}
+	out := static
+	if key, ok := feedback.Signature(n); ok {
+		if obs, ok := e.fb.Observed(key); ok {
+			ratio := (obs.Rows + 1) / (static + 1)
+			if ratio >= 2 || ratio <= 0.5 {
+				c := obs.Confidence
+				out = math.Exp((1-c)*math.Log1p(static)+c*math.Log1p(obs.Rows)) - 1
+				if out < 0 {
+					out = 0
+				}
+			}
+		}
+	}
+	if e.fbMemo == nil {
+		e.fbMemo = make(map[plan.Node]float64)
+	}
+	e.fbMemo[n] = out
+	return out
+}
 
 // tableStats fetches stats, fabricating defaults when the source offers
 // none.
@@ -52,9 +101,9 @@ func (e *estimator) Rows(n plan.Node) float64 {
 		if x.Source == "" && x.Table == "" {
 			return 1 // FROM-less dual
 		}
-		return float64(e.tableStats(x.Source, x.Table, len(x.Cols)).Rows)
+		return e.blend(x, float64(e.tableStats(x.Source, x.Table, len(x.Cols)).Rows))
 	case *plan.Filter:
-		return e.Rows(x.Input) * e.selectivity(x.Cond, x.Input)
+		return e.blend(x, e.Rows(x.Input)*e.selectivity(x.Cond, x.Input))
 	case *plan.Project:
 		return e.Rows(x.Input)
 	case *plan.Join:
@@ -200,10 +249,24 @@ func (e *estimator) distinctOf(expr sqlparse.Expr, n plan.Node) float64 {
 			return 10
 		}
 		st := e.tableStats(x.Source, x.Table, len(x.Cols))
+		d := 10.0
 		if idx < len(st.Cols) && st.Cols[idx].Distinct > 0 {
-			return float64(st.Cols[idx].Distinct)
+			d = float64(st.Cols[idx].Distinct)
 		}
-		return 10
+		// Feedback-scaled distinct: when observed cardinality says the
+		// table outgrew its catalog stats, per-column distinct counts are
+		// stale in the same proportion. Scale growth-only (shrinkage says
+		// nothing about the value domain) and cap at the row count.
+		if e.fb != nil && st.Rows > 0 {
+			staticRows := float64(st.Rows)
+			if blended := e.blend(x, staticRows); blended > staticRows {
+				d *= blended / staticRows
+				if d > blended {
+					d = blended
+				}
+			}
+		}
+		return d
 	case *plan.Filter, *plan.Sort, *plan.Limit, *plan.Distinct, *plan.Remote:
 		return e.distinctOf(expr, n.Children()[0])
 	case *plan.Project:
@@ -335,7 +398,10 @@ func (e *estimator) cost(n plan.Node) PlanCost {
 			c.Shipped += bytes
 			if e.env != nil {
 				if link := e.env.Link(r.Source); link != nil {
-					c.Network += link.TransferCost(bytes)
+					// NetworkFactor corrects the link model by the
+					// source's observed behavior (recent latency, breaker
+					// half-open); 1 for static planning.
+					c.Network += time.Duration(float64(link.TransferCost(bytes)) * networkFactor(e.env, r.Source))
 				}
 			}
 			walk(r.Child, true)
@@ -356,7 +422,7 @@ func (e *estimator) cost(n plan.Node) PlanCost {
 			c.Shipped += bytes
 			if e.env != nil {
 				if link := e.env.Link(s.Source); link != nil {
-					c.Network += link.TransferCost(bytes)
+					c.Network += time.Duration(float64(link.TransferCost(bytes)) * networkFactor(e.env, s.Source))
 				}
 			}
 		}

@@ -54,8 +54,13 @@ type Stats struct {
 	Misses        uint64 `json:"misses"`
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations"`
-	Entries       int    `json:"entries"`
-	Capacity      int    `json:"capacity"`
+	// DriftInvalidations counts entries dropped because the cardinality-
+	// feedback store drifted past its generation-bump threshold after the
+	// plan was costed — tracked apart from catalog invalidations so the
+	// adaptive loop's cache churn is visible on its own.
+	DriftInvalidations uint64 `json:"driftInvalidations"`
+	Entries            int    `json:"entries"`
+	Capacity           int    `json:"capacity"`
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -87,10 +92,11 @@ type shard struct {
 type Cache struct {
 	shards []*shard
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	evictions     atomic.Uint64
-	invalidations atomic.Uint64
+	hits               atomic.Uint64
+	misses             atomic.Uint64
+	evictions          atomic.Uint64
+	invalidations      atomic.Uint64
+	driftInvalidations atomic.Uint64
 }
 
 // New creates a cache holding at most capacity plans (minimum one per
@@ -163,6 +169,26 @@ func (c *Cache) Put(k Key, v any) {
 	}
 }
 
+// InvalidateDrift removes one entry whose costing inputs drifted — the
+// engine calls it when an adaptive lookup finds a plan compiled under a
+// feedback-store generation that has since been bumped. Reported under
+// DriftInvalidations, not Invalidations: catalog churn and estimate
+// drift are different operational signals.
+func (c *Cache) InvalidateDrift(k Key) bool {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if ok {
+		s.order.Remove(el)
+		delete(s.items, k)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.driftInvalidations.Add(1)
+	}
+	return ok
+}
+
 // InvalidateOlder removes every entry compiled against a catalog version
 // older than v. The engine calls it after catalog mutations so stale plans
 // don't occupy cache space waiting to be aged out.
@@ -219,11 +245,12 @@ func (c *Cache) Stats() Stats {
 		capTotal += s.cap
 	}
 	return Stats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Evictions:     c.evictions.Load(),
-		Invalidations: c.invalidations.Load(),
-		Entries:       c.Len(),
-		Capacity:      capTotal,
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Evictions:          c.evictions.Load(),
+		Invalidations:      c.invalidations.Load(),
+		DriftInvalidations: c.driftInvalidations.Load(),
+		Entries:            c.Len(),
+		Capacity:           capTotal,
 	}
 }
